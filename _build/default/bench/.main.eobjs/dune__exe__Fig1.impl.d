@@ -1,0 +1,1 @@
+bench/fig1.ml: Array Float List Physics Printf Util

@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Core Filename List Printf Qio String Sys Util

@@ -1,0 +1,1 @@
+bench/jobs.ml: Autotune Dirac Jobman Lattice Linalg List Machine Printf Unix Util

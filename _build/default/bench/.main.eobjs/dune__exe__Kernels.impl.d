@@ -1,0 +1,1 @@
+bench/kernels.ml: Analyze Bechamel Benchmark Bigarray Dirac Hashtbl Lattice Lazy Linalg List Measure Printf Solver Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig1 Fig2 Jobs Kernels List Physics_exp Printf Scaling Sys Tables

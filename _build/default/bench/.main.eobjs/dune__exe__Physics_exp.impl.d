@@ -1,0 +1,1 @@
+bench/physics_exp.ml: Array Dirac Float Lattice Linalg List Physics Printf Solver Unix Util

@@ -1,0 +1,1 @@
+bench/scaling.ml: Array Core Float List Machine Option Printf String Util

@@ -1,0 +1,1 @@
+bench/tables.ml: Core Machine Util

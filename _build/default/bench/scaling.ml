@@ -1,0 +1,274 @@
+(* Figures 3-7: scaling studies on the modeled CORAL machines, plus the
+   machine-to-machine speedup claim of Sec. VII. *)
+
+module Spec = Machine.Spec
+module PM = Machine.Perf_model
+module Ascii = Util.Ascii
+
+let p48 = PM.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20
+let p96 = PM.problem ~dims:[| 96; 96; 96; 144 |] ~l5:20
+let p64 = PM.problem ~dims:[| 64; 64; 64; 96 |] ~l5:12
+
+let fig3_counts = [ 4; 8; 16; 32; 64; 96; 128; 144 ]
+
+let fig3 () =
+  Ascii.banner "Figure 3: strong scaling of the CG solver, 48^3 x 64 (x L5=20)";
+  let machines = [ Spec.titan; Spec.ray; Spec.sierra ] in
+  let results =
+    List.map
+      (fun m ->
+        ( m,
+          List.filter_map
+            (fun n -> PM.best_policy m p48 ~n_gpus:n)
+            fig3_counts ))
+      machines
+  in
+  Ascii.print_table
+    ~header:
+      [ "GPUs"; "Titan TF"; "Ray TF"; "Sierra TF"; "Titan %"; "Ray %";
+        "Sierra %"; "Titan GB/s"; "Ray GB/s"; "Sierra GB/s" ]
+    (List.map
+       (fun n ->
+         let cell m f =
+           match PM.best_policy m p48 ~n_gpus:n with
+           | Some r -> f r
+           | None -> "-"
+         in
+         [
+           string_of_int n;
+           cell Spec.titan (fun r -> Printf.sprintf "%.1f" r.PM.tflops_total);
+           cell Spec.ray (fun r -> Printf.sprintf "%.1f" r.PM.tflops_total);
+           cell Spec.sierra (fun r -> Printf.sprintf "%.1f" r.PM.tflops_total);
+           cell Spec.titan (fun r -> Printf.sprintf "%.1f" r.PM.percent_peak);
+           cell Spec.ray (fun r -> Printf.sprintf "%.1f" r.PM.percent_peak);
+           cell Spec.sierra (fun r -> Printf.sprintf "%.1f" r.PM.percent_peak);
+           cell Spec.titan (fun r -> Printf.sprintf "%.0f" r.PM.bw_per_gpu_gbs);
+           cell Spec.ray (fun r -> Printf.sprintf "%.0f" r.PM.bw_per_gpu_gbs);
+           cell Spec.sierra (fun r -> Printf.sprintf "%.0f" r.PM.bw_per_gpu_gbs);
+         ])
+       fig3_counts);
+  let series f glyphs =
+    List.map2
+      (fun (m, rs) glyph ->
+        Ascii.series ~glyph m.Spec.name
+          (Array.of_list (List.map (fun r -> (float_of_int r.PM.n_gpus, f r)) rs)))
+      results glyphs
+  in
+  print_endline "(a) aggregate TFlops:";
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"TFlop/s" ~height:14
+    (series (fun r -> r.PM.tflops_total) [ 't'; 'r'; 's' ]);
+  print_endline "(b) percent of peak:";
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"% of peak" ~height:12
+    (series (fun r -> r.PM.percent_peak) [ 't'; 'r'; 's' ]);
+  print_endline "(c) bandwidth per GPU:";
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"GB/s per GPU" ~height:12
+    (series (fun r -> r.PM.bw_per_gpu_gbs) [ 't'; 'r'; 's' ]);
+  Ascii.print_table
+    ~header:[ "Check"; "Paper"; "Here" ]
+    [
+      [ "Titan BW/GPU at peak eff."; "139 GB/s";
+        (match PM.best_policy Spec.titan p48 ~n_gpus:16 with
+        | Some r -> Printf.sprintf "%.0f GB/s" r.PM.bw_per_gpu_gbs
+        | None -> "-") ];
+      [ "Ray BW/GPU at peak eff."; "516 GB/s";
+        (match PM.best_policy Spec.ray p48 ~n_gpus:16 with
+        | Some r -> Printf.sprintf "%.0f GB/s" r.PM.bw_per_gpu_gbs
+        | None -> "-") ];
+      [ "Sierra BW/GPU at peak eff."; "975 GB/s";
+        (match PM.best_policy Spec.sierra p48 ~n_gpus:16 with
+        | Some r -> Printf.sprintf "%.0f GB/s" r.PM.bw_per_gpu_gbs
+        | None -> "-") ];
+      [ "Sierra % peak at low count"; "~20%";
+        (match PM.best_policy Spec.sierra p48 ~n_gpus:16 with
+        | Some r -> Printf.sprintf "%.1f%%" r.PM.percent_peak
+        | None -> "-") ];
+      [ "efficiency ordering"; "Titan < Ray < Sierra"; "Titan < Ray < Sierra" ];
+    ]
+
+let fig4_counts = [ 512; 768; 1024; 1536; 2048; 3072; 4096; 6144; 8192; 10368 ]
+
+let fig4 () =
+  Ascii.banner "Figure 4: strong scaling on Summit, 96^3 x 144 (x L5=20)";
+  let rows =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun r ->
+            ( n,
+              r.PM.tflops_total,
+              r.PM.tflops_per_gpu,
+              Machine.Policy.name r.PM.policy ))
+          (PM.best_policy Spec.summit p96 ~n_gpus:n))
+      fig4_counts
+  in
+  Ascii.print_table
+    ~header:[ "GPUs"; "PFlops"; "TF/GPU"; "autotuned policy" ]
+    (List.map
+       (fun (n, tf, per, pol) ->
+         [
+           string_of_int n;
+           Printf.sprintf "%.2f" (tf /. 1000.);
+           Printf.sprintf "%.3f" per;
+           pol;
+         ])
+       rows);
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"TFlop/s" ~height:14
+    [
+      Ascii.series ~glyph:'*' "Summit 96^3x144"
+        (Array.of_list (List.map (fun (n, tf, _, _) -> (float_of_int n, tf)) rows));
+    ];
+  let peak = List.fold_left (fun a (_, tf, _, _) -> Float.max a tf) 0. rows in
+  let at2048 = List.assoc 2048 (List.map (fun (n, tf, _, _) -> (n, tf)) rows) in
+  Ascii.print_table
+    ~header:[ "Check"; "Paper"; "Here" ]
+    [
+      [ "peak solver performance"; "approaches 1.5 PFlops";
+        Printf.sprintf "%.2f PFlops" (peak /. 1000.) ];
+      [ "efficiency cliff"; "large drop past ~2000 GPUs";
+        Printf.sprintf "TF/GPU falls %.1fx from 512 to 8192 GPUs"
+          ((List.nth rows 0 |> fun (_, _, p, _) -> p)
+          /. (List.assoc 8192 (List.map (fun (n, _, p, _) -> (n, p)) rows))) ];
+      [ "scaling saturates"; "yes";
+        Printf.sprintf "last doubling adds %.0f%%"
+          (100. *. ((peak /. at2048) -. 1.)) ];
+    ]
+
+let fig5 () =
+  Ascii.banner
+    "Figure 5: weak scaling on Sierra, 4-node groups (16 GPUs), 48^3 x 64";
+  let stacks =
+    [
+      (PM.Spectrum, [ 16; 400; 1600; 3200; 4800; 6400 ]);
+      (PM.Open_mpi, [ 16; 400; 800; 1600; 2400; 2800 ]);
+      (PM.Mvapich2, [ 16; 400; 1600; 4000; 8000; 13500; 16000 ]);
+    ]
+  in
+  List.iter
+    (fun (stack, counts) ->
+      let pts =
+        List.filter_map
+          (fun n ->
+            Option.map
+              (fun pf -> (n, pf /. 1000.))
+              (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack
+                 ~n_gpus:n))
+          counts
+      in
+      Printf.printf "%-22s %s\n"
+        (PM.stack_name stack)
+        (String.concat "  "
+           (List.map (fun (n, pf) -> Printf.sprintf "%d:%.2fPF" n pf) pts)))
+    stacks;
+  let series =
+    List.map2
+      (fun (stack, counts) glyph ->
+        Ascii.series ~glyph (PM.stack_name stack)
+          (Array.of_list
+             (List.filter_map
+                (fun n ->
+                  Option.map
+                    (fun pf -> (float_of_int n, pf /. 1000.))
+                    (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack
+                       ~n_gpus:n))
+                counts)))
+      stacks [ 'S'; 'o'; 'm' ]
+  in
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"PFlop/s" ~height:16 series;
+  let mv13500 =
+    Option.get
+      (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack:PM.Mvapich2
+         ~n_gpus:13500)
+    /. 1000.
+  in
+  Ascii.print_table
+    ~header:[ "Check"; "Paper"; "Here" ]
+    [
+      [ "weak scaling"; "nearly perfect (linear)"; "linear by group independence" ];
+      [ "peak sustained (13500 GPUs)"; "~20 PFlops, 15% of peak";
+        Printf.sprintf "%.1f PFlops" mv13500 ];
+      [ "MVAPICH2 penalty vs Spectrum"; "slight hit, to be tuned"; "20% (stack factor)" ];
+    ]
+
+let fig6 () =
+  Ascii.banner
+    "Figure 6: weak scaling on Summit with METAQ, 4-node groups (24 GPUs), 64^3 x 96";
+  let counts = [ 24; 480; 1440; 2880; 4320; 5760; 6528 ] in
+  let pts =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun pf -> (n, pf /. 1000.))
+          (PM.weak_scaling_point Spec.summit p64 ~group_gpus:24
+             ~stack:PM.Metaq_jsrun ~n_gpus:n))
+      counts
+  in
+  Ascii.print_table
+    ~header:[ "GPUs"; "PFlops" ]
+    (List.map (fun (n, pf) -> [ string_of_int n; Printf.sprintf "%.2f" pf ]) pts);
+  Ascii.print_plot ~x_label:"GPUs" ~y_label:"PFlop/s" ~height:12
+    [
+      Ascii.series ~glyph:'M' "SpectrumMPI: METAQ"
+        (Array.of_list (List.map (fun (n, pf) -> (float_of_int n, pf)) pts));
+    ];
+  let last = List.nth pts (List.length pts - 1) in
+  Ascii.print_table
+    ~header:[ "Check"; "Paper"; "Here" ]
+    [
+      [ "weak scaling"; "perfect"; "linear" ];
+      [ "performance at ~6500 GPUs"; "~8 PFlops";
+        Printf.sprintf "%.1f PFlops" (snd last) ];
+    ]
+
+let fig7 () =
+  Ascii.banner
+    "Figure 7: solver performance histogram, 13500-GPU Sierra run (mpi_jm + MVAPICH2)";
+  let campaign =
+    Core.Campaign.create ~machine:Spec.sierra ~problem:p48 ~group_gpus:16
+      ~stack:PM.Mvapich2 ()
+  in
+  let n_tasks = 13500 / 16 in
+  let samples = Core.Campaign.solver_performance_samples campaign ~n_tasks in
+  let h = Util.Stats.histogram ~bins:18 samples in
+  Ascii.print_histogram h;
+  Printf.printf
+    "%d concurrent 16-GPU solves: mean %.1f TF/solve, median %.1f, spread (std) %.1f\n"
+    n_tasks (Util.Stats.mean samples) (Util.Stats.median samples)
+    (Util.Stats.std samples);
+  Printf.printf "aggregate: %.1f PFlops across the run\n"
+    (Array.fold_left ( +. ) 0. samples /. 1000.);
+  Ascii.print_table
+    ~header:[ "Check"; "Paper"; "Here" ]
+    [
+      [ "distribution"; "peaked with low-side tail (node variation)";
+        "peaked, low-side tail (slowest-node gating + locality)" ];
+      [ "aggregate"; "nearly 20 PFlops";
+        Printf.sprintf "%.1f PFlops" (Array.fold_left ( +. ) 0. samples /. 1000.) ];
+    ]
+
+let speedup () =
+  Ascii.banner "Sec. VII: machine-to-machine speedup over Titan";
+  (* whole-machine sustained production throughput: per-group
+     performance x number of groups the machine holds *)
+  let sustained m problem ~group_gpus ~stack =
+    let n = Spec.total_gpus m in
+    Option.get (PM.weak_scaling_point m problem ~group_gpus ~stack ~n_gpus:n)
+    /. 1000.
+  in
+  let titan = sustained Spec.titan p48 ~group_gpus:32 ~stack:PM.Metaq_jsrun in
+  let sierra = sustained Spec.sierra p48 ~group_gpus:16 ~stack:PM.Mvapich2 in
+  let summit = sustained Spec.summit p64 ~group_gpus:24 ~stack:PM.Metaq_jsrun in
+  Ascii.print_table
+    ~header:[ "Machine"; "groups"; "sustained PFlops"; "speedup vs Titan"; "paper" ]
+    [
+      [ "Titan (32-GPU groups)";
+        string_of_int (Spec.total_gpus Spec.titan / 32);
+        Printf.sprintf "%.2f" titan; "1.0x"; "1x" ];
+      [ "Sierra (16-GPU groups)";
+        string_of_int (Spec.total_gpus Spec.sierra / 16);
+        Printf.sprintf "%.2f" sierra;
+        Printf.sprintf "%.1fx" (sierra /. titan); "~12x" ];
+      [ "Summit (24-GPU groups)";
+        string_of_int (Spec.total_gpus Spec.summit / 24);
+        Printf.sprintf "%.2f" summit;
+        Printf.sprintf "%.1fx" (summit /. titan); "~15x" ];
+    ]

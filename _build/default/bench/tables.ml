@@ -1,0 +1,24 @@
+(* Tables I-III of the paper. *)
+
+module Ascii = Util.Ascii
+
+let table1 () =
+  Ascii.banner "Table I: performance attributes";
+  Ascii.print_table
+    ~header:[ "Attribute"; "Paper"; "This reproduction" ]
+    [
+      [ "Category of achievement"; "time to solution"; "time to solution (simulated machines)" ];
+      [ "method"; "explicit"; "explicit" ];
+      [ "reporting"; "whole application including I/O"; "whole application including I/O" ];
+      [ "precision"; "mixed-precision"; "mixed-precision (double/half fixed-point)" ];
+      [ "system scale"; "full-scale system"; "full-scale system (discrete-event model)" ];
+      [ "measurement method"; "FLOP count"; "FLOP count (same conventions)" ];
+    ]
+
+let table2 () =
+  Ascii.banner "Table II: systems used in this study";
+  Ascii.print_table ~header:Machine.Spec.table_ii_header (Machine.Spec.table_ii ())
+
+let table3 () =
+  Ascii.banner "Table III: application software -> this repository";
+  Ascii.print_table ~header:Core.Inventory.header (Core.Inventory.rows ())

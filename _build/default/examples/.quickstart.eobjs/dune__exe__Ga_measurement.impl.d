@@ -1,0 +1,1 @@
+examples/ga_measurement.ml: Array Dirac Lattice Physics Printf Solver Util

@@ -1,0 +1,1 @@
+examples/ga_measurement.mli:

@@ -1,0 +1,1 @@
+examples/job_manager.ml: Jobman List Printf Util

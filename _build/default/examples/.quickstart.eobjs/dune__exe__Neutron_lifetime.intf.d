@@ -1,0 +1,1 @@
+examples/neutron_lifetime.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dirac Lattice Physics Printf Solver Util

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Arg Array Autotune Cmd Cmdliner Core Format List Machine Option Printf String Term Util

@@ -1,0 +1,71 @@
+(* The axial-charge measurement, end to end — the paper's science.
+
+     dune exec examples/ga_measurement.exe
+
+   Part 1 runs the REAL Feynman-Hellmann algorithm on a small lattice:
+   point propagator, FH (current-inserted) propagator, proton
+   contractions, effective coupling g_eff(t). On the free field this
+   machinery reproduces the relativistic quark-model value (below the
+   nonrelativistic 5/3).
+
+   Part 2 runs the production-scale STATISTICS on the a09m310-
+   calibrated synthetic ensemble: the 1%-precision gA extraction of
+   Fig 1, and what the traditional method would need for the same
+   answer. *)
+
+let part1 () =
+  print_endline "== Part 1: real FH measurement (free field, 4^3 x 16) ==";
+  let geom = Lattice.Geometry.create [| 4; 4; 4; 16 |] in
+  let gauge = Lattice.Gauge.unit geom in
+  let params = Dirac.Mobius.mobius ~l5:8 ~m5:1.3 ~alpha:1.5 ~mass:0.2 in
+  let solver =
+    Solver.Dwf_solve.create params geom (Lattice.Gauge.with_antiperiodic_time gauge)
+  in
+  print_endline "solving 12 propagator + 12 Feynman-Hellmann columns ...";
+  let prop = Physics.Propagator.point_propagator ~tol:1e-10 solver ~src_site:0 in
+  let fh = Physics.Fh.fh_propagator ~tol:1e-10 solver prop in
+  let c2 =
+    Physics.Contract.proton ~projector:Physics.Contract.polarized_projector
+      ~up:prop ~down:prop ()
+  in
+  let cfh = Physics.Fh.fh_proton_correlator ~up:prop ~down:prop ~fh_up:fh ~fh_down:fh in
+  let geff = Physics.Fh.effective_coupling ~c2 ~c_fh:cfh in
+  print_endline "effective axial coupling g_eff(t) of three free quarks:";
+  Array.iteri
+    (fun t g -> if t <= 6 then Printf.printf "  t=%d  %+.4f\n" t g)
+    geff;
+  Printf.printf
+    "early plateau %.3f: below the nonrelativistic quark-model 5/3 = %.3f\n\
+     (lower Dirac components reduce it), rising toward 5/3 as the quark\n\
+     mass grows — run with a heavier mass to see it.\n\n"
+    ((geff.(1) +. geff.(2)) /. 2.)
+    (5. /. 3.)
+
+let part2 () =
+  print_endline "== Part 2: production statistics (a09m310 synthetic ensemble) ==";
+  let p = Physics.Synth.a09m310 in
+  let rng = Util.Rng.create 7 in
+  let ens = Physics.Synth.ensemble rng p ~n:784 in
+  let samples = Physics.Synth.paired_samples ens in
+  let fit =
+    Physics.Analysis.fit_geff ~rng ~n_boot:200 samples
+      ~observable:(Physics.Synth.geff_observable p) ~t_min:1 ~t_max:12
+  in
+  Printf.printf "Feynman-Hellmann, 784 samples:  gA = %.4f +- %.4f  (%.2f%%)\n"
+    fit.Physics.Analysis.ga fit.Physics.Analysis.ga_err
+    (100. *. fit.Physics.Analysis.ga_err /. fit.Physics.Analysis.ga);
+  let trad = Physics.Synth.traditional_ensemble rng p ~n:7840 ~t_sep:12 in
+  let mean = Physics.Analysis.ensemble_mean trad in
+  let err = Physics.Analysis.ensemble_error trad in
+  let v, e = Physics.Analysis.fit_plateau ~mean ~err ~t_min:5 ~t_max:7 in
+  Printf.printf "traditional (t_sep = 12), 7840 samples: gA = %.4f +- %.4f  (%.2f%%)\n"
+    v e (100. *. e /. v);
+  Printf.printf
+    "-> the FH algorithm reaches ~1%% from an order of magnitude fewer\n\
+     samples, by reading the signal at small t where S/N is exponentially\n\
+     better. Neutron lifetime from this gA: tau_n = 5172/(1+3 gA^2) = %.1f s\n"
+    (5172. /. (1. +. (3. *. fit.Physics.Analysis.ga *. fit.Physics.Analysis.ga)))
+
+let () =
+  part1 ();
+  part2 ()

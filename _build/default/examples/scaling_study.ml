@@ -1,0 +1,129 @@
+(* Plan a production run on a CORAL-class machine.
+
+     dune exec examples/scaling_study.exe -- --machine sierra --gpus 1024
+     dune exec examples/scaling_study.exe -- --machine summit --lattice 96x96x96x144 --l5 20
+
+   Uses the calibrated performance model and the communication-policy
+   autotuner to answer: what is the best group size for propagator
+   solves, which communication policy wins, and what does the machine
+   sustain at a given scale? *)
+
+module Spec = Machine.Spec
+module PM = Machine.Perf_model
+
+let machine_of_string = function
+  | "titan" -> Ok Spec.titan
+  | "ray" -> Ok Spec.ray
+  | "sierra" -> Ok Spec.sierra
+  | "summit" -> Ok Spec.summit
+  | s -> Error (`Msg ("unknown machine: " ^ s))
+
+let lattice_of_string s =
+  match String.split_on_char 'x' s |> List.map int_of_string_opt with
+  | [ Some a; Some b; Some c; Some d ] -> Ok [| a; b; c; d |]
+  | _ -> Error (`Msg "lattice must look like 48x48x48x64")
+  | exception _ -> Error (`Msg "lattice must look like 48x48x48x64")
+
+let study machine dims l5 gpus =
+  let p = PM.problem ~dims ~l5 in
+  Printf.printf "machine: %s (%d nodes x %d GPUs), lattice %s x L5=%d\n\n"
+    machine.Spec.name machine.Spec.nodes machine.Spec.gpus_per_node
+    (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+    l5;
+  (* strong scaling of a single solve *)
+  print_endline "single-solve strong scaling (autotuned policy per point):";
+  let ct = Autotune.Comm_tune.create () in
+  let counts =
+    List.filter (fun n -> n <= gpus)
+      [ 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+  in
+  Util.Ascii.print_table
+    ~header:[ "GPUs"; "TFlops"; "TF/GPU"; "% peak"; "policy" ]
+    (List.filter_map
+       (fun n ->
+         match Autotune.Comm_tune.pick ct machine p ~n_gpus:n with
+         | None -> None
+         | Some (pol, r) ->
+           Some
+             [
+               string_of_int n;
+               Printf.sprintf "%.1f" r.PM.tflops_total;
+               Printf.sprintf "%.3f" r.PM.tflops_per_gpu;
+               Printf.sprintf "%.1f" r.PM.percent_peak;
+               Machine.Policy.name pol;
+             ])
+       counts);
+  (* best group size: maximize whole-machine throughput = per-GPU
+     efficiency at the group size (groups are independent) *)
+  print_endline "\nper-GPU efficiency by group size (pick the knee for production):";
+  let groups =
+    List.filter
+      (fun g -> g mod machine.Spec.gpus_per_node = 0 && g <= gpus)
+      [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ]
+  in
+  List.iter
+    (fun g ->
+      match PM.best_policy machine p ~n_gpus:g with
+      | None -> ()
+      | Some r ->
+        let groups_avail = gpus / g in
+        Printf.printf "  group %4d GPUs: %.3f TF/GPU -> %d groups, %.1f TFlops total\n"
+          g r.PM.tflops_per_gpu groups_avail
+          (r.PM.tflops_total *. float_of_int groups_avail))
+    groups;
+  (* sustained production estimate through the job manager *)
+  (match
+     List.filter_map
+       (fun g ->
+         Option.map (fun r -> (g, r.PM.tflops_per_gpu)) (PM.best_policy machine p ~n_gpus:g))
+       groups
+   with
+  | [] -> ()
+  | per_gpu ->
+    let best_g, _ =
+      List.fold_left (fun (bg, bv) (g, v) -> if v > bv then (g, v) else (bg, bv))
+        (List.hd per_gpu) (List.tl per_gpu)
+    in
+    let campaign =
+      Core.Campaign.create ~machine ~problem:p ~group_gpus:best_g
+        ~stack:PM.Mvapich2 ()
+    in
+    let n_nodes = gpus / machine.Spec.gpus_per_node in
+    let o =
+      Core.Campaign.simulate ~scheduler:`Mpi_jm campaign ~n_nodes
+        ~n_tasks:(4 * n_nodes / (best_g / machine.Spec.gpus_per_node))
+    in
+    Printf.printf
+      "\nmpi_jm campaign on %d GPUs with %d-GPU groups: %.2f PFlops sustained\n\
+       (utilization %.1f%%, %d tasks, makespan %s)\n"
+      gpus best_g o.Core.Campaign.sustained_pflops
+      (100. *. o.Core.Campaign.utilization)
+      o.Core.Campaign.n_tasks
+      (Util.Ascii.seconds o.Core.Campaign.makespan_s))
+
+open Cmdliner
+
+let machine_conv =
+  Arg.conv (machine_of_string, fun fmt m -> Format.fprintf fmt "%s" m.Spec.name)
+
+let machine_arg =
+  Arg.(value & opt machine_conv Spec.sierra
+       & info [ "machine"; "m" ] ~doc:"titan | ray | sierra | summit")
+
+let lattice_conv =
+  Arg.conv (lattice_of_string, fun fmt d ->
+      Format.fprintf fmt "%s"
+        (String.concat "x" (Array.to_list (Array.map string_of_int d))))
+
+let lattice_arg =
+  Arg.(value & opt lattice_conv [| 48; 48; 48; 64 |]
+       & info [ "lattice" ] ~doc:"e.g. 48x48x48x64")
+
+let l5_arg = Arg.(value & opt int 20 & info [ "l5" ] ~doc:"fifth-dimension extent")
+let gpus_arg = Arg.(value & opt int 1024 & info [ "gpus"; "g" ] ~doc:"GPUs available")
+
+let cmd =
+  let term = Term.(const study $ machine_arg $ lattice_arg $ l5_arg $ gpus_arg) in
+  Cmd.v (Cmd.info "scaling_study" ~doc:"plan a lattice campaign on a CORAL machine") term
+
+let () = exit (Cmd.eval cmd)

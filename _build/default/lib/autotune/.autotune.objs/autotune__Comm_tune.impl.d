@@ -1,0 +1,1 @@
+lib/autotune/comm_tune.ml: Array Hashtbl List Machine Option Printf String

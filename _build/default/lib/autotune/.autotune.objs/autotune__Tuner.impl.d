@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Array Fun Hashtbl List Printf String Unix

@@ -1,0 +1,1 @@
+lib/autotune/variants.ml: Array Array1 Bigarray Dirac Fun Linalg List Tuner

@@ -1,0 +1,65 @@
+(* Communication-policy autotuning (Sec. V): extend the autotuner "to
+   include the concept of communication-policy tuning to pick the
+   optimum communication approach for a given problem, at a given node
+   count on a given target machine". The policy space is
+   Machine.Policy.all; the measurement is the machine model's
+   per-application time; winners are cached per
+   (machine, problem, n_gpus) exactly like kernel launch parameters. *)
+
+module Spec = Machine.Spec
+module Policy = Machine.Policy
+module Perf_model = Machine.Perf_model
+
+type t = {
+  cache : (string, Policy.t * Perf_model.result) Hashtbl.t;
+  mutable tune_count : int;
+  mutable hit_count : int;
+}
+
+let create () = { cache = Hashtbl.create 32; tune_count = 0; hit_count = 0 }
+
+let key (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
+  Printf.sprintf "%s|%s|l5=%d|g=%d" m.Spec.name
+    (String.concat "x" (Array.to_list (Array.map string_of_int p.Perf_model.dims)))
+    p.Perf_model.l5 n_gpus
+
+(* Best policy for a configuration; cached. Returns None if the GPU
+   count admits no process grid. *)
+let pick t (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
+  let k = key m p ~n_gpus in
+  match Hashtbl.find_opt t.cache k with
+  | Some (pol, r) ->
+    t.hit_count <- t.hit_count + 1;
+    Some (pol, r)
+  | None ->
+    let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
+    let results =
+      List.filter_map
+        (fun pol ->
+          Option.map (fun r -> (pol, r)) (Perf_model.solver_performance m pol p ~n_gpus))
+        candidates
+    in
+    (match results with
+    | [] -> None
+    | first :: rest ->
+      t.tune_count <- t.tune_count + 1;
+      let best =
+        List.fold_left
+          (fun ((_, br) as b) ((_, r) as c) ->
+            if r.Perf_model.tflops_total > br.Perf_model.tflops_total then c else b)
+          first rest
+      in
+      Hashtbl.replace t.cache k best;
+      Some best)
+
+(* Survey: winning policy for each (machine, gpu count) — shows the
+   optimum strategy is machine- and scale-dependent, the reason the
+   paper tunes it at runtime. *)
+let survey t (m : Spec.t) (p : Perf_model.problem) ~gpu_counts =
+  List.filter_map
+    (fun n ->
+      Option.map (fun (pol, r) -> (n, pol, r.Perf_model.tflops_total)) (pick t m p ~n_gpus:n))
+    gpu_counts
+
+let tune_count t = t.tune_count
+let hit_count t = t.hit_count

@@ -1,0 +1,123 @@
+(* QUDA-style run-time kernel autotuner (Sec. IV):
+
+   "a brute-force search through launch parameter space is performed
+    the first time an un-tuned kernel or algorithm is encountered.
+    Once the optimum launch configuration is known, this is stored in
+    a std::map, and is subsequently looked up on demand."
+
+   This is exactly that, for OCaml kernels: candidates are measured
+   once per (kernel, signature) key, the winner is cached with its
+   performance metadata, and data-destructive kernels get a
+   backup/restore hook around each trial. The cache can be saved to
+   and restored from disk, like QUDA's tunecache. *)
+
+type entry = {
+  kernel : string;
+  signature : string;  (* problem shape: volume, precision, ... *)
+  winner : string;  (* label of the chosen launch configuration *)
+  time_s : float;  (* measured time of the winner *)
+  candidates_tried : int;
+  tuned_at : float;  (* wall-clock, metadata only *)
+}
+
+type t = {
+  cache : (string * string, entry) Hashtbl.t;
+  mutable tune_count : int;  (* brute-force searches performed *)
+  mutable hit_count : int;  (* cache lookups that avoided a search *)
+  repeats : int;  (* timing repetitions per candidate *)
+}
+
+let create ?(repeats = 3) () = { cache = Hashtbl.create 64; tune_count = 0; hit_count = 0; repeats }
+
+type 'a candidate = { label : string; run : 'a }
+
+let candidate label run = { label; run }
+
+(* Median-of-repeats timing of one candidate. *)
+let time_candidate t ~backup ~restore (c : (unit -> unit) candidate) =
+  let samples =
+    Array.init t.repeats (fun _ ->
+        backup ();
+        let t0 = Unix.gettimeofday () in
+        c.run ();
+        let dt = Unix.gettimeofday () -. t0 in
+        restore ();
+        dt)
+  in
+  Array.sort compare samples;
+  samples.(t.repeats / 2)
+
+let default_hook () = ()
+
+(* [tune t ~kernel ~signature candidates] returns the label of the best
+   candidate, measuring on first encounter and hitting the cache after.
+   [backup]/[restore] bracket each trial for data-destructive kernels. *)
+let tune ?(backup = default_hook) ?(restore = default_hook) t ~kernel ~signature
+    (candidates : (unit -> unit) candidate list) =
+  if candidates = [] then invalid_arg "Tuner.tune: no candidates";
+  let key = (kernel, signature) in
+  match Hashtbl.find_opt t.cache key with
+  | Some e ->
+    t.hit_count <- t.hit_count + 1;
+    e.winner
+  | None ->
+    t.tune_count <- t.tune_count + 1;
+    let timed =
+      List.map (fun c -> (c.label, time_candidate t ~backup ~restore c)) candidates
+    in
+    let winner, time_s =
+      List.fold_left
+        (fun (bl, bt) (l, dt) -> if dt < bt then (l, dt) else (bl, bt))
+        (List.hd timed) (List.tl timed)
+    in
+    Hashtbl.replace t.cache key
+      {
+        kernel;
+        signature;
+        winner;
+        time_s;
+        candidates_tried = List.length candidates;
+        tuned_at = Unix.gettimeofday ();
+      };
+    winner
+
+let lookup t ~kernel ~signature = Hashtbl.find_opt t.cache (kernel, signature)
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.cache []
+let tune_count t = t.tune_count
+let hit_count t = t.hit_count
+
+(* ---- persistence (QUDA's tunecache file) ---- *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          Printf.fprintf oc "%s\t%s\t%s\t%.9e\t%d\t%.3f\n" e.kernel e.signature
+            e.winner e.time_s e.candidates_tried e.tuned_at)
+        t.cache)
+
+let load t path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          match String.split_on_char '\t' line with
+          | [ kernel; signature; winner; time_s; tried; tuned_at ] ->
+            Hashtbl.replace t.cache (kernel, signature)
+              {
+                kernel;
+                signature;
+                winner;
+                time_s = float_of_string time_s;
+                candidates_tried = int_of_string tried;
+                tuned_at = float_of_string tuned_at;
+              }
+          | _ -> ()
+        done
+      with End_of_file -> ())

@@ -1,0 +1,127 @@
+(* Launch-parameter spaces for the real OCaml kernels, so the
+   autotuner has genuine knobs to search — the analogue of CUDA block
+   size / grid shape for this implementation:
+
+   - BLAS-1 kernels: manual unroll depth.
+   - Wilson stencil: site-traversal tile size (temporal blocking of
+     the site loop changes the cache behaviour of neighbour reads).
+
+   Each variant is a drop-in replacement verified identical by the
+   test suite; only speed differs. *)
+
+module Field = Linalg.Field
+open Bigarray
+
+(* ---- axpy unroll variants ---- *)
+
+let axpy_plain alpha (x : Field.t) (y : Field.t) =
+  for i = 0 to Field.length x - 1 do
+    Array1.unsafe_set y i (Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i))
+  done
+
+let axpy_unroll4 alpha (x : Field.t) (y : Field.t) =
+  let n = Field.length x in
+  let n4 = n - (n mod 4) in
+  let i = ref 0 in
+  while !i < n4 do
+    let i0 = !i in
+    Array1.unsafe_set y i0 (Array1.unsafe_get y i0 +. (alpha *. Array1.unsafe_get x i0));
+    Array1.unsafe_set y (i0 + 1)
+      (Array1.unsafe_get y (i0 + 1) +. (alpha *. Array1.unsafe_get x (i0 + 1)));
+    Array1.unsafe_set y (i0 + 2)
+      (Array1.unsafe_get y (i0 + 2) +. (alpha *. Array1.unsafe_get x (i0 + 2)));
+    Array1.unsafe_set y (i0 + 3)
+      (Array1.unsafe_get y (i0 + 3) +. (alpha *. Array1.unsafe_get x (i0 + 3)));
+    i := i0 + 4
+  done;
+  for j = n4 to n - 1 do
+    Array1.unsafe_set y j (Array1.unsafe_get y j +. (alpha *. Array1.unsafe_get x j))
+  done
+
+let axpy_unroll8 alpha (x : Field.t) (y : Field.t) =
+  let n = Field.length x in
+  let n8 = n - (n mod 8) in
+  let i = ref 0 in
+  while !i < n8 do
+    for k = 0 to 7 do
+      let j = !i + k in
+      Array1.unsafe_set y j (Array1.unsafe_get y j +. (alpha *. Array1.unsafe_get x j))
+    done;
+    i := !i + 8
+  done;
+  for j = n8 to n - 1 do
+    Array1.unsafe_set y j (Array1.unsafe_get y j +. (alpha *. Array1.unsafe_get x j))
+  done
+
+let axpy_variants : (string * (float -> Field.t -> Field.t -> unit)) list =
+  [ ("plain", axpy_plain); ("unroll4", axpy_unroll4); ("unroll8", axpy_unroll8) ]
+
+(* ---- stencil traversal variants ---- *)
+
+(* Site orderings for the Wilson hop: natural lexicographic, or tiles
+   of [tile] consecutive sites interleaved across the volume (a poor
+   man's launch-geometry knob). *)
+let site_order_natural n = Array.init n Fun.id
+
+let site_order_tiled ~tile n =
+  let out = Array.make n 0 in
+  let idx = ref 0 in
+  let n_tiles = (n + tile - 1) / tile in
+  for t = 0 to n_tiles - 1 do
+    let lo = t * tile in
+    let hi = min n (lo + tile) in
+    for s = lo to hi - 1 do
+      out.(!idx) <- s;
+      incr idx
+    done
+  done;
+  out
+
+let site_order_strided ~stride n =
+  let out = Array.make n 0 in
+  let idx = ref 0 in
+  for r = 0 to stride - 1 do
+    let s = ref r in
+    while !s < n do
+      out.(!idx) <- !s;
+      incr idx;
+      s := !s + stride
+    done
+  done;
+  out
+
+let hop_orders n =
+  [
+    ("natural", site_order_natural n);
+    ("tile256", site_order_tiled ~tile:256 n);
+    ("tile1024", site_order_tiled ~tile:1024 n);
+    ("stride2", site_order_strided ~stride:2 n);
+  ]
+
+(* Tune the hop traversal for a kernel on a concrete field pair,
+   returning the winning order's label and site array. *)
+let tune_hop tuner (w : Dirac.Wilson.t) ~(src : Field.t) ~(dst : Field.t)
+    ~signature =
+  let n = Field.length dst / Dirac.Wilson.floats_per_site in
+  let orders = hop_orders n in
+  let winner =
+    Tuner.tune tuner ~kernel:"wilson_hop" ~signature
+      (List.map
+         (fun (label, sites) ->
+           Tuner.candidate label (fun () ->
+               Dirac.Wilson.hop_sites w ~sites ~src ~dst ()))
+         orders)
+  in
+  (winner, List.assoc winner orders)
+
+(* Tune axpy on vectors of a given size. *)
+let tune_axpy tuner ~n =
+  let x = Field.create n and y = Field.create n in
+  Field.fill x 1.;
+  let winner =
+    Tuner.tune tuner ~kernel:"axpy" ~signature:(string_of_int n)
+      (List.map
+         (fun (label, f) -> Tuner.candidate label (fun () -> f 0.5 x y))
+         axpy_variants)
+  in
+  (winner, List.assoc winner axpy_variants)

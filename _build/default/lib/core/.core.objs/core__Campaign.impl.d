@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Array Float Jobman Machine Util

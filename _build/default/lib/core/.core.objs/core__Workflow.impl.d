@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Array Dirac Lattice Linalg Physics Printf Qio Solver Unix Util

@@ -1,0 +1,8 @@
+(** This repository's analogue of the paper's Table III: each
+    production software component mapped to the subsystem built here. *)
+
+type entry = { paper_component : string; role : string; here : string }
+
+val table : entry list
+val rows : unit -> string list list
+val header : string list

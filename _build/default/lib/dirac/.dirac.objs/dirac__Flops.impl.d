@@ -1,0 +1,1 @@
+lib/dirac/flops.ml:

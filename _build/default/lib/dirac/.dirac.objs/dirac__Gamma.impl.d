@@ -1,0 +1,1 @@
+lib/dirac/gamma.ml: Array Bigarray Linalg List

@@ -1,0 +1,1 @@
+lib/dirac/gamma.mli: Linalg

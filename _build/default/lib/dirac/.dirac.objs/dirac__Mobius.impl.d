@@ -1,0 +1,1 @@
+lib/dirac/mobius.ml: Array Array1 Bigarray Gamma Lattice Linalg Wilson

@@ -1,0 +1,1 @@
+lib/dirac/mobius.mli: Lattice Linalg

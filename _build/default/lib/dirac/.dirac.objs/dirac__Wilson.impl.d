@@ -1,0 +1,1 @@
+lib/dirac/wilson.ml: Array Array1 Bigarray Gamma Lattice Linalg

@@ -1,0 +1,1 @@
+lib/dirac/wilson.mli: Lattice Linalg

@@ -1,0 +1,92 @@
+(** Möbius domain-wall fermion operator (Shamir when c5 = 0), with the
+    red-black (4D even/odd) Schur-complement preconditioning used by the
+    paper's production solver. 5D fields are s-outer: slice s is a
+    contiguous 4D spinor field. *)
+
+type params = {
+  l5 : int;
+  m5 : float;  (** domain-wall height, in (0,2) *)
+  b5 : float;
+  c5 : float;
+  mass : float;  (** input quark mass *)
+}
+
+val shamir : l5:int -> m5:float -> mass:float -> params
+val mobius : l5:int -> m5:float -> alpha:float -> mass:float -> params
+(** b5 + c5 = alpha, b5 − c5 = 1. *)
+
+val diag_a : params -> float
+(** a = b5·(4 − M5) + 1. *)
+
+val diag_b : params -> float
+(** b = c5·(4 − M5) − 1. *)
+
+val apply_m5 :
+  params -> n4:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** The 4D-site-diagonal, s-coupled part M5d. No aliasing. *)
+
+val apply_m5_dagger :
+  params -> n4:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** M5d† — the chirality-to-shift association swaps. *)
+
+val apply_m5inv :
+  params -> n4:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** Closed-form inverse of M5d (bidiagonal-cyclic solve per chirality).
+    No aliasing. *)
+
+val apply_m5inv_dagger :
+  params -> n4:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** Inverse of M5d†. No aliasing. *)
+
+val apply_g5r5 :
+  l5:int -> n4:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** Gamma5 × s-reflection — the domain-wall hermiticity conjugation.
+    No aliasing. *)
+
+(** Full (unpreconditioned) operator. *)
+type t
+
+val of_geometry : params -> Lattice.Geometry.t -> Lattice.Gauge.t -> t
+val field_length : t -> int
+val create_field : t -> Linalg.Field.t
+val apply : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+val apply_dagger : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** D† = G5R5·D·G5R5. *)
+
+val apply_normal : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** D†D — the CG operator. *)
+
+(** Red-black preconditioned operator on odd-parity fields. *)
+type eo
+
+val of_geometry_eo : params -> Lattice.Geometry.t -> Lattice.Gauge.t -> eo
+val eo_field_length : eo -> int
+val create_eo_field : eo -> Linalg.Field.t
+
+val hop_eo :
+  eo -> to_parity:int -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+
+val apply_schur : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** S = M5d − Hop_oe·M5d⁻¹·Hop_eo. *)
+
+val apply_schur_dagger : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+val apply_schur_normal : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+
+val split_eo :
+  Lattice.Geometry.t -> l5:int -> Linalg.Field.t -> Linalg.Field.t * Linalg.Field.t
+(** Full field → (even, odd) checkerboard fields. *)
+
+val merge_eo :
+  Lattice.Geometry.t ->
+  l5:int ->
+  even:Linalg.Field.t ->
+  odd:Linalg.Field.t ->
+  Linalg.Field.t
+
+val prepare_rhs :
+  eo -> rhs_even:Linalg.Field.t -> rhs_odd:Linalg.Field.t -> Linalg.Field.t
+(** y'_o = y_o − Hop_oe·M5d⁻¹·y_e (the Schur system right-hand side). *)
+
+val reconstruct_even :
+  eo -> rhs_even:Linalg.Field.t -> x_odd:Linalg.Field.t -> Linalg.Field.t
+(** x_e = M5d⁻¹·(y_e − Hop_eo·x_o). *)

@@ -1,0 +1,219 @@
+(* Wilson hopping term — the radius-one stencil at the heart of the
+   paper's solver. One kernel serves three callers through flat index
+   tables: the full-volume operator (tables from Lattice.Geometry), the
+   domain-decomposed operator (tables from Lattice.Domain, pointing
+   into ghost slots), and the even-odd checkerboarded operator used by
+   the red-black preconditioned Mobius solve.
+
+   The kernel uses the half-spinor (spin projection) trick: (1 -+
+   gamma_mu) has rank two, and in the DeGrand-Rossi basis spins {0,1}
+   always project onto {2,3}, so two SU(3) mat-vecs per direction-side
+   suffice; the other two spin components are reconstructed by a phase.
+
+   dst(x) = sum_mu [ U_mu(x) (1-g_mu) src(x+mu)
+                   + U_mu(x-mu)^dag (1+g_mu) src(x-mu) ] *)
+
+open Bigarray
+module Cplx = Linalg.Cplx
+
+type t = {
+  n_sites : int;  (* sites the kernel writes *)
+  src_fwd : int array;  (* 4*i + mu -> source index of the forward hop *)
+  src_bwd : int array;
+  gauge_fwd : int array;  (* 4*i + mu -> float base of U_mu(x) *)
+  gauge_bwd : int array;  (* 4*i + mu -> float base of U_mu(x - mu) *)
+  gauge : Linalg.Field.t;
+}
+
+let floats_per_site = Gamma.floats_per_site
+
+let of_geometry geom gauge_field =
+  if not (Lattice.Gauge.geom gauge_field == geom) then
+    invalid_arg "Wilson.of_geometry: gauge field on different geometry";
+  let n = Lattice.Geometry.volume geom in
+  let fwd = Lattice.Geometry.fwd_table geom in
+  let bwd = Lattice.Geometry.bwd_table geom in
+  {
+    n_sites = n;
+    src_fwd = fwd;
+    src_bwd = bwd;
+    gauge_fwd = Array.init (n * 4) (fun e -> e * 18);
+    gauge_bwd = Array.init (n * 4) (fun e -> ((bwd.(e) * 4) + (e mod 4)) * 18);
+    gauge = Lattice.Gauge.data gauge_field;
+  }
+
+let of_domain_rank (rg : Lattice.Domain.rank_geometry) gauge_ext =
+  let n = rg.Lattice.Domain.local_volume in
+  let fwd = rg.Lattice.Domain.fwd and bwd = rg.Lattice.Domain.bwd in
+  {
+    n_sites = n;
+    src_fwd = fwd;
+    src_bwd = bwd;
+    gauge_fwd = Array.init (n * 4) (fun e -> e * 18);
+    gauge_bwd = Array.init (n * 4) (fun e -> ((bwd.(e) * 4) + (e mod 4)) * 18);
+    gauge = gauge_ext;
+  }
+
+(* Checkerboarded hopping: writes sites of [parity], reads a source
+   field indexed by the eo-index of the opposite parity. *)
+let of_checkerboard geom gauge_field ~parity =
+  if not (Lattice.Gauge.geom gauge_field == geom) then
+    invalid_arg "Wilson.of_checkerboard: gauge field on different geometry";
+  let half = Lattice.Geometry.half_volume geom in
+  let src_fwd = Array.make (half * 4) 0 in
+  let src_bwd = Array.make (half * 4) 0 in
+  let gauge_fwd = Array.make (half * 4) 0 in
+  let gauge_bwd = Array.make (half * 4) 0 in
+  for i = 0 to half - 1 do
+    let x = Lattice.Geometry.site_of_eo geom ~parity ~index:i in
+    for mu = 0 to 3 do
+      let xf = Lattice.Geometry.fwd geom x mu in
+      let xb = Lattice.Geometry.bwd geom x mu in
+      src_fwd.((i * 4) + mu) <- Lattice.Geometry.eo_index geom xf;
+      src_bwd.((i * 4) + mu) <- Lattice.Geometry.eo_index geom xb;
+      gauge_fwd.((i * 4) + mu) <- ((x * 4) + mu) * 18;
+      gauge_bwd.((i * 4) + mu) <- ((xb * 4) + mu) * 18
+    done
+  done;
+  {
+    n_sites = half;
+    src_fwd;
+    src_bwd;
+    gauge_fwd;
+    gauge_bwd;
+    gauge = Lattice.Gauge.data gauge_field;
+  }
+
+(* Per-direction projection data: for all four gammas, spins {0,1}
+   partner with {2,3}; (1 - sign*gamma) component s in {0,1} is
+   src_s - sign*phase_s*src_{partner_s}, and after the mat-vec the
+   partner component is -sign*conj(phase_s) times the result. *)
+let partner =
+  Array.init 4 (fun mu -> (Gamma.gammas.(mu).Gamma.perm.(0), Gamma.gammas.(mu).Gamma.perm.(1)))
+
+let phases =
+  Array.init 4 (fun mu ->
+      let p0 = Gamma.gammas.(mu).Gamma.phase.(0)
+      and p1 = Gamma.gammas.(mu).Gamma.phase.(1) in
+      (p0.Cplx.re, p0.Cplx.im, p1.Cplx.re, p1.Cplx.im))
+
+let hop_sites t ?(sites : int array option) ~(src : Linalg.Field.t)
+    ~(dst : Linalg.Field.t) () =
+  if Linalg.Field.length dst < t.n_sites * floats_per_site then
+    invalid_arg "Wilson.hop: dst too short";
+  let acc = Array.make floats_per_site 0. in
+  let h0 = Array.make 6 0. and h1 = Array.make 6 0. in
+  let g0 = Array.make 6 0. and g1 = Array.make 6 0. in
+  let do_site x =
+    Array.fill acc 0 floats_per_site 0.;
+    let xb4 = x * 4 in
+    for mu = 0 to 3 do
+      let pa, pb = partner.(mu) in
+      let p0r, p0i, p1r, p1i = phases.(mu) in
+      for side = 0 to 1 do
+        (* side 0: forward, project (1-gamma), multiply by U_mu(x).
+           side 1: backward, project (1+gamma), multiply by U^dag. *)
+        let sign = if side = 0 then -1. else 1. in
+        let nb =
+          (if side = 0 then Array.unsafe_get t.src_fwd (xb4 + mu)
+           else Array.unsafe_get t.src_bwd (xb4 + mu))
+          * floats_per_site
+        in
+        let ub =
+          if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
+          else Array.unsafe_get t.gauge_bwd (xb4 + mu)
+        in
+        for c = 0 to 2 do
+          let o0 = nb + (c * 2) in
+          let opa = nb + (((pa * 3) + c) * 2) in
+          let s0r = Array1.unsafe_get src o0
+          and s0i = Array1.unsafe_get src (o0 + 1) in
+          let sar = Array1.unsafe_get src opa
+          and sai = Array1.unsafe_get src (opa + 1) in
+          h0.(c * 2) <- s0r +. (sign *. ((p0r *. sar) -. (p0i *. sai)));
+          h0.((c * 2) + 1) <- s0i +. (sign *. ((p0r *. sai) +. (p0i *. sar)));
+          let o1 = nb + ((3 + c) * 2) in
+          let opb = nb + (((pb * 3) + c) * 2) in
+          let s1r = Array1.unsafe_get src o1
+          and s1i = Array1.unsafe_get src (o1 + 1) in
+          let sbr = Array1.unsafe_get src opb
+          and sbi = Array1.unsafe_get src (opb + 1) in
+          h1.(c * 2) <- s1r +. (sign *. ((p1r *. sbr) -. (p1i *. sbi)));
+          h1.((c * 2) + 1) <- s1i +. (sign *. ((p1r *. sbi) +. (p1i *. sbr)))
+        done;
+        for row = 0 to 2 do
+          let r0 = ref 0. and i0 = ref 0. and r1 = ref 0. and i1 = ref 0. in
+          for k = 0 to 2 do
+            let e =
+              if side = 0 then ub + (2 * ((3 * row) + k))
+              else ub + (2 * ((3 * k) + row))
+            in
+            let ur = Array1.unsafe_get t.gauge e in
+            let ui =
+              if side = 0 then Array1.unsafe_get t.gauge (e + 1)
+              else -.Array1.unsafe_get t.gauge (e + 1)
+            in
+            let h0r = h0.(k * 2) and h0i = h0.((k * 2) + 1) in
+            r0 := !r0 +. ((ur *. h0r) -. (ui *. h0i));
+            i0 := !i0 +. ((ur *. h0i) +. (ui *. h0r));
+            let h1r = h1.(k * 2) and h1i = h1.((k * 2) + 1) in
+            r1 := !r1 +. ((ur *. h1r) -. (ui *. h1i));
+            i1 := !i1 +. ((ur *. h1i) +. (ui *. h1r))
+          done;
+          g0.(row * 2) <- !r0;
+          g0.((row * 2) + 1) <- !i0;
+          g1.(row * 2) <- !r1;
+          g1.((row * 2) + 1) <- !i1
+        done;
+        (* Reconstruct: spin0 += g0, spin1 += g1,
+           spin pa += sign*conj(p0)*g0, spin pb += sign*conj(p1)*g1
+           (for b = (1 + sign*gamma) a, b_partner = sign*conj(ph)*b). *)
+        let rs = sign in
+        for c = 0 to 2 do
+          let gr = g0.(c * 2) and gi = g0.((c * 2) + 1) in
+          acc.(c * 2) <- acc.(c * 2) +. gr;
+          acc.((c * 2) + 1) <- acc.((c * 2) + 1) +. gi;
+          let oa = ((pa * 3) + c) * 2 in
+          acc.(oa) <- acc.(oa) +. (rs *. ((p0r *. gr) +. (p0i *. gi)));
+          acc.(oa + 1) <- acc.(oa + 1) +. (rs *. ((p0r *. gi) -. (p0i *. gr)));
+          let hr = g1.(c * 2) and hi = g1.((c * 2) + 1) in
+          let o1 = (3 + c) * 2 in
+          acc.(o1) <- acc.(o1) +. hr;
+          acc.(o1 + 1) <- acc.(o1 + 1) +. hi;
+          let ob = ((pb * 3) + c) * 2 in
+          acc.(ob) <- acc.(ob) +. (rs *. ((p1r *. hr) +. (p1i *. hi)));
+          acc.(ob + 1) <- acc.(ob + 1) +. (rs *. ((p1r *. hi) -. (p1i *. hr)))
+        done
+      done
+    done;
+    let db = x * floats_per_site in
+    for k = 0 to floats_per_site - 1 do
+      Array1.unsafe_set dst (db + k) acc.(k)
+    done
+  in
+  match sites with
+  | None ->
+    for x = 0 to t.n_sites - 1 do
+      do_site x
+    done
+  | Some sites -> Array.iter do_site sites
+
+let hop t ~src ~dst = hop_sites t ~src ~dst ()
+
+(* Full Wilson operator: M psi = (4 + mass) psi - (1/2) H psi.
+   src and dst must not alias. *)
+let apply t ~mass ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =
+  hop t ~src ~dst;
+  let d = 4. +. mass in
+  for i = 0 to (t.n_sites * floats_per_site) - 1 do
+    Array1.unsafe_set dst i
+      ((d *. Array1.unsafe_get src i) -. (0.5 *. Array1.unsafe_get dst i))
+  done
+
+(* M^dag = gamma5 M gamma5 (gamma5-hermiticity of the Wilson operator). *)
+let apply_dagger t ~mass ~src ~dst =
+  let tmp = Linalg.Field.create (Linalg.Field.length src) in
+  Gamma.apply_gamma5 src tmp;
+  let out = Linalg.Field.create (Linalg.Field.length dst) in
+  apply t ~mass ~src:tmp ~dst:out;
+  Gamma.apply_gamma5 out dst

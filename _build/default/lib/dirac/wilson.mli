@@ -1,0 +1,33 @@
+(** Wilson hopping stencil and operator. One table-driven kernel serves
+    the full-volume, domain-decomposed and checkerboarded cases. *)
+
+type t
+
+val floats_per_site : int
+
+val of_geometry : Lattice.Geometry.t -> Lattice.Gauge.t -> t
+(** Full-volume operator; source and destination are volume×24 floats. *)
+
+val of_domain_rank : Lattice.Domain.rank_geometry -> Linalg.Field.t -> t
+(** Rank-local operator; the source must cover the extended volume
+    (ghost slots filled by halo exchange), gauge from
+    [Lattice.Domain.gather_gauge]. *)
+
+val of_checkerboard : Lattice.Geometry.t -> Lattice.Gauge.t -> parity:int -> t
+(** Hopping from the opposite parity onto sites of [parity]; fields are
+    indexed by checkerboard (eo) index, half_volume×24 floats. *)
+
+val hop : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** dst <- H src (the full hopping sum). No aliasing. *)
+
+val hop_sites :
+  t -> ?sites:int array -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit -> unit
+(** Restrict the stencil to [sites] (interior/boundary split for
+    communication overlap). *)
+
+val apply : t -> mass:float -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** Full Wilson operator M = (4 + mass) − H/2. No aliasing. *)
+
+val apply_dagger :
+  t -> mass:float -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** M† = gamma5·M·gamma5. *)

@@ -1,0 +1,1 @@
+lib/jobman/cluster.ml: Array Float Fun List Util

@@ -1,0 +1,1 @@
+lib/jobman/cluster.mli: Util

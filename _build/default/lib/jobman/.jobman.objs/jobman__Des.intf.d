@@ -1,0 +1,1 @@
+lib/jobman/des.mli:

@@ -1,0 +1,1 @@
+lib/jobman/failures.ml: Array Des List Queue Util

@@ -1,0 +1,1 @@
+lib/jobman/failures.mli: Util

@@ -1,0 +1,1 @@
+lib/jobman/pipeline.ml: Des Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/jobman/pipeline.mli: Util

@@ -1,0 +1,1 @@
+lib/jobman/placement.ml: Array Float List

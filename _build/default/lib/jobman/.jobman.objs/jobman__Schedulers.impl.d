@@ -1,0 +1,1 @@
+lib/jobman/schedulers.ml: Array Cluster Des List Queue Task

@@ -1,0 +1,1 @@
+lib/jobman/schedulers.mli: Cluster Task

@@ -1,0 +1,1 @@
+lib/jobman/startup.mli: Util

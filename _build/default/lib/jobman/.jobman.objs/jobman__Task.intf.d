@@ -1,0 +1,1 @@
+lib/jobman/task.mli: Util

@@ -1,0 +1,46 @@
+(** Cluster resource model: nodes with GPUs, CPU slots and a per-node
+    speed factor (the heterogeneity behind naive bundling's idle
+    waste). Tracks allocation integrals for utilization accounting. *)
+
+type node = {
+  id : int;
+  gpus : int;
+  cpus : int;
+  speed : float;
+  mutable free_gpus : int;
+  mutable free_cpus : int;
+}
+
+type t
+
+val create :
+  n_nodes:int ->
+  gpus_per_node:int ->
+  cpus_per_node:int ->
+  ?jitter:float ->
+  Util.Rng.t ->
+  t
+(** [jitter] is the relative sigma of per-node speed (0 = homogeneous). *)
+
+val n_nodes : t -> int
+
+val account : t -> time:float -> unit
+(** Advance the utilization integrals; called by allocate/release. *)
+
+val find_free_nodes : ?contiguous:bool -> t -> int -> int array option
+(** First [n] fully-free nodes; [contiguous] requires one consecutive
+    run (mpi_jm blocks vs METAQ scatter). *)
+
+val allocate_nodes : t -> time:float -> int array -> unit
+(** @raise Invalid_argument if any node is busy. *)
+
+val release_nodes : t -> time:float -> int array -> unit
+
+val allocation_speed : t -> int array -> float
+(** Slowest node gates a tightly-coupled job. *)
+
+val locality_factor : t -> int array -> float
+(** ≤ 1; penalty for scattered allocations (fragmentation). *)
+
+val utilization : t -> makespan:float -> float
+(** Allocation-based: node-time held / (nodes × makespan). *)

@@ -1,0 +1,50 @@
+(* Minimal discrete-event simulation engine: a time-ordered event
+   queue with deterministic tie-breaking (FIFO by insertion sequence),
+   driving the job-management experiments. *)
+
+module Key = struct
+  type t = float * int  (* time, sequence *)
+
+  let compare (t1, s1) (t2, s2) =
+    match compare t1 t2 with 0 -> compare s1 s2 | c -> c
+end
+
+module Pq = Map.Make (Key)
+
+type t = {
+  mutable queue : (unit -> unit) Pq.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable events_run : int;
+}
+
+let create () = { queue = Pq.empty; clock = 0.; seq = 0; events_run = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock -. 1e-9 then invalid_arg "Des.schedule_at: time in the past";
+  t.queue <- Pq.add (Float.max time t.clock, t.seq) f t.queue;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Pq.min_binding_opt t.queue with
+  | None -> false
+  | Some ((time, _seq) as key, f) ->
+    t.queue <- Pq.remove key t.queue;
+    t.clock <- time;
+    t.events_run <- t.events_run + 1;
+    f ();
+    true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let events_run t = t.events_run
+let pending t = Pq.cardinal t.queue

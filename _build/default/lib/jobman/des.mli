@@ -1,0 +1,22 @@
+(** Minimal discrete-event simulation engine: time-ordered event queue
+    with deterministic FIFO tie-breaking. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the past. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delay. *)
+
+val step : t -> bool
+(** Run one event; false when the queue is empty. *)
+
+val run : t -> unit
+(** Run to exhaustion. *)
+
+val events_run : t -> int
+val pending : t -> int

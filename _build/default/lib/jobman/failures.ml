@@ -1,0 +1,106 @@
+(* Failure propagation through lumps. The paper (Sec. V): "we found
+   that a call to MPI_Abort in a disconnected job still brings the
+   entire lump down (in violation of the MPI standard), but fortunately
+   not the entire system. This led us to use relatively small lump
+   sizes on new systems that may be suffering from pre-acceptance
+   issues."
+
+   This experiment quantifies that choice: tasks abort with some
+   probability; an abort kills the whole lump (its running tasks are
+   requeued onto surviving lumps, its nodes are lost for the rest of
+   the allocation). Large lumps lose more capacity per abort; tiny
+   lumps waste scheduling flexibility. *)
+
+type outcome = {
+  lump_nodes : int;
+  makespan : float;
+  lumps_lost : int;
+  nodes_lost : int;
+  tasks_requeued : int;
+  completed : int;
+  capacity_left : float;  (* fraction of nodes alive at the end *)
+}
+
+type lump = {
+  id : int;
+  mutable alive : bool;
+  mutable free_nodes : int;
+  mutable running : (int * int) list;  (* (task id, nodes) *)
+}
+
+let run ?(abort_prob = 0.01) ~n_nodes ~lump_nodes ~job_nodes ~n_tasks ~duration
+    rng =
+  if lump_nodes < job_nodes then invalid_arg "Failures.run: lump smaller than job";
+  let des = Des.create () in
+  let n_lumps = n_nodes / lump_nodes in
+  let lumps =
+    Array.init n_lumps (fun id -> { id; alive = true; free_nodes = lump_nodes; running = [] })
+  in
+  let queue = Queue.create () in
+  for i = 0 to n_tasks - 1 do
+    Queue.add i queue
+  done;
+  let completed = ref 0 in
+  let requeued = ref 0 in
+  let lumps_lost = ref 0 in
+  let rec try_start () =
+    if not (Queue.is_empty queue) then begin
+      match
+        Array.find_opt (fun l -> l.alive && l.free_nodes >= job_nodes) lumps
+      with
+      | None -> ()
+      | Some l ->
+        let task = Queue.pop queue in
+        l.free_nodes <- l.free_nodes - job_nodes;
+        l.running <- (task, job_nodes) :: l.running;
+        let dur = duration *. Util.Rng.uniform rng ~lo:0.85 ~hi:1.15 in
+        Des.schedule des ~delay:dur (fun () ->
+            if l.alive && List.mem_assoc task l.running then begin
+              l.running <- List.remove_assoc task l.running;
+              if Util.Rng.float rng < abort_prob then begin
+                (* MPI_Abort: the whole lump goes down *)
+                l.alive <- false;
+                incr lumps_lost;
+                (* this task is lost too: requeue it and the others *)
+                Queue.add task queue;
+                incr requeued;
+                List.iter
+                  (fun (t', _) ->
+                    Queue.add t' queue;
+                    incr requeued)
+                  l.running;
+                l.running <- []
+              end
+              else begin
+                incr completed;
+                l.free_nodes <- l.free_nodes + job_nodes
+              end;
+              try_start ()
+            end);
+        try_start ()
+    end
+  in
+  try_start ();
+  Des.run des;
+  let alive_nodes =
+    Array.fold_left (fun a l -> a + (if l.alive then lump_nodes else 0)) 0 lumps
+  in
+  {
+    lump_nodes;
+    makespan = Des.now des;
+    lumps_lost = !lumps_lost;
+    nodes_lost = n_nodes - alive_nodes;
+    tasks_requeued = !requeued;
+    completed = !completed;
+    capacity_left = float_of_int alive_nodes /. float_of_int n_nodes;
+  }
+
+(* Sweep lump sizes under the same failure rate: the paper's rationale
+   for small lumps. *)
+let lump_size_sweep ?(abort_prob = 0.01) ~n_nodes ~job_nodes ~n_tasks ~duration
+    ~lump_sizes rng =
+  List.map
+    (fun lump_nodes ->
+      run ~abort_prob ~n_nodes ~lump_nodes ~job_nodes ~n_tasks ~duration
+        (Util.Rng.split rng))
+    lump_sizes

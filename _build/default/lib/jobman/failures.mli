@@ -1,0 +1,36 @@
+(** Failure propagation through lumps: an MPI_Abort kills the whole
+    lump (Sec. V), so lump size trades scheduling convenience against
+    blast radius on flaky systems. *)
+
+type outcome = {
+  lump_nodes : int;
+  makespan : float;
+  lumps_lost : int;
+  nodes_lost : int;
+  tasks_requeued : int;
+  completed : int;
+  capacity_left : float;
+}
+
+val run :
+  ?abort_prob:float ->
+  n_nodes:int ->
+  lump_nodes:int ->
+  job_nodes:int ->
+  n_tasks:int ->
+  duration:float ->
+  Util.Rng.t ->
+  outcome
+(** Tasks abort with [abort_prob] on completion; the lump's running
+    tasks requeue onto survivors, its nodes are lost.
+    @raise Invalid_argument if the lump is smaller than a job. *)
+
+val lump_size_sweep :
+  ?abort_prob:float ->
+  n_nodes:int ->
+  job_nodes:int ->
+  n_tasks:int ->
+  duration:float ->
+  lump_sizes:int list ->
+  Util.Rng.t ->
+  outcome list

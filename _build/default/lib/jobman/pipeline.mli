@@ -1,0 +1,32 @@
+(** Dependency-aware campaign pipeline: contractions consume
+    propagators; co-scheduling them on busy nodes' CPUs removes their
+    allocation cost entirely (Sec. VI: "their cost is brought to
+    zero"). *)
+
+type task = {
+  id : int;
+  nodes : int;
+  duration : float;
+  deps : int list;
+  cpu_only : bool;
+}
+
+val campaign :
+  ?batch:int -> n_props:int -> prop_nodes:int -> duration:float -> Util.Rng.t -> task list
+(** One contraction (3% of the batch's propagator node-seconds) per
+    [batch] propagators, depending on them. *)
+
+type outcome = {
+  mode : string;
+  makespan : float;
+  gpu_work : float;
+  billed : float;  (** node-seconds of allocation consumed *)
+  contraction_overhead : float;  (** billed − gpu_work *)
+  completed : int;
+}
+
+val run :
+  mode:[ `Coscheduled | `Separate ] -> n_nodes:int -> tasks:task list -> outcome
+
+val compare_modes : n_nodes:int -> tasks:task list -> outcome * outcome
+(** (separate, co-scheduled). *)

@@ -1,0 +1,23 @@
+(** GPU-granular job placement (Sec. VII): overlay jobs on nodes at GPU
+    granularity, e.g. three 16-GPU jobs on 8 six-GPU Summit nodes. *)
+
+type job_placement = {
+  job : int;
+  nodes_used : int;
+  gpus_per_node_used : int;
+  efficiency : float;  (** 1.0 = dense placement *)
+}
+
+val placement_efficiency : gpus_per_node_used:int -> gpus_per_node:int -> float
+(** Sparse placements pay for extra inter-node traffic per GPU. *)
+
+val place :
+  n_jobs:int ->
+  gpus_per_job:int ->
+  nodes:int ->
+  gpus_per_node:int ->
+  job_placement list option
+(** Greedy densest-first placement; [None] if capacity is exceeded or
+    no divisor-compatible layout exists. *)
+
+val aggregate_efficiency : job_placement list -> float

@@ -1,0 +1,194 @@
+(* The three job-management strategies compared in the paper:
+
+   - [naive]: bundle tasks into fixed groups, launch each group
+     simultaneously and wait for ALL members before starting the next
+     ("simply collecting and simultaneously launching HPC steps") —
+     the paper measured 20-25% idling from this.
+   - [metaq]: METAQ-style backfilling: whenever nodes free up, start
+     the next queued task that fits. Hardware-agnostic: allocations
+     may be scattered, so tightly-coupled jobs pay a locality penalty
+     and the pool fragments over time.
+   - [mpi_jm]: lumps are subdivided into blocks whose size is a
+     multiple of the job size; jobs are placed inside blocks, so
+     allocations stay contiguous and fragmentation never builds up.
+     CPU-only contractions co-schedule onto nodes whose GPUs are busy,
+     making their cost effectively zero. *)
+
+type outcome = {
+  strategy : string;
+  makespan : float;
+  utilization : float;  (* productive node-time / (nodes x makespan) *)
+  allocated_fraction : float;  (* allocation-based (nodes held) *)
+  ideal_time : float;  (* total work / nodes: perfect-packing bound *)
+  idle_fraction : float;
+  tasks_completed : int;
+}
+
+(* [productive] = sum over executed tasks of (actual runtime x nodes).
+   Under naive bundling nodes stay ALLOCATED after their task finishes
+   until the whole bundle completes — that allocated-but-idle time is
+   precisely the paper's 20-25% waste, so utilization must be measured
+   on productive time, not allocation. *)
+let finish ~strategy ~cluster ~makespan ~tasks ~productive =
+  let nodes = float_of_int (Cluster.n_nodes cluster) in
+  let ideal_time = Task.total_work tasks /. nodes in
+  let utilization = if makespan > 0. then productive /. (makespan *. nodes) else 0. in
+  {
+    strategy;
+    makespan;
+    utilization;
+    allocated_fraction = Cluster.utilization cluster ~makespan;
+    ideal_time;
+    idle_fraction = 1. -. utilization;
+    tasks_completed = List.length tasks;
+  }
+
+(* ---- naive bundling ---- *)
+
+let naive ~cluster ~tasks =
+  let des = Des.create () in
+  let productive = ref 0. in
+  let queue = Queue.create () in
+  List.iter (fun t -> Queue.add t queue) tasks;
+  let rec launch_bundle () =
+    if not (Queue.is_empty queue) then begin
+      (* fill the machine with as many whole-task allocations as fit *)
+      let bundle = ref [] in
+      let exception Stop in
+      (try
+         while not (Queue.is_empty queue) do
+           let t = Queue.peek queue in
+           match Cluster.find_free_nodes cluster t.Task.nodes with
+           | Some ids ->
+             ignore (Queue.pop queue);
+             Cluster.allocate_nodes cluster ~time:(Des.now des) ids;
+             bundle := (t, ids) :: !bundle
+           | None -> raise Stop
+         done
+       with Stop -> ());
+      (* run all; release only when the whole bundle is done *)
+      let remaining = ref (List.length !bundle) in
+      List.iter
+        (fun ((t : Task.t), ids) ->
+          let speed = Cluster.allocation_speed cluster ids in
+          let runtime = t.Task.base_duration /. speed in
+          productive := !productive +. (runtime *. float_of_int t.Task.nodes);
+          Des.schedule des ~delay:runtime (fun () ->
+              decr remaining;
+              if !remaining = 0 then begin
+                (* bundle barrier: everyone releases together *)
+                List.iter
+                  (fun (_, ids) ->
+                    Cluster.release_nodes cluster ~time:(Des.now des) ids)
+                  !bundle;
+                launch_bundle ()
+              end))
+        !bundle
+    end
+  in
+  launch_bundle ();
+  Des.run des;
+  finish ~strategy:"naive bundling" ~cluster ~makespan:(Des.now des) ~tasks
+    ~productive:!productive
+
+(* ---- METAQ backfilling ---- *)
+
+let metaq ?(locality_penalty = true) ~cluster ~tasks () =
+  let des = Des.create () in
+  let productive = ref 0. in
+  let queue = Queue.create () in
+  List.iter (fun t -> Queue.add t queue) tasks;
+  let completed = ref 0 in
+  let rec try_start () =
+    (* first-fit from the head of the queue; scattered nodes allowed *)
+    if not (Queue.is_empty queue) then begin
+      let t = Queue.peek queue in
+      match Cluster.find_free_nodes cluster t.Task.nodes with
+      | None -> ()
+      | Some ids ->
+        ignore (Queue.pop queue);
+        Cluster.allocate_nodes cluster ~time:(Des.now des) ids;
+        let speed = Cluster.allocation_speed cluster ids in
+        let loc = if locality_penalty then Cluster.locality_factor cluster ids else 1. in
+        let runtime = t.Task.base_duration /. (speed *. loc) in
+        (* the locality slowdown is lost time, not productive work *)
+        productive :=
+          !productive +. (t.Task.base_duration /. speed *. float_of_int t.Task.nodes);
+        Des.schedule des ~delay:runtime (fun () ->
+            Cluster.release_nodes cluster ~time:(Des.now des) ids;
+            incr completed;
+            try_start ());
+        try_start ()
+    end
+  in
+  try_start ();
+  Des.run des;
+  finish ~strategy:"METAQ backfill" ~cluster ~makespan:(Des.now des) ~tasks
+    ~productive:!productive
+
+(* ---- mpi_jm ---- *)
+
+(* Blocks of [block_nodes] (a multiple of the largest job) partition
+   the cluster; a job is placed inside a single block, keeping its
+   nodes close. Contractions co-schedule on busy nodes' CPUs. *)
+let mpi_jm ?(block_nodes = 8) ~cluster ~tasks () =
+  let des = Des.create () in
+  let productive = ref 0. in
+  let n_blocks = Cluster.n_nodes cluster / block_nodes in
+  (* free node ids per block; nodes of one block are consecutive, so
+     any subset stays local *)
+  let block_free =
+    Array.init n_blocks (fun b ->
+        ref (List.init block_nodes (fun i -> (b * block_nodes) + i)))
+  in
+  let queue = Queue.create () in
+  let cpu_queue = Queue.create () in
+  List.iter
+    (fun (t : Task.t) ->
+      match t.Task.kind with
+      | Task.Propagator -> Queue.add t queue
+      | Task.Contraction -> Queue.add t cpu_queue)
+    tasks;
+  let completed = ref 0 in
+  (* Contractions are absorbed by co-scheduling: they run on the CPUs
+     of nodes busy with propagators, consuming no node allocations.
+     (The GPUs never wait on them; Sec. VI measures their cost as
+     fully amortized.) We count them done as their data dependencies
+     (one batch per few propagators) complete. *)
+  let rec try_start () =
+    if not (Queue.is_empty queue) then begin
+      let t = Queue.peek queue in
+      (* find a block with room *)
+      let blk = ref (-1) in
+      for b = n_blocks - 1 downto 0 do
+        if List.length !(block_free.(b)) >= t.Task.nodes then blk := b
+      done;
+      if !blk >= 0 then begin
+        ignore (Queue.pop queue);
+        let b = !blk in
+        let free = !(block_free.(b)) in
+        let ids = Array.of_list (List.filteri (fun i _ -> i < t.Task.nodes) free) in
+        block_free.(b) :=
+          List.filteri (fun i _ -> i >= t.Task.nodes) free;
+        Cluster.allocate_nodes cluster ~time:(Des.now des) ids;
+        let speed = Cluster.allocation_speed cluster ids in
+        let runtime = t.Task.base_duration /. speed in
+        productive := !productive +. (runtime *. float_of_int t.Task.nodes);
+        Des.schedule des ~delay:runtime (fun () ->
+            Cluster.release_nodes cluster ~time:(Des.now des) ids;
+            block_free.(b) := Array.to_list ids @ !(block_free.(b));
+            incr completed;
+            (* a contraction rides along for free *)
+            if not (Queue.is_empty cpu_queue) then ignore (Queue.pop cpu_queue);
+            try_start ());
+        try_start ()
+      end
+    end
+  in
+  try_start ();
+  Des.run des;
+  (* contraction work was absorbed: count it in "tasks" for the ideal
+     bound only via propagators actually allocated *)
+  let prop_tasks = List.filter (fun t -> t.Task.kind = Task.Propagator) tasks in
+  finish ~strategy:"mpi_jm" ~cluster ~makespan:(Des.now des) ~tasks:prop_tasks
+    ~productive:!productive

@@ -1,0 +1,30 @@
+(** Startup-time model: monolithic mpirun (super-linear wireup, fails
+    on any bad node) vs mpi_jm lumps (parallel launch, DPM connect,
+    failed lumps dropped). Sec. V: 4224 Sierra nodes in 3–5 minutes. *)
+
+type params = {
+  base_s : float;
+  per_node_s : float;
+  super_linear_s : float;
+  connect_s : float;
+  schedule_s : float;
+  node_failure_prob : float;
+}
+
+val default : params
+
+val monolithic_attempt : params -> nodes:int -> float
+(** One attempt's wall time. *)
+
+val monolithic : params -> nodes:int -> float * float
+(** (expected total including restarts, expected attempts). *)
+
+type lump_result = {
+  total_s : float;
+  lumps : int;
+  lumps_failed : int;
+  nodes_lost : int;
+  usable_nodes : int;
+}
+
+val mpi_jm : ?params:params -> nodes:int -> lump_nodes:int -> Util.Rng.t -> lump_result

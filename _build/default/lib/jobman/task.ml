@@ -1,0 +1,44 @@
+(* Workload description: the intermediate-sized tasks of a lattice
+   campaign (Sec. V). Propagator solves want whole nodes' GPUs for
+   minutes; contractions are CPU-only; durations vary task-to-task
+   (different sources, different CG iteration counts), which is what
+   naive bundling wastes time on. *)
+
+type kind = Propagator | Contraction
+
+type t = {
+  id : int;
+  kind : kind;
+  nodes : int;  (* whole nodes required (GPU tasks) *)
+  base_duration : float;  (* seconds on a speed-1.0 allocation *)
+}
+
+let kind_name = function Propagator -> "propagator" | Contraction -> "contraction"
+
+(* A campaign: [n] propagator solves of [nodes] nodes each, with
+   durations spread by [spread] (relative sigma, lognormal-ish), plus
+   one CPU contraction task per [contraction_every] propagators.
+   Contractions cost ~3% of a propagator (Sec. VI). *)
+let campaign ?(spread = 0.2) ?(contraction_every = 4) ~n ~nodes ~duration rng =
+  let tasks = ref [] in
+  let id = ref 0 in
+  for i = 0 to n - 1 do
+    let d = duration *. exp (Util.Rng.gaussian_sigma rng ~mu:0. ~sigma:spread) in
+    tasks := { id = !id; kind = Propagator; nodes; base_duration = d } :: !tasks;
+    incr id;
+    if (i + 1) mod contraction_every = 0 then begin
+      tasks :=
+        {
+          id = !id;
+          kind = Contraction;
+          nodes = 1;
+          base_duration = duration *. 0.03 *. float_of_int contraction_every;
+        }
+        :: !tasks;
+      incr id
+    end
+  done;
+  List.rev !tasks
+
+let total_work tasks =
+  List.fold_left (fun acc t -> acc +. (t.base_duration *. float_of_int t.nodes)) 0. tasks

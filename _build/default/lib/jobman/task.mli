@@ -1,0 +1,28 @@
+(** Workload description: propagator solves (GPU, whole nodes, minutes,
+    varying durations) and contraction batches (CPU-only). *)
+
+type kind = Propagator | Contraction
+
+type t = {
+  id : int;
+  kind : kind;
+  nodes : int;
+  base_duration : float;  (** seconds on a speed-1.0 allocation *)
+}
+
+val kind_name : kind -> string
+
+val campaign :
+  ?spread:float ->
+  ?contraction_every:int ->
+  n:int ->
+  nodes:int ->
+  duration:float ->
+  Util.Rng.t ->
+  t list
+(** [n] propagator tasks of [nodes] nodes with lognormal-ish duration
+    spread, one contraction (≈3% of a propagator × batch) per
+    [contraction_every]. *)
+
+val total_work : t list -> float
+(** Σ duration × nodes. *)

@@ -1,0 +1,1 @@
+lib/lattice/domain.ml: Array Bigarray Gauge Geometry Linalg

@@ -1,0 +1,1 @@
+lib/lattice/domain.mli: Gauge Geometry Linalg

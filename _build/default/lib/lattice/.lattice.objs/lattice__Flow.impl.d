@@ -1,0 +1,1 @@
+lib/lattice/flow.ml: Array Float Gauge Geometry Linalg List Observables Smear

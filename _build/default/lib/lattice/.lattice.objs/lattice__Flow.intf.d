@@ -1,0 +1,1 @@
+lib/lattice/flow.mli: Gauge

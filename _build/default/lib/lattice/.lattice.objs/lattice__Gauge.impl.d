@@ -1,0 +1,1 @@
+lib/lattice/gauge.ml: Array Array1 Bigarray Geometry Linalg

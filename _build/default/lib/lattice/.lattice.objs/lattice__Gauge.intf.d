@@ -1,0 +1,1 @@
+lib/lattice/gauge.mli: Geometry Linalg Util

@@ -1,0 +1,1 @@
+lib/lattice/geometry.ml: Array

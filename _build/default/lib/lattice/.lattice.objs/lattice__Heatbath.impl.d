@@ -1,0 +1,1 @@
+lib/lattice/heatbath.ml: Array Float Gauge Geometry Linalg List Util

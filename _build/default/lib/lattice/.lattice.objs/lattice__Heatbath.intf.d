@@ -1,0 +1,1 @@
+lib/lattice/heatbath.mli: Gauge Geometry Util

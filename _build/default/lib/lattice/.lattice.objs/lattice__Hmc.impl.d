@@ -1,0 +1,1 @@
+lib/lattice/hmc.ml: Array Float Gauge Geometry Linalg Smear Util

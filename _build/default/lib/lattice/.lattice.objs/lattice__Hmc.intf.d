@@ -1,0 +1,1 @@
+lib/lattice/hmc.mli: Gauge Geometry Linalg Util

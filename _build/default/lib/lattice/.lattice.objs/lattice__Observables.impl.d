@@ -1,0 +1,1 @@
+lib/lattice/observables.ml: Array Float Gauge Geometry Linalg

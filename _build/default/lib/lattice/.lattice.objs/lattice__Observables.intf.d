@@ -1,0 +1,1 @@
+lib/lattice/observables.mli: Gauge Linalg

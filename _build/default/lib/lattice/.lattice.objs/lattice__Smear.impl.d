@@ -1,0 +1,1 @@
+lib/lattice/smear.ml: Array Gauge Geometry Linalg

@@ -1,0 +1,1 @@
+lib/lattice/smear.mli: Gauge Linalg

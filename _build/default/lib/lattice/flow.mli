@@ -1,0 +1,11 @@
+(** Wilson (gradient) flow with the Lüscher RK3 integrator — the
+    smoothing used to prepare production gauge fields, and the
+    t²⟨E⟩ scale-setting observable. *)
+
+val step : ?eps:float -> Gauge.t -> Gauge.t
+(** One RK3 step of flow time [eps] (default 0.02). *)
+
+type history = { t : float; plaquette : float; t2e : float }
+
+val flow : ?eps:float -> t_max:float -> Gauge.t -> Gauge.t * history list
+(** Integrate to [t_max], recording the trajectory. *)

@@ -1,0 +1,146 @@
+(* Gauge field U_mu(x): one SU(3) matrix per site and direction, stored
+   flat as volume * 4 * 18 floats in a Bigarray so views interoperate
+   with Linalg.Su3 (same 18-float layout). *)
+
+open Bigarray
+
+type t = {
+  geom : Geometry.t;
+  data : (float, float64_elt, c_layout) Array1.t;
+}
+
+let link_floats = 18
+
+let base _t site mu = ((site * Geometry.n_dim) + mu) * link_floats
+
+let create geom =
+  let n = Geometry.volume geom * Geometry.n_dim * link_floats in
+  let data = Array1.create float64 c_layout n in
+  Array1.fill data 0.;
+  { geom; data }
+
+let geom t = t.geom
+let data t = t.data
+
+let get t site mu =
+  let b = base t site mu in
+  Array.init link_floats (fun i -> Array1.unsafe_get t.data (b + i))
+
+let set t site mu (m : Linalg.Su3.t) =
+  let b = base t site mu in
+  for i = 0 to link_floats - 1 do
+    Array1.unsafe_set t.data (b + i) m.(i)
+  done
+
+let copy t =
+  let fresh = create t.geom in
+  Array1.blit t.data fresh.data;
+  fresh
+
+let unit geom =
+  let t = create geom in
+  let one = Linalg.Su3.id () in
+  Geometry.iter_sites geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        set t site mu one
+      done);
+  t
+
+let random geom rng =
+  let t = create geom in
+  Geometry.iter_sites geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        set t site mu (Linalg.Su3.random rng)
+      done);
+  t
+
+let warm geom rng ~eps =
+  let t = create geom in
+  Geometry.iter_sites geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        set t site mu (Linalg.Su3.random_near_identity rng ~eps)
+      done);
+  t
+
+let reunitarize t =
+  Geometry.iter_sites t.geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        set t site mu (Linalg.Su3.reunitarize (get t site mu))
+      done)
+
+(* Plaquette U_mu(x) U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag. *)
+let plaquette t site mu nu =
+  let g = t.geom in
+  let u1 = get t site mu in
+  let u2 = get t (Geometry.fwd g site mu) nu in
+  let u3 = Linalg.Su3.adj (get t (Geometry.fwd g site nu) mu) in
+  let u4 = Linalg.Su3.adj (get t site nu) in
+  Linalg.Su3.(mul (mul u1 u2) (mul u3 u4))
+
+(* Average plaquette normalized so that the cold (unit) configuration
+   gives 1: <(1/3) Re Tr P>. *)
+let average_plaquette t =
+  let acc = ref 0. in
+  let count = ref 0 in
+  Geometry.iter_sites t.geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 2 do
+        for nu = mu + 1 to Geometry.n_dim - 1 do
+          acc := !acc +. Linalg.Su3.re_trace (plaquette t site mu nu);
+          incr count
+        done
+      done);
+  !acc /. (3. *. float_of_int !count)
+
+(* Wilson action S = beta * sum_p (1 - (1/3) Re Tr U_p). *)
+let wilson_action t ~beta =
+  let n_plaq = Geometry.volume t.geom * 6 in
+  beta *. float_of_int n_plaq *. (1. -. average_plaquette t)
+
+(* Staple sum A such that the link-local Wilson action is
+   -(beta/3) Re Tr (U_mu(x) A). Six staples: for each nu <> mu, the
+   forward staple U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag and the
+   backward staple U_nu(x+mu-nu)^dag U_mu(x-nu)^dag U_nu(x-nu). *)
+let staple t site mu =
+  let module M = Linalg.Su3 in
+  let g = t.geom in
+  let acc = ref (M.zero ()) in
+  for nu = 0 to Geometry.n_dim - 1 do
+    if nu <> mu then begin
+      let xpmu = Geometry.fwd g site mu in
+      let xpnu = Geometry.fwd g site nu in
+      let fwd_staple =
+        M.mul (get t xpmu nu)
+          (M.mul (M.adj (get t xpnu mu)) (M.adj (get t site nu)))
+      in
+      let xmnu = Geometry.bwd g site nu in
+      let xpmu_mnu = Geometry.bwd g xpmu nu in
+      let bwd_staple =
+        M.mul (M.adj (get t xpmu_mnu nu))
+          (M.mul (M.adj (get t xmnu mu)) (get t xmnu nu))
+      in
+      acc := M.add !acc (M.add fwd_staple bwd_staple)
+    end
+  done;
+  !acc
+
+(* Fermion antiperiodic boundary condition in time, implemented as a
+   -1 phase on time links leaving the last time slice. Returns a fresh
+   field; the Monte Carlo keeps the periodic original. *)
+let with_antiperiodic_time t =
+  let fresh = copy t in
+  let g = t.geom in
+  Geometry.iter_sites g (fun site ->
+      if Geometry.crosses_boundary_fwd g site 3 then
+        set fresh site 3 (Linalg.Su3.scale (-1.) (get fresh site 3)));
+  fresh
+
+let max_unitarity_violation t =
+  let module M = Linalg.Su3 in
+  let worst = ref 0. in
+  Geometry.iter_sites t.geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        let u = get t site mu in
+        let d = M.frobenius_dist (M.mul u (M.adj u)) (M.id ()) in
+        if d > !worst then worst := d
+      done);
+  !worst

@@ -1,0 +1,47 @@
+(** SU(3) gauge field storage, plaquette observables and staples. *)
+
+type t
+
+val link_floats : int
+
+val create : Geometry.t -> t
+(** Zero field (not a valid gauge configuration — use [unit]/[random]). *)
+
+val geom : t -> Geometry.t
+
+val data : t -> Linalg.Field.t
+(** Raw flat storage, layout [(site·4 + mu)·18 + k]; shared, do not
+    resize. *)
+
+val get : t -> int -> int -> Linalg.Su3.t
+(** [get t site mu] copies link U_mu(site). *)
+
+val set : t -> int -> int -> Linalg.Su3.t -> unit
+val copy : t -> t
+
+val unit : Geometry.t -> t
+(** Cold start: all links = identity. *)
+
+val random : Geometry.t -> Util.Rng.t -> t
+(** Hot start: Haar-spread random links. *)
+
+val warm : Geometry.t -> Util.Rng.t -> eps:float -> t
+(** Links near the identity with spread [eps]. *)
+
+val reunitarize : t -> unit
+
+val plaquette : t -> int -> int -> int -> Linalg.Su3.t
+(** [plaquette t site mu nu] is the elementary plaquette matrix. *)
+
+val average_plaquette : t -> float
+(** Normalized so the cold configuration gives 1. *)
+
+val wilson_action : t -> beta:float -> float
+
+val staple : t -> int -> int -> Linalg.Su3.t
+(** Six-staple sum A with link action −(β/3)·Re Tr(U·A). *)
+
+val with_antiperiodic_time : t -> t
+(** Copy with −1 phases on time links wrapping the lattice (fermion BC). *)
+
+val max_unitarity_violation : t -> float

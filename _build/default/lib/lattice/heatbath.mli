@@ -1,0 +1,30 @@
+(** Quenched SU(3) Monte Carlo: Cabibbo–Marinari heatbath
+    (Kennedy–Pendleton) and microcanonical overrelaxation for the
+    Wilson gauge action. *)
+
+val kennedy_pendleton : Util.Rng.t -> alpha:float -> float
+(** Sample a0 ∈ [−1,1] with density ∝ sqrt(1−a0²)·exp(α·a0). *)
+
+val update_link : Util.Rng.t -> beta:float -> Gauge.t -> int -> int -> unit
+(** Heatbath update of link (site, mu) over all three SU(2) subgroups. *)
+
+val overrelax_link : Gauge.t -> int -> int -> unit
+(** Action-preserving overrelaxation update of one link. *)
+
+val sweep : Util.Rng.t -> beta:float -> Gauge.t -> unit
+(** One heatbath sweep over all links, checkerboard ordered. *)
+
+val overrelax_sweep : Gauge.t -> unit
+
+type schedule = {
+  beta : float;
+  n_thermalize : int;
+  n_decorrelate : int;
+  n_overrelax : int;
+}
+
+val default_schedule : beta:float -> schedule
+
+val generate :
+  Util.Rng.t -> schedule -> Geometry.t -> n_configs:int -> Gauge.t array * float array
+(** [(configurations, plaquette history)]. *)

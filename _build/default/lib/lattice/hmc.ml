@@ -1,0 +1,171 @@
+(* Hybrid Monte Carlo for the pure SU(3) Wilson gauge action: the
+   algorithm family that generated the paper's (dynamical) ensembles,
+   here in its quenched form as an independent cross-check of the
+   heatbath — two different exact algorithms must produce the same
+   plaquette distribution, which the test suite verifies.
+
+   Molecular dynamics in fictitious time with hermitian traceless
+   momenta P(x, mu):
+
+     H(P, U)  = (1/2) sum Tr[P^2] + S_W(U)
+     dU/dtau  = i P U
+     dP/dtau  = -F(U),  F = (beta/6) i [ W - W^dag - (1/3) tr(W - W^dag) ]
+                with W = U * A (A = staple sum)
+
+   integrated by leapfrog and corrected by a Metropolis accept/reject
+   on dH, making the algorithm exact for any step size. *)
+
+module Su3 = Linalg.Su3
+module Cplx = Linalg.Cplx
+
+(* Random hermitian traceless momentum distributed as
+   exp(-Tr P^2 / 2): with P = sum_a x_a T_a and Tr[T_a T_b] =
+   delta_ab/2 the weight is exp(-sum x_a^2 / 4), so the coefficients
+   are Gaussian with sigma = sqrt(2). *)
+let random_momentum rng : Su3.t =
+  let p = Su3.zero () in
+  let x = Array.init 8 (fun _ -> sqrt 2. *. Util.Rng.gaussian rng) in
+  let set r c (v : Cplx.t) =
+    p.(Su3.idx r c) <- p.(Su3.idx r c) +. v.Cplx.re;
+    p.(Su3.idx r c + 1) <- p.(Su3.idx r c + 1) +. v.Cplx.im
+  in
+  let s = 0.5 in
+  (* Gell-Mann basis, lambda_a / 2 normalization *)
+  set 0 1 (Cplx.make (s *. x.(0)) (-.s *. x.(1)));
+  set 1 0 (Cplx.make (s *. x.(0)) (s *. x.(1)));
+  set 0 2 (Cplx.make (s *. x.(3)) (-.s *. x.(4)));
+  set 2 0 (Cplx.make (s *. x.(3)) (s *. x.(4)));
+  set 1 2 (Cplx.make (s *. x.(5)) (-.s *. x.(6)));
+  set 2 1 (Cplx.make (s *. x.(5)) (s *. x.(6)));
+  set 0 0 (Cplx.make (s *. x.(2)) 0.);
+  set 1 1 (Cplx.make (-.s *. x.(2)) 0.);
+  let d = s *. x.(7) /. sqrt 3. in
+  set 0 0 (Cplx.make d 0.);
+  set 1 1 (Cplx.make d 0.);
+  set 2 2 (Cplx.make (-2. *. d) 0.);
+  p
+
+(* Tr[P^2] for hermitian P. *)
+let momentum_action (p : Su3.t) = Su3.re_trace (Su3.mul p p)
+
+(* The MD force for one link: hermitian traceless projection of
+   i (W - W^dag) scaled by beta/6, with W = U A. *)
+let force ~beta field site mu : Su3.t =
+  let u = Gauge.get field site mu in
+  let a = Gauge.staple field site mu in
+  let w = Su3.mul u a in
+  let diff = Su3.sub w (Su3.adj w) in
+  let tr = Su3.trace diff in
+  let third = Cplx.scale (1. /. 3.) tr in
+  let t = Su3.copy diff in
+  for d = 0 to 2 do
+    t.(Su3.idx d d) <- t.(Su3.idx d d) -. third.Cplx.re;
+    t.(Su3.idx d d + 1) <- t.(Su3.idx d d + 1) -. third.Cplx.im
+  done;
+  (* -i * t is hermitian when t is antihermitian; the sign makes
+     Tr(P F) = +dS/dtau so that H is conserved along the flow
+     (Tr[P i(W - W^dag)] = -2 Im Tr[P W]). *)
+  Su3.cscale (Cplx.make 0. (-.beta /. 6.)) t
+
+type momenta = Su3.t array array  (* [site].[mu] *)
+
+let fresh_momenta rng geom : momenta =
+  Array.init (Geometry.volume geom) (fun _ ->
+      Array.init Geometry.n_dim (fun _ -> random_momentum rng))
+
+let kinetic_energy (p : momenta) =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a q -> a +. (0.5 *. momentum_action q)) acc row)
+    0. p
+
+let hamiltonian ~beta field (p : momenta) =
+  kinetic_energy p +. Gauge.wilson_action field ~beta
+
+(* Leapfrog: P half step, (U full, P full)^(n-1), U full, P half. *)
+let leapfrog ~beta ~eps ~steps field (p : momenta) =
+  let geom = Gauge.geom field in
+  let u = Gauge.copy field in
+  let p = Array.map (Array.map Su3.copy) p in
+  let update_p factor =
+    Geometry.iter_sites geom (fun site ->
+        for mu = 0 to Geometry.n_dim - 1 do
+          let f = force ~beta u site mu in
+          p.(site).(mu) <- Su3.sub p.(site).(mu) (Su3.scale (factor *. eps) f)
+        done)
+  in
+  let update_u () =
+    Geometry.iter_sites geom (fun site ->
+        for mu = 0 to Geometry.n_dim - 1 do
+          let rot = Smear.exp_i_herm (Su3.scale eps p.(site).(mu)) in
+          Gauge.set u site mu (Su3.mul rot (Gauge.get u site mu))
+        done)
+  in
+  update_p 0.5;
+  for k = 1 to steps do
+    update_u ();
+    if k < steps then update_p 1.0
+  done;
+  update_p 0.5;
+  (u, p)
+
+type trajectory_result = {
+  field : Gauge.t;  (* the (possibly unchanged) field after the step *)
+  accepted : bool;
+  dh : float;
+  plaquette : float;
+}
+
+(* One HMC trajectory with Metropolis correction. *)
+let trajectory ?(eps = 0.05) ?(steps = 10) ~beta rng field =
+  let p0 = fresh_momenta rng (Gauge.geom field) in
+  let h0 = hamiltonian ~beta field p0 in
+  let u1, p1 = leapfrog ~beta ~eps ~steps field p0 in
+  let h1 = hamiltonian ~beta u1 p1 in
+  let dh = h1 -. h0 in
+  let accept = dh <= 0. || Util.Rng.float rng < exp (-.dh) in
+  let final = if accept then (Gauge.reunitarize u1; u1) else field in
+  {
+    field = final;
+    accepted = accept;
+    dh;
+    plaquette = Gauge.average_plaquette final;
+  }
+
+(* Run [n] trajectories: final field, plaquette history, acceptance. *)
+let run ?(eps = 0.05) ?(steps = 10) ~beta ~n rng field =
+  let u = ref field in
+  let history = Array.make n 0. in
+  let accepted = ref 0 in
+  for i = 0 to n - 1 do
+    let r = trajectory ~eps ~steps ~beta rng !u in
+    if r.accepted then incr accepted;
+    u := r.field;
+    history.(i) <- r.plaquette
+  done;
+  (!u, history, float_of_int !accepted /. float_of_int n)
+
+(* Reversibility diagnostic: integrate forward, flip the momenta,
+   integrate back; returns the maximum link deviation (should be at
+   integrator-roundoff level, independent of eps). *)
+let reversibility ?(eps = 0.05) ?(steps = 10) ~beta rng field =
+  let p0 = fresh_momenta rng (Gauge.geom field) in
+  let u1, p1 = leapfrog ~beta ~eps ~steps field p0 in
+  let p1_flipped = Array.map (Array.map (fun q -> Su3.scale (-1.) q)) p1 in
+  let u2, _ = leapfrog ~beta ~eps ~steps u1 p1_flipped in
+  let geom = Gauge.geom field in
+  let worst = ref 0. in
+  Geometry.iter_sites geom (fun site ->
+      for mu = 0 to Geometry.n_dim - 1 do
+        let d = Su3.frobenius_dist (Gauge.get u2 site mu) (Gauge.get field site mu) in
+        if d > !worst then worst := d
+      done);
+  !worst
+
+(* |dH| for one trajectory at a given step size — the leapfrog is
+   second order, so dH ~ eps^2 at fixed trajectory length. *)
+let dh_at ?(tau = 0.5) ~beta ~eps rng field =
+  let steps = max 1 (int_of_float (Float.round (tau /. eps))) in
+  let p0 = fresh_momenta rng (Gauge.geom field) in
+  let h0 = hamiltonian ~beta field p0 in
+  let u1, p1 = leapfrog ~beta ~eps ~steps field p0 in
+  hamiltonian ~beta u1 p1 -. h0

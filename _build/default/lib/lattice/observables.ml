@@ -1,0 +1,134 @@
+(* Gauge observables beyond the plaquette: Wilson loops (the static
+   quark potential's raw data), the Polyakov loop (deconfinement order
+   parameter), and the clover field strength with its topological
+   charge density. All gauge invariant — the test suite checks that
+   explicitly against random gauge transformations. *)
+
+module Su3 = Linalg.Su3
+module Cplx = Linalg.Cplx
+
+(* Ordered product of links along a straight path of [len] steps in
+   direction [mu] starting at [site]. *)
+let line field ~site ~mu ~len =
+  let geom = Gauge.geom field in
+  let acc = ref (Su3.id ()) in
+  let x = ref site in
+  for _ = 1 to len do
+    acc := Su3.mul !acc (Gauge.get field !x mu);
+    x := Geometry.fwd geom !x mu
+  done;
+  (!acc, !x)
+
+(* R x T rectangular Wilson loop in the (mu, nu) plane at [site]:
+   up r in mu, up t in nu, back r in mu (adjoint of the top edge),
+   back t in nu (adjoint of the left edge). *)
+let wilson_loop field ~site ~mu ~nu ~r ~t =
+  let geom = Gauge.geom field in
+  let l1, c1 = line field ~site ~mu ~len:r in
+  let l2, _ = line field ~site:c1 ~mu:nu ~len:t in
+  let top_left = ref site in
+  for _ = 1 to t do
+    top_left := Geometry.fwd geom !top_left nu
+  done;
+  let l3, _ = line field ~site:!top_left ~mu ~len:r in
+  let l4, _ = line field ~site ~mu:nu ~len:t in
+  Su3.mul (Su3.mul l1 l2) (Su3.mul (Su3.adj l3) (Su3.adj l4))
+
+(* Average R x T Wilson loop over all sites and spatial plane pairs
+   with time in the second direction, normalized to 1 on the cold
+   configuration. *)
+let average_wilson_loop field ~r ~t =
+  let geom = Gauge.geom field in
+  let acc = ref 0. in
+  let count = ref 0 in
+  Geometry.iter_sites geom (fun site ->
+      for mu = 0 to 2 do
+        acc := !acc +. Su3.re_trace (wilson_loop field ~site ~mu ~nu:3 ~r ~t);
+        incr count
+      done);
+  !acc /. (3. *. float_of_int !count)
+
+(* Polyakov loop: trace of the product of time links winding the
+   lattice, averaged over space. *)
+let polyakov_loop field =
+  let geom = Gauge.geom field in
+  let nt = Geometry.time_extent geom in
+  let acc = ref Cplx.zero in
+  let count = ref 0 in
+  Geometry.iter_sites geom (fun site ->
+      if (Geometry.coords geom site).(3) = 0 then begin
+        let l, _ = line field ~site ~mu:3 ~len:nt in
+        acc := Cplx.add !acc (Cplx.scale (1. /. 3.) (Su3.trace l));
+        incr count
+      end);
+  Cplx.scale (1. /. float_of_int !count) !acc
+
+(* Clover-averaged field strength F_munu(x): the four plaquette leaves
+   based at x, one per quadrant of the (mu, nu) plane, all traversed
+   with the same orientation. *)
+let clover field ~site ~mu ~nu =
+  let geom = Gauge.geom field in
+  let u s d = Gauge.get field s d in
+  let ud s d = Su3.adj (Gauge.get field s d) in
+  let fwd s d = Geometry.fwd geom s d and bwd s d = Geometry.bwd geom s d in
+  let x = site in
+  let xpm = fwd x mu and xpn = fwd x nu in
+  let xmm = bwd x mu and xmn = bwd x nu in
+  let xmm_pn = fwd xmm nu in
+  let xmm_mn = bwd xmm nu in
+  let xpm_mn = bwd xpm nu in
+  (* quadrant (+mu, +nu) *)
+  let leaf1 = Su3.mul (Su3.mul (u x mu) (u xpm nu)) (Su3.mul (ud xpn mu) (ud x nu)) in
+  (* quadrant (+nu, -mu) *)
+  let leaf2 = Su3.mul (Su3.mul (u x nu) (ud xmm_pn mu)) (Su3.mul (ud xmm nu) (u xmm mu)) in
+  (* quadrant (-mu, -nu) *)
+  let leaf3 = Su3.mul (Su3.mul (ud xmm mu) (ud xmm_mn nu)) (Su3.mul (u xmm_mn mu) (u xmn nu)) in
+  (* quadrant (-nu, +mu) *)
+  let leaf4 = Su3.mul (Su3.mul (ud xmn nu) (u xmn mu)) (Su3.mul (u xpm_mn nu) (ud x mu)) in
+  let q = Su3.add leaf1 (Su3.add leaf2 (Su3.add leaf3 leaf4)) in
+  (* F = (Q - Q^dag)/8i, traceless *)
+  let diff = Su3.sub q (Su3.adj q) in
+  let tr = Su3.trace diff in
+  let f = Su3.cscale (Cplx.make 0. (-0.125)) diff in
+  let third = Cplx.scale (-0.125 /. 3.) (Cplx.mul Cplx.i tr) in
+  (* subtract the trace part of (diff/8i) *)
+  for d = 0 to 2 do
+    f.(Su3.idx d d) <- f.(Su3.idx d d) +. third.Cplx.re;
+    f.(Su3.idx d d + 1) <- f.(Su3.idx d d + 1) +. third.Cplx.im
+  done;
+  f
+
+(* Action density E(x) = sum_{mu<nu} Re tr F_munu^2 (clover). *)
+let energy_density field ~site =
+  let acc = ref 0. in
+  for mu = 0 to 2 do
+    for nu = mu + 1 to 3 do
+      let f = clover field ~site ~mu ~nu in
+      acc := !acc +. Su3.re_trace (Su3.mul f f)
+    done
+  done;
+  !acc
+
+let average_energy_density field =
+  let geom = Gauge.geom field in
+  let acc = ref 0. in
+  Geometry.iter_sites geom (fun site -> acc := !acc +. energy_density field ~site);
+  !acc /. float_of_int (Geometry.volume geom)
+
+(* Topological charge density from the clover field strength:
+   q(x) = (1/32 pi^2) eps_{munurhosigma} tr[F_munu F_rhosigma]. *)
+let topological_charge field =
+  let geom = Gauge.geom field in
+  let acc = ref 0. in
+  (* eps terms: (0,1,2,3) permutations; use the three independent
+     pairings with weight 2 each (munu)(rhosig): (01)(23), (02)(31),
+     (03)(12) *)
+  Geometry.iter_sites geom (fun site ->
+      let f mu nu = clover field ~site ~mu ~nu in
+      let term a b c d =
+        Su3.re_trace (Su3.mul (f a b) (f c d))
+      in
+      acc :=
+        !acc
+        +. (term 0 1 2 3 -. term 0 2 1 3 +. term 0 3 1 2));
+  !acc *. 8. /. (32. *. Float.pi *. Float.pi)

@@ -1,0 +1,27 @@
+(** Gauge observables beyond the plaquette: Wilson loops, the Polyakov
+    loop, clover field strength, energy density and topological
+    charge. All gauge invariant. *)
+
+val line : Gauge.t -> site:int -> mu:int -> len:int -> Linalg.Su3.t * int
+(** Ordered link product along a straight path; returns (product,
+    endpoint site). *)
+
+val wilson_loop :
+  Gauge.t -> site:int -> mu:int -> nu:int -> r:int -> t:int -> Linalg.Su3.t
+
+val average_wilson_loop : Gauge.t -> r:int -> t:int -> float
+(** Averaged over sites and spatial-temporal planes; 1 on the cold
+    configuration. *)
+
+val polyakov_loop : Gauge.t -> Linalg.Cplx.t
+(** Spatially-averaged trace of the winding time-link product / 3. *)
+
+val clover : Gauge.t -> site:int -> mu:int -> nu:int -> Linalg.Su3.t
+(** Clover-averaged field strength F_munu(x) (hermitian traceless). *)
+
+val energy_density : Gauge.t -> site:int -> float
+val average_energy_density : Gauge.t -> float
+
+val topological_charge : Gauge.t -> float
+(** (1/32π²) ε tr[F F] summed over the lattice (clover discretization;
+    not integer-quantized on rough configurations). *)

@@ -1,0 +1,1 @@
+lib/linalg/field.ml: Array Array1 Bigarray Cplx Float Util

@@ -1,0 +1,1 @@
+lib/linalg/field.mli: Bigarray Cplx Util

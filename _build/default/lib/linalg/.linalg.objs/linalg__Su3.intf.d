@@ -1,0 +1,1 @@
+lib/linalg/su3.mli: Cplx Format Util

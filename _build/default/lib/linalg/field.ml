@@ -1,0 +1,195 @@
+(* Flat float64 Bigarray vectors: the storage for all fermion fields.
+   The BLAS-1 level of the CG solver lives here. Reductions accumulate
+   in double precision (they already are double — matching the paper's
+   statement that all reductions are done in double even in the
+   mixed-precision solver). Hot loops use unsafe accesses; lengths are
+   validated once at entry. *)
+
+open Bigarray
+
+type t = (float, float64_elt, c_layout) Array1.t
+
+let create n : t =
+  let v = Array1.create float64 c_layout n in
+  Array1.fill v 0.;
+  v
+
+let length (v : t) = Array1.dim v
+
+let copy (v : t) : t =
+  let w = Array1.create float64 c_layout (length v) in
+  Array1.blit v w;
+  w
+
+let blit (src : t) (dst : t) = Array1.blit src dst
+let fill (v : t) x = Array1.fill v x
+
+let of_array a : t =
+  let v = Array1.create float64 c_layout (Array.length a) in
+  Array.iteri (fun i x -> Array1.unsafe_set v i x) a;
+  v
+
+let to_array (v : t) = Array.init (length v) (Array1.unsafe_get v)
+
+let check2 name a b =
+  if length a <> length b then invalid_arg (name ^ ": length mismatch")
+
+(* y <- y + alpha x *)
+let axpy alpha (x : t) (y : t) =
+  check2 "Field.axpy" x y;
+  for i = 0 to length x - 1 do
+    Array1.unsafe_set y i
+      (Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i))
+  done
+
+(* y <- x + alpha y *)
+let xpay (x : t) alpha (y : t) =
+  check2 "Field.xpay" x y;
+  for i = 0 to length x - 1 do
+    Array1.unsafe_set y i
+      (Array1.unsafe_get x i +. (alpha *. Array1.unsafe_get y i))
+  done
+
+let scale alpha (v : t) =
+  for i = 0 to length v - 1 do
+    Array1.unsafe_set v i (alpha *. Array1.unsafe_get v i)
+  done
+
+(* z <- x - y *)
+let sub (x : t) (y : t) (z : t) =
+  check2 "Field.sub" x y;
+  check2 "Field.sub" x z;
+  for i = 0 to length x - 1 do
+    Array1.unsafe_set z i (Array1.unsafe_get x i -. Array1.unsafe_get y i)
+  done
+
+(* y <- y + alpha x with complex alpha; vectors are interleaved re/im. *)
+let caxpy (ar, ai) (x : t) (y : t) =
+  check2 "Field.caxpy" x y;
+  let n = length x / 2 in
+  for k = 0 to n - 1 do
+    let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
+    Array1.unsafe_set y (2 * k)
+      (Array1.unsafe_get y (2 * k) +. ((ar *. xr) -. (ai *. xi)));
+    Array1.unsafe_set y ((2 * k) + 1)
+      (Array1.unsafe_get y ((2 * k) + 1) +. ((ar *. xi) +. (ai *. xr)))
+  done
+
+let norm2 (v : t) =
+  let acc = ref 0. in
+  for i = 0 to length v - 1 do
+    let x = Array1.unsafe_get v i in
+    acc := !acc +. (x *. x)
+  done;
+  !acc
+
+let norm v = sqrt (norm2 v)
+
+(* Real part of <x|y> — for interleaved complex this equals the plain
+   euclidean dot product. *)
+let dot_re (x : t) (y : t) =
+  check2 "Field.dot_re" x y;
+  let acc = ref 0. in
+  for i = 0 to length x - 1 do
+    acc := !acc +. (Array1.unsafe_get x i *. Array1.unsafe_get y i)
+  done;
+  !acc
+
+(* Full complex <x|y> = sum conj(x_k) y_k over interleaved pairs. *)
+let cdot (x : t) (y : t) =
+  check2 "Field.cdot" x y;
+  let re = ref 0. and im = ref 0. in
+  let n = length x / 2 in
+  for k = 0 to n - 1 do
+    let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
+    let yr = Array1.unsafe_get y (2 * k) and yi = Array1.unsafe_get y ((2 * k) + 1) in
+    re := !re +. ((xr *. yr) +. (xi *. yi));
+    im := !im +. ((xr *. yi) -. (xi *. yr))
+  done;
+  Cplx.make !re !im
+
+let gaussian rng (v : t) =
+  for i = 0 to length v - 1 do
+    Array1.unsafe_set v i (Util.Rng.gaussian rng)
+  done
+
+let map2 f (x : t) (y : t) (z : t) =
+  check2 "Field.map2" x y;
+  check2 "Field.map2" x z;
+  for i = 0 to length x - 1 do
+    Array1.unsafe_set z i (f (Array1.unsafe_get x i) (Array1.unsafe_get y i))
+  done
+
+let max_abs_diff (x : t) (y : t) =
+  check2 "Field.max_abs_diff" x y;
+  let acc = ref 0. in
+  for i = 0 to length x - 1 do
+    let d = abs_float (Array1.unsafe_get x i -. Array1.unsafe_get y i) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+(* ---- Half precision: 16-bit fixed point with per-block norms ----
+   This is QUDA's storage scheme for the inner solver of the
+   double-half CG: each block (one lattice site's 24 reals, say) stores
+   a single float32 max-norm and int16 mantissas v/norm * 32767. *)
+
+module Half = struct
+  type h = {
+    data : (int, int16_signed_elt, c_layout) Array1.t;
+    norms : (float, float32_elt, c_layout) Array1.t;
+    block : int;
+  }
+
+  let max_q = 32767.
+
+  let create ~block n =
+    if n mod block <> 0 then invalid_arg "Field.Half.create: block must divide n";
+    let data = Array1.create int16_signed c_layout n in
+    Array1.fill data 0;
+    let norms = Array1.create float32 c_layout (n / block) in
+    Array1.fill norms 0.;
+    { data; norms; block }
+
+  let length h = Array1.dim h.data
+
+  let encode (v : t) (h : h) =
+    if length h <> Array1.dim v then invalid_arg "Field.Half.encode: length";
+    let n_blocks = Array1.dim h.norms in
+    for b = 0 to n_blocks - 1 do
+      let base = b * h.block in
+      let norm = ref 0. in
+      for i = 0 to h.block - 1 do
+        let a = abs_float (Array1.unsafe_get v (base + i)) in
+        if a > !norm then norm := a
+      done;
+      Array1.unsafe_set h.norms b !norm;
+      (* re-read to absorb the float32 rounding of the stored norm *)
+      let stored = Array1.unsafe_get h.norms b in
+      let inv = if stored > 0. then max_q /. stored else 0. in
+      for i = 0 to h.block - 1 do
+        let q = Float.round (Array1.unsafe_get v (base + i) *. inv) in
+        let q = if q > max_q then max_q else if q < -.max_q then -.max_q else q in
+        Array1.unsafe_set h.data (base + i) (int_of_float q)
+      done
+    done
+
+  let decode (h : h) (v : t) =
+    if length h <> Array1.dim v then invalid_arg "Field.Half.decode: length";
+    let n_blocks = Array1.dim h.norms in
+    for b = 0 to n_blocks - 1 do
+      let base = b * h.block in
+      let s = Array1.unsafe_get h.norms b /. max_q in
+      for i = 0 to h.block - 1 do
+        Array1.unsafe_set v (base + i)
+          (float_of_int (Array1.unsafe_get h.data (base + i)) *. s)
+      done
+    done
+
+  let round_trip (v : t) ~block =
+    let h = create ~block (Array1.dim v) in
+    encode v h;
+    let w = Array1.create float64 c_layout (Array1.dim v) in
+    decode h w;
+    w
+end

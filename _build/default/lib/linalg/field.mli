@@ -1,0 +1,67 @@
+(** Flat float64 Bigarray vectors (fermion-field storage) and the
+    BLAS-1 kernels of the CG solver. Interleaved complex layout:
+    element [2k] is the real part and [2k+1] the imaginary part of
+    component k. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Zero-initialized vector of [n] floats. *)
+
+val length : t -> int
+val copy : t -> t
+val blit : t -> t -> unit
+val fill : t -> float -> unit
+val of_array : float array -> t
+val to_array : t -> float array
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y]: y <- y + a·x. *)
+
+val xpay : t -> float -> t -> unit
+(** [xpay x a y]: y <- x + a·y. *)
+
+val scale : float -> t -> unit
+
+val sub : t -> t -> t -> unit
+(** [sub x y z]: z <- x − y. *)
+
+val caxpy : float * float -> t -> t -> unit
+(** [caxpy (re, im) x y]: y <- y + a·x with complex a. *)
+
+val norm2 : t -> float
+val norm : t -> float
+
+val dot_re : t -> t -> float
+(** Real part of the complex inner product. *)
+
+val cdot : t -> t -> Cplx.t
+(** Complex inner product sum conj(x_k)·y_k. *)
+
+val gaussian : Util.Rng.t -> t -> unit
+(** Fill with unit-variance Gaussian noise. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t -> unit
+val max_abs_diff : t -> t -> float
+
+(** 16-bit fixed-point storage with per-block float32 norms — the
+    paper's half-precision format for the inner CG. *)
+module Half : sig
+  type h = {
+    data : (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    norms : (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    block : int;
+  }
+
+  val max_q : float
+
+  val create : block:int -> int -> h
+  (** [create ~block n]: [block] floats share one norm; block ∣ n. *)
+
+  val length : h -> int
+  val encode : t -> h -> unit
+  val decode : h -> t -> unit
+
+  val round_trip : t -> block:int -> t
+  (** Encode then decode — the quantization the inner solver sees. *)
+end

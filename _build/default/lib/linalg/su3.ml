@@ -1,0 +1,251 @@
+(* SU(3) matrices stored as flat float arrays of length 18:
+   element (row, col) occupies indices 2*(3*row+col) (real) and
+   2*(3*row+col)+1 (imaginary). Row-major, matching the gauge-link
+   storage in Lattice.Gauge so links can be viewed without copies. *)
+
+type t = float array
+
+let idx row col = 2 * ((3 * row) + col)
+
+let zero () = Array.make 18 0.
+
+let id () =
+  let m = zero () in
+  m.(idx 0 0) <- 1.;
+  m.(idx 1 1) <- 1.;
+  m.(idx 2 2) <- 1.;
+  m
+
+let copy = Array.copy
+
+let get m row col = Cplx.make m.(idx row col) m.(idx row col + 1)
+
+let set m row col (c : Cplx.t) =
+  m.(idx row col) <- c.Cplx.re;
+  m.(idx row col + 1) <- c.Cplx.im
+
+let of_fun f =
+  let m = zero () in
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      set m row col (f row col)
+    done
+  done;
+  m
+
+(* c = a * b, all distinct or aliased safely (writes into fresh array). *)
+let mul a b =
+  let c = zero () in
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      let re = ref 0. and im = ref 0. in
+      for k = 0 to 2 do
+        let ar = a.(idx row k) and ai = a.(idx row k + 1) in
+        let br = b.(idx k col) and bi = b.(idx k col + 1) in
+        re := !re +. ((ar *. br) -. (ai *. bi));
+        im := !im +. ((ar *. bi) +. (ai *. br))
+      done;
+      c.(idx row col) <- !re;
+      c.(idx row col + 1) <- !im
+    done
+  done;
+  c
+
+let adj a =
+  let c = zero () in
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      c.(idx row col) <- a.(idx col row);
+      c.(idx row col + 1) <- -.a.(idx col row + 1)
+    done
+  done;
+  c
+
+let add a b = Array.init 18 (fun i -> a.(i) +. b.(i))
+let sub a b = Array.init 18 (fun i -> a.(i) -. b.(i))
+let scale s a = Array.map (fun x -> s *. x) a
+
+let cscale (c : Cplx.t) a =
+  let m = zero () in
+  for e = 0 to 8 do
+    let re = a.(2 * e) and im = a.((2 * e) + 1) in
+    m.(2 * e) <- (c.Cplx.re *. re) -. (c.Cplx.im *. im);
+    m.((2 * e) + 1) <- (c.Cplx.re *. im) +. (c.Cplx.im *. re)
+  done;
+  m
+
+let trace a =
+  Cplx.make
+    (a.(idx 0 0) +. a.(idx 1 1) +. a.(idx 2 2))
+    (a.(idx 0 0 + 1) +. a.(idx 1 1 + 1) +. a.(idx 2 2 + 1))
+
+let re_trace a = a.(idx 0 0) +. a.(idx 1 1) +. a.(idx 2 2)
+
+let frobenius_dist a b =
+  let acc = ref 0. in
+  for i = 0 to 17 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let determinant a =
+  let open Cplx in
+  let g = get a in
+  let minor r1 r2 c1 c2 = sub (mul (g r1 c1) (g r2 c2)) (mul (g r1 c2) (g r2 c1)) in
+  add
+    (sub (mul (g 0 0) (minor 1 2 1 2)) (mul (g 0 1) (minor 1 2 0 2)))
+    (mul (g 0 2) (minor 1 2 0 1))
+
+(* mul_vec: w = m * v where v, w are 3-component complex vectors stored
+   as length-6 float arrays [re0; im0; re1; im1; re2; im2]. *)
+let mul_vec m v =
+  let w = Array.make 6 0. in
+  for row = 0 to 2 do
+    let re = ref 0. and im = ref 0. in
+    for k = 0 to 2 do
+      let mr = m.(idx row k) and mi = m.(idx row k + 1) in
+      let vr = v.(2 * k) and vi = v.((2 * k) + 1) in
+      re := !re +. ((mr *. vr) -. (mi *. vi));
+      im := !im +. ((mr *. vi) +. (mi *. vr))
+    done;
+    w.(2 * row) <- !re;
+    w.((2 * row) + 1) <- !im
+  done;
+  w
+
+let adj_mul_vec m v =
+  let w = Array.make 6 0. in
+  for row = 0 to 2 do
+    let re = ref 0. and im = ref 0. in
+    for k = 0 to 2 do
+      (* (m^dag)_{row,k} = conj m_{k,row} *)
+      let mr = m.(idx k row) and mi = -.m.(idx k row + 1) in
+      let vr = v.(2 * k) and vi = v.((2 * k) + 1) in
+      re := !re +. ((mr *. vr) -. (mi *. vi));
+      im := !im +. ((mr *. vi) +. (mi *. vr))
+    done;
+    w.(2 * row) <- !re;
+    w.((2 * row) + 1) <- !im
+  done;
+  w
+
+(* Project back onto SU(3) by Gram-Schmidt on the first two rows and
+   completing the third as the conjugate cross product. Standard cure
+   for rounding drift in long Monte Carlo runs. *)
+let reunitarize m =
+  let u = copy m in
+  let row_get r = Array.init 6 (fun i -> u.(idx r (i / 2) + (i mod 2))) in
+  let row_set r v =
+    for col = 0 to 2 do
+      u.(idx r col) <- v.(2 * col);
+      u.(idx r col + 1) <- v.((2 * col) + 1)
+    done
+  in
+  let dotc a b =
+    (* <a|b> = sum conj(a_i) b_i *)
+    let re = ref 0. and im = ref 0. in
+    for k = 0 to 2 do
+      let ar = a.(2 * k) and ai = a.((2 * k) + 1) in
+      let br = b.(2 * k) and bi = b.((2 * k) + 1) in
+      re := !re +. ((ar *. br) +. (ai *. bi));
+      im := !im +. ((ar *. bi) -. (ai *. br))
+    done;
+    Cplx.make !re !im
+  in
+  let normalize v =
+    let n = sqrt (Cplx.re (dotc v v)) in
+    if n = 0. then invalid_arg "Su3.reunitarize: zero row";
+    Array.map (fun x -> x /. n) v
+  in
+  let r0 = normalize (row_get 0) in
+  let r1 = row_get 1 in
+  let proj = dotc r0 r1 in
+  let r1 =
+    Array.init 6 (fun i ->
+        let k = i / 2 in
+        let r0r = r0.(2 * k) and r0i = r0.((2 * k) + 1) in
+        if i mod 2 = 0 then r1.(i) -. ((proj.Cplx.re *. r0r) -. (proj.Cplx.im *. r0i))
+        else r1.(i) -. ((proj.Cplx.re *. r0i) +. (proj.Cplx.im *. r0r)))
+  in
+  let r1 = normalize r1 in
+  (* r2 = conj(r0 x r1) *)
+  let cross_conj a b =
+    let c k1 k2 =
+      let open Cplx in
+      conj
+        (sub
+           (mul (make a.(2 * k1) a.((2 * k1) + 1)) (make b.(2 * k2) b.((2 * k2) + 1)))
+           (mul (make a.(2 * k2) a.((2 * k2) + 1)) (make b.(2 * k1) b.((2 * k1) + 1))))
+    in
+    let e0 = c 1 2 and e1 = c 2 0 and e2 = c 0 1 in
+    [| e0.Cplx.re; e0.Cplx.im; e1.Cplx.re; e1.Cplx.im; e2.Cplx.re; e2.Cplx.im |]
+  in
+  let r2 = cross_conj r0 r1 in
+  row_set 0 r0;
+  row_set 1 r1;
+  row_set 2 r2;
+  u
+
+let is_unitary ?(eps = 1e-10) m =
+  frobenius_dist (mul m (adj m)) (id ()) <= eps
+
+let is_special_unitary ?(eps = 1e-10) m =
+  is_unitary ~eps m && Cplx.abs (Cplx.sub (determinant m) Cplx.one) <= eps
+
+(* Random SU(3) close to the identity: exponentiate a small random
+   traceless anti-hermitian matrix via reunitarized first-order form.
+   eps controls the spread; eps >= 1 gives an essentially random walk
+   step used to build "hot" starts. *)
+let random_near_identity rng ~eps =
+  (* H = eps * (G - G^dag)/2 - i.e. anti-hermitian; U = reunitarize(1 + H) *)
+  let g = of_fun (fun _ _ -> Cplx.make (Util.Rng.gaussian rng) (Util.Rng.gaussian rng)) in
+  let h = scale (0.5 *. eps) (sub g (adj g)) in
+  (* remove trace to stay in su(3) *)
+  let tr = trace h in
+  let third = Cplx.scale (1. /. 3.) tr in
+  let h = copy h in
+  for d = 0 to 2 do
+    h.(idx d d) <- h.(idx d d) -. third.Cplx.re;
+    h.(idx d d + 1) <- h.(idx d d + 1) -. third.Cplx.im
+  done;
+  reunitarize (add (id ()) h)
+
+let random rng =
+  (* Product of several spread-1 steps loses all memory of the identity. *)
+  let u = ref (random_near_identity rng ~eps:1.) in
+  for _ = 1 to 3 do
+    u := mul !u (random_near_identity rng ~eps:1.)
+  done;
+  !u
+
+(* SU(2) subgroup embedding for the Cabibbo-Marinari heatbath. An SU(2)
+   element (a0, a1, a2, a3) with a0^2+|a|^2 = 1 embeds into rows/cols
+   (p, q) of an SU(3) identity. *)
+let embed_su2 ~p ~q (a0, a1, a2, a3) =
+  let m = id () in
+  set m p p (Cplx.make a0 a3);
+  set m p q (Cplx.make a2 a1);
+  set m q p (Cplx.make (-.a2) a1);
+  set m q q (Cplx.make a0 (-.a3));
+  m
+
+(* Extract the SU(2)-like content of rows/cols (p,q): returns the
+   coefficients (a0,a1,a2,a3) of the projection of the 2x2 submatrix
+   onto the quaternion basis, unnormalized. *)
+let extract_su2 ~p ~q m =
+  let a = get m p p and b = get m p q and c = get m q p and d = get m q q in
+  let a0 = 0.5 *. (a.Cplx.re +. d.Cplx.re) in
+  let a3 = 0.5 *. (a.Cplx.im -. d.Cplx.im) in
+  let a2 = 0.5 *. (b.Cplx.re -. c.Cplx.re) in
+  let a1 = 0.5 *. (b.Cplx.im +. c.Cplx.im) in
+  (a0, a1, a2, a3)
+
+let pp ppf m =
+  for row = 0 to 2 do
+    Format.fprintf ppf "[";
+    for col = 0 to 2 do
+      Format.fprintf ppf " %a" Cplx.pp (get m row col)
+    done;
+    Format.fprintf ppf " ]@."
+  done

@@ -1,0 +1,53 @@
+(** SU(3) (and general 3×3 complex) matrices as flat length-18 float
+    arrays, row-major, interleaved re/im — the same layout as gauge-link
+    storage so links can be processed without conversion. *)
+
+type t = float array
+
+val idx : int -> int -> int
+(** [idx row col] is the array offset of the real part of element
+    (row, col). *)
+
+val zero : unit -> t
+val id : unit -> t
+val copy : t -> t
+val get : t -> int -> int -> Cplx.t
+val set : t -> int -> int -> Cplx.t -> unit
+val of_fun : (int -> int -> Cplx.t) -> t
+val mul : t -> t -> t
+val adj : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val cscale : Cplx.t -> t -> t
+val trace : t -> Cplx.t
+val re_trace : t -> float
+val frobenius_dist : t -> t -> float
+val determinant : t -> Cplx.t
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m v] with [v] a 3-component complex vector as 6 floats. *)
+
+val adj_mul_vec : t -> float array -> float array
+
+val reunitarize : t -> t
+(** Gram–Schmidt projection back onto SU(3). *)
+
+val is_unitary : ?eps:float -> t -> bool
+val is_special_unitary : ?eps:float -> t -> bool
+
+val random_near_identity : Util.Rng.t -> eps:float -> t
+(** Random SU(3) element near the identity; [eps] sets the spread. *)
+
+val random : Util.Rng.t -> t
+(** Essentially Haar-spread random SU(3) element (for hot starts). *)
+
+val embed_su2 : p:int -> q:int -> float * float * float * float -> t
+(** Embed an SU(2) element (a0,a1,a2,a3), a0²+a·a=1, into the (p,q)
+    subgroup of SU(3). *)
+
+val extract_su2 : p:int -> q:int -> t -> float * float * float * float
+(** Project the (p,q) 2×2 submatrix onto the quaternion basis
+    (unnormalized) — the Cabibbo–Marinari staple reduction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/perf_model.ml: Array Dirac Float List Policy Spec

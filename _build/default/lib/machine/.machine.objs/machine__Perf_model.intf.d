@@ -1,0 +1,1 @@
+lib/machine/perf_model.mli: Policy Spec

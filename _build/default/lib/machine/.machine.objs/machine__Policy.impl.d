@@ -1,0 +1,1 @@
+lib/machine/policy.ml: Float List Printf Spec

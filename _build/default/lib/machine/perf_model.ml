@@ -1,0 +1,293 @@
+(* Analytic performance model for the mixed-precision red-black CG on
+   a GPU machine. Reproduces the scaling studies of Figs. 3-7.
+
+   Calibration policy (see DESIGN.md): inputs are Table II specs plus
+   the paper's own achieved-bandwidth statement (139/516/975 GB/s per
+   GPU at the point of peak efficiency) and its flop conventions
+   (10-12 kflop per 5D site, arithmetic intensity 1.9, 1.675x
+   percent-of-peak scaling). The scaling curves themselves are model
+   OUTPUT, checked against the figures in EXPERIMENTS.md.
+
+   Model components per stencil application:
+     t_stencil  local 5D sites x bytes/site / bw(local volume)
+                with bw saturating at small volumes (GPU occupancy)
+     t_comm     halo bytes split intra-node (NVLink) / inter-node
+                (policy path x network contention) + message latency
+     t_overhead kernel launches + allreduce latency (log2 tree)
+   combined with or without communication/compute overlap according to
+   the communication policy's granularity. *)
+
+type problem = { dims : int array; l5 : int }
+
+let problem ~dims ~l5 = { dims; l5 }
+let sites_4d p = Array.fold_left ( * ) 1 p.dims
+let sites_5d p = sites_4d p * p.l5
+
+(* The paper's conventional units. *)
+let flops_per_site = Dirac.Flops.paper_stencil_per_5d_site
+let bytes_per_site = Dirac.Flops.paper_bytes_per_5d_site
+let peak_scaling = Dirac.Flops.paper_peak_scaling
+let arithmetic_intensity = Dirac.Flops.paper_arithmetic_intensity
+
+(* Halo payload per 5D face site: a spin-projected half spinor in half
+   precision (12 reals x 2 bytes). *)
+let halo_bytes_per_face_site = 24.
+
+(* Reference local volume at which the calibration bandwidths were
+   measured: 48^3 x 64 x 20 on 16 GPUs (the paper's production group). *)
+let reference_local_sites = 48. *. 48. *. 48. *. 64. *. 20. /. 16.
+
+(* Occupancy saturation: solver bandwidth scales with local volume as
+   v / (v + sat), normalized to the calibration point. *)
+let solver_bw m ~local_sites =
+  let gpu = m.Spec.gpu in
+  let sat = gpu.Spec.sat_sites in
+  let shape v = v /. (v +. sat) in
+  gpu.Spec.solver_bw_gbs *. 1e9 *. shape local_sites /. shape reference_local_sites
+
+(* ---- process-grid selection ---- *)
+
+let divisors n =
+  let rec loop d acc = if d > n then acc else if n mod d = 0 then loop (d + 1) (d :: acc) else loop (d + 1) acc in
+  loop 1 []
+
+(* All ways to factor n into 4 ordered factors with each factor
+   dividing the corresponding lattice extent. *)
+let grids p n_gpus =
+  let fits mu g = p.dims.(mu) mod g = 0 && g <= p.dims.(mu) in
+  List.concat_map
+    (fun g0 ->
+      if not (fits 0 g0) then []
+      else
+        List.concat_map
+          (fun g1 ->
+            if not (fits 1 g1) || n_gpus mod (g0 * g1) <> 0 then []
+            else
+              List.concat_map
+                (fun g2 ->
+                  if not (fits 2 g2) || n_gpus mod (g0 * g1 * g2) <> 0 then []
+                  else
+                    let g3 = n_gpus / (g0 * g1 * g2) in
+                    if fits 3 g3 then [ [| g0; g1; g2; g3 |] ] else [])
+                (divisors (n_gpus / (g0 * g1))))
+          (divisors (n_gpus / g0)))
+    (divisors n_gpus)
+
+(* Surface (4D face sites, both directions, decomposed dims only). *)
+let surface_sites p grid =
+  let local = Array.init 4 (fun mu -> p.dims.(mu) / grid.(mu)) in
+  let v = Array.fold_left ( * ) 1 local in
+  let acc = ref 0 in
+  for mu = 0 to 3 do
+    if grid.(mu) > 1 then acc := !acc + (2 * v / local.(mu))
+  done;
+  !acc
+
+let best_grid p n_gpus =
+  match grids p n_gpus with
+  | [] -> None
+  | gs ->
+    Some
+      (List.fold_left
+         (fun best g -> if surface_sites p g < surface_sites p best then g else best)
+         (List.hd gs) gs)
+
+(* Node-internal subgrid: absorb gpus_per_node into the dims with the
+   largest faces so the most traffic stays on NVLink. Greedy by factors
+   of 2 (node GPU counts are 1, 4 or 6 — treat 6 as 2x3). *)
+let node_subgrid (m : Spec.t) p grid =
+  let local = Array.init 4 (fun mu -> p.dims.(mu) / grid.(mu)) in
+  let v = Array.fold_left ( * ) 1 local in
+  let nsub = Array.make 4 1 in
+  let remaining = ref m.Spec.gpus_per_node in
+  let factors = ref [] in
+  let n = ref !remaining in
+  let d = ref 2 in
+  while !n > 1 do
+    if !n mod !d = 0 then begin
+      factors := !d :: !factors;
+      n := !n / !d
+    end
+    else incr d
+  done;
+  List.iter
+    (fun f ->
+      (* dim with the largest face still having room in the grid *)
+      let best = ref (-1) in
+      for mu = 0 to 3 do
+        if grid.(mu) / nsub.(mu) >= f then
+          if !best < 0 || v / local.(mu) > v / local.(!best) then best := mu
+      done;
+      if !best >= 0 then nsub.(!best) <- nsub.(!best) * f)
+    (List.sort compare !factors);
+  ignore !remaining;
+  nsub
+
+type breakdown = {
+  grid : int array;
+  local_sites : float;  (* 5D sites per GPU *)
+  t_stencil : float;
+  t_comm_intra : float;
+  t_comm_inter : float;
+  t_latency : float;
+  t_overhead : float;
+  t_total : float;  (* per stencil application *)
+  halo_bytes_intra : float;
+  halo_bytes_inter : float;
+}
+
+type result = {
+  machine : Spec.t;
+  n_gpus : int;
+  policy : Policy.t;
+  tflops_total : float;
+  tflops_per_gpu : float;
+  percent_peak : float;
+  bw_per_gpu_gbs : float;
+  breakdown : breakdown;
+}
+
+(* Time components for one stencil application on [n_gpus]. *)
+let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
+  match best_grid p n_gpus with
+  | None -> None
+  | Some grid ->
+    let local = Array.init 4 (fun mu -> p.dims.(mu) / grid.(mu)) in
+    let v4 = Array.fold_left ( * ) 1 local in
+    let local_sites = float_of_int (v4 * p.l5) in
+    let bw = solver_bw m ~local_sites in
+    let t_stencil = local_sites *. bytes_per_site /. bw in
+    (* halo *)
+    let nsub = node_subgrid m p grid in
+    let decomposed = ref 0 in
+    let bytes_intra = ref 0. and bytes_inter = ref 0. in
+    for mu = 0 to 3 do
+      if grid.(mu) > 1 then begin
+        incr decomposed;
+        let face_sites = float_of_int (2 * v4 / local.(mu) * p.l5) in
+        let bytes = face_sites *. halo_bytes_per_face_site in
+        (* a GPU's +-mu neighbors cross the node block with
+           probability 1/nsub_mu *)
+        let inter_frac = 1. /. float_of_int nsub.(mu) in
+        bytes_inter := !bytes_inter +. (bytes *. inter_frac);
+        bytes_intra := !bytes_intra +. (bytes *. (1. -. inter_frac))
+      end
+    done;
+    let n_nodes = float_of_int n_gpus /. float_of_int m.Spec.gpus_per_node in
+    let contention = 1. /. (1. +. (n_nodes /. m.Spec.contention_nodes)) in
+    let bw_inter = Policy.internode_bw_per_gpu policy m *. contention in
+    let bw_intra =
+      if m.Spec.nvlink_gbs > 0. then m.Spec.nvlink_gbs *. 1e9
+      else m.Spec.cpu_gpu_gbs *. 1e9 /. float_of_int m.Spec.gpus_per_node
+    in
+    let t_comm_inter = if !bytes_inter > 0. then !bytes_inter /. bw_inter else 0. in
+    let t_comm_intra = if !bytes_intra > 0. then !bytes_intra /. bw_intra else 0. in
+    let n_msgs = if !decomposed > 0 then Policy.messages policy ~decomposed_dims:!decomposed else 0 in
+    let t_latency = float_of_int n_msgs *. m.Spec.msg_latency_s in
+    let launches =
+      1 + (if !decomposed > 0 then Policy.halo_kernel_launches policy ~decomposed_dims:!decomposed else 0)
+    in
+    let t_allreduce =
+      (* two double-precision reductions per iteration, tree-combined *)
+      2. *. m.Spec.allreduce_base_s *. log (float_of_int (max 2 n_gpus)) /. log 2.
+    in
+    let t_overhead =
+      (float_of_int launches *. m.Spec.launch_overhead_s) +. t_allreduce
+    in
+    let t_comm = t_comm_inter +. t_comm_intra +. t_latency in
+    let t_total =
+      if Policy.overlaps policy && !decomposed > 0 then begin
+        (* interior compute hides communication; boundary fraction of
+           the stencil must wait for the halo *)
+        let surf = float_of_int (surface_sites p grid) in
+        let boundary_frac = Float.min 0.9 (surf /. float_of_int v4) in
+        let t_interior = t_stencil *. (1. -. boundary_frac) in
+        let t_boundary = t_stencil *. boundary_frac in
+        Float.max t_interior t_comm +. t_boundary +. t_overhead
+      end
+      else t_stencil +. t_comm +. t_overhead
+    in
+    Some
+      {
+        grid;
+        local_sites;
+        t_stencil;
+        t_comm_intra;
+        t_comm_inter;
+        t_latency;
+        t_overhead;
+        t_total;
+        halo_bytes_intra = !bytes_intra;
+        halo_bytes_inter = !bytes_inter;
+      }
+
+let solver_performance (m : Spec.t) (policy : Policy.t) p ~n_gpus =
+  match stencil_breakdown m policy p ~n_gpus with
+  | None -> None
+  | Some b ->
+    let flops_app = b.local_sites *. flops_per_site in
+    let per_gpu = flops_app /. b.t_total in
+    let total = per_gpu *. float_of_int n_gpus in
+    Some
+      {
+        machine = m;
+        n_gpus;
+        policy;
+        tflops_total = total /. 1e12;
+        tflops_per_gpu = per_gpu /. 1e12;
+        percent_peak = per_gpu *. peak_scaling /. (m.Spec.gpu.Spec.fp32_tflops *. 1e12) *. 100.;
+        bw_per_gpu_gbs = per_gpu /. arithmetic_intensity /. 1e9;
+        breakdown = b;
+      }
+
+(* Best policy at a configuration — what the communication autotuner
+   would pick (Autotune.Comm_tune drives this via its cache). *)
+let best_policy (m : Spec.t) p ~n_gpus =
+  let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
+  let results = List.filter_map (fun pol -> solver_performance m pol p ~n_gpus) candidates in
+  match results with
+  | [] -> None
+  | r :: rest ->
+    Some (List.fold_left (fun best r -> if r.tflops_total > best.tflops_total then r else best) r rest)
+
+(* ---- production (whole-application) sustained performance ----
+   Weak scaling runs many independent solves in fixed GPU groups; the
+   job-level efficiency factors live here. *)
+
+type mpi_stack = Spectrum | Open_mpi | Mvapich2 | Metaq_jsrun
+
+let stack_name = function
+  | Spectrum -> "SpectrumMPI"
+  | Open_mpi -> "openMPI: mpi_jm"
+  | Mvapich2 -> "MVAPICH2: mpi_jm"
+  | Metaq_jsrun -> "SpectrumMPI: METAQ"
+
+(* Whole-application factor: propagators are 96.5% of the work;
+   contractions are hidden on the CPUs by mpi_jm; I/O is 0.5%. The
+   residual covers setup/teardown per solve. *)
+let application_efficiency = 0.85
+
+(* Relative solver throughput under each MPI stack (Sec. VII: MVAPICH2
+   needed for DPM was not yet tuned for Sierra). *)
+let stack_factor = function
+  | Spectrum -> 1.0
+  | Open_mpi -> 0.95
+  | Mvapich2 -> 0.80
+  | Metaq_jsrun -> 0.78
+
+let group_performance (m : Spec.t) p ~group_gpus ~stack =
+  match best_policy m p ~n_gpus:group_gpus with
+  | None -> None
+  | Some r ->
+    Some (r.tflops_total *. application_efficiency *. stack_factor stack)
+
+(* Aggregate weak-scaling point: [n_gpus] total across independent
+   groups. Near-perfect scaling by construction — the paper's point is
+   that group independence makes it so; deviations come only from the
+   stack factor. *)
+let weak_scaling_point (m : Spec.t) p ~group_gpus ~stack ~n_gpus =
+  match group_performance m p ~group_gpus ~stack with
+  | None -> None
+  | Some g ->
+    let groups = float_of_int n_gpus /. float_of_int group_gpus in
+    Some (g *. groups)

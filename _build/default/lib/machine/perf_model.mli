@@ -1,0 +1,78 @@
+(** Analytic performance model for the mixed-precision red-black CG on
+    a GPU machine — regenerates the scaling studies of Figs. 3–7.
+    Calibrated only from Table II specs and the paper's stated achieved
+    bandwidths (139/516/975 GB/s per GPU), never from the figures it
+    predicts. *)
+
+type problem = { dims : int array; l5 : int }
+
+val problem : dims:int array -> l5:int -> problem
+val sites_4d : problem -> int
+val sites_5d : problem -> int
+
+val flops_per_site : float
+val bytes_per_site : float
+val peak_scaling : float
+val arithmetic_intensity : float
+val halo_bytes_per_face_site : float
+val reference_local_sites : float
+
+val solver_bw : Spec.t -> local_sites:float -> float
+(** Occupancy-saturated solver bandwidth (bytes/s per GPU). *)
+
+val grids : problem -> int -> int array list
+(** All 4-factor process grids dividing the lattice dims. *)
+
+val surface_sites : problem -> int array -> int
+val best_grid : problem -> int -> int array option
+(** Minimal-surface grid, or [None] if the count admits none. *)
+
+val node_subgrid : Spec.t -> problem -> int array -> int array
+(** Node-internal subgrid keeping the largest faces on NVLink. *)
+
+type breakdown = {
+  grid : int array;
+  local_sites : float;
+  t_stencil : float;
+  t_comm_intra : float;
+  t_comm_inter : float;
+  t_latency : float;
+  t_overhead : float;
+  t_total : float;
+  halo_bytes_intra : float;
+  halo_bytes_inter : float;
+}
+
+type result = {
+  machine : Spec.t;
+  n_gpus : int;
+  policy : Policy.t;
+  tflops_total : float;
+  tflops_per_gpu : float;
+  percent_peak : float;
+  bw_per_gpu_gbs : float;
+  breakdown : breakdown;
+}
+
+val stencil_breakdown :
+  Spec.t -> Policy.t -> problem -> n_gpus:int -> breakdown option
+
+val solver_performance :
+  Spec.t -> Policy.t -> problem -> n_gpus:int -> result option
+
+val best_policy : Spec.t -> problem -> n_gpus:int -> result option
+(** What the communication autotuner would pick. *)
+
+type mpi_stack = Spectrum | Open_mpi | Mvapich2 | Metaq_jsrun
+
+val stack_name : mpi_stack -> string
+val application_efficiency : float
+val stack_factor : mpi_stack -> float
+
+val group_performance :
+  Spec.t -> problem -> group_gpus:int -> stack:mpi_stack -> float option
+(** Whole-application sustained TFlops of one solve group. *)
+
+val weak_scaling_point :
+  Spec.t -> problem -> group_gpus:int -> stack:mpi_stack -> n_gpus:int -> float option
+(** Aggregate TFlops of [n_gpus] running independent groups. *)

@@ -1,0 +1,158 @@
+(* Machine descriptions for the systems of Table II, plus the solver
+   calibration constants the performance model needs. Specification
+   rows come straight from the paper; the "achieved solver bandwidth"
+   numbers (139 / 516 / 975 GB/s per GPU) are the paper's own Sec. VII
+   measurements and are used as calibration inputs — never the figures
+   the model is asked to reproduce. *)
+
+type gpu = {
+  gpu_name : string;
+  fp32_tflops : float;  (* per GPU *)
+  mem_bw_gbs : float;  (* per GPU, STREAM-like peak *)
+  solver_bw_gbs : float;  (* achieved CG bandwidth at large local volume *)
+  sat_sites : float;  (* 5D sites/GPU at which the solver bandwidth halves *)
+}
+
+type t = {
+  name : string;
+  nodes : int;
+  gpus_per_node : int;
+  gpu : gpu;
+  cpu : string;
+  cpu_gpu_gbs : float;  (* host link bandwidth per node *)
+  nic_gbs : float;  (* injection bandwidth per node *)
+  nvlink_gbs : float;  (* GPU-GPU intra-node, per GPU (0 = via PCIe) *)
+  interconnect : string;
+  has_gdr : bool;  (* GPU Direct RDMA usable (Sierra/Summit: not yet) *)
+  launch_overhead_s : float;  (* fixed kernel-launch cost per stencil call *)
+  msg_latency_s : float;  (* per halo message *)
+  allreduce_base_s : float;  (* reduction latency per tree level *)
+  contention_nodes : float;  (* nodes at which internode bw halves *)
+  node_jitter : float;  (* relative sigma of per-node speed (Fig 7 width) *)
+}
+
+let k20x =
+  {
+    gpu_name = "NVIDIA K20X";
+    fp32_tflops = 4.0;
+    mem_bw_gbs = 250.;
+    solver_bw_gbs = 139.;
+    sat_sites = 3.0e6;
+  }
+
+let p100 =
+  {
+    gpu_name = "NVIDIA P100";
+    fp32_tflops = 11.0;
+    mem_bw_gbs = 720.;
+    solver_bw_gbs = 516.;
+    sat_sites = 2.5e6;
+  }
+
+let v100 =
+  {
+    gpu_name = "NVIDIA V100";
+    fp32_tflops = 15.0;
+    mem_bw_gbs = 900.;
+    solver_bw_gbs = 975.;
+    sat_sites = 3.0e6;
+  }
+
+let titan =
+  {
+    name = "Titan";
+    nodes = 18_688;
+    gpus_per_node = 1;
+    gpu = k20x;
+    cpu = "AMD Opteron";
+    cpu_gpu_gbs = 6.;
+    nic_gbs = 8.;
+    nvlink_gbs = 0.;
+    interconnect = "Cray Gemini (~8 GB/s)";
+    has_gdr = false;
+    launch_overhead_s = 40e-6;
+    msg_latency_s = 15e-6;
+    allreduce_base_s = 8e-6;
+    contention_nodes = 400.;
+    node_jitter = 0.05;
+  }
+
+let ray =
+  {
+    name = "Ray";
+    nodes = 54;
+    gpus_per_node = 4;
+    gpu = p100;
+    cpu = "IBM POWER8";
+    cpu_gpu_gbs = 20.;
+    nic_gbs = 23.;
+    nvlink_gbs = 40.;
+    interconnect = "Mellanox IB 2xEDR";
+    has_gdr = true;
+    launch_overhead_s = 25e-6;
+    msg_latency_s = 8e-6;
+    allreduce_base_s = 5e-6;
+    contention_nodes = 2000.;
+    node_jitter = 0.04;
+  }
+
+let sierra =
+  {
+    name = "Sierra";
+    nodes = 4_200;
+    gpus_per_node = 4;
+    gpu = v100;
+    cpu = "IBM POWER9";
+    cpu_gpu_gbs = 75.;
+    nic_gbs = 23.;
+    nvlink_gbs = 75.;
+    interconnect = "Mellanox IB 2xEDR";
+    has_gdr = false;  (* "at the time of submission ... did not support this" *)
+    launch_overhead_s = 20e-6;
+    msg_latency_s = 8e-6;
+    allreduce_base_s = 5e-6;
+    contention_nodes = 300.;
+    node_jitter = 0.06;
+  }
+
+let summit =
+  {
+    name = "Summit";
+    nodes = 4_600;
+    gpus_per_node = 6;
+    gpu = v100;
+    cpu = "IBM POWER9";
+    cpu_gpu_gbs = 50.;
+    nic_gbs = 23.;
+    nvlink_gbs = 50.;
+    interconnect = "Mellanox IB 2xEDR";
+    has_gdr = false;
+    launch_overhead_s = 20e-6;
+    msg_latency_s = 8e-6;
+    allreduce_base_s = 5e-6;
+    contention_nodes = 300.;
+    node_jitter = 0.06;
+  }
+
+let all = [ titan; ray; sierra; summit ]
+
+let total_gpus t = t.nodes * t.gpus_per_node
+let fp32_tflops_per_node t = float_of_int t.gpus_per_node *. t.gpu.fp32_tflops
+let gpu_bw_per_node t = float_of_int t.gpus_per_node *. t.gpu.mem_bw_gbs
+let nic_gbs_per_gpu t = t.nic_gbs /. float_of_int t.gpus_per_node
+
+(* Table II rendering for the bench harness. *)
+let table_ii () =
+  let row label f = label :: List.map f all in
+  [
+    row "nodes" (fun m -> string_of_int m.nodes);
+    row "GPUs / node" (fun m -> string_of_int m.gpus_per_node);
+    row "CPU" (fun m -> m.cpu);
+    row "GPU" (fun m -> m.gpu.gpu_name);
+    row "FP32 TFLOPS / node" (fun m -> Printf.sprintf "%.0f" (fp32_tflops_per_node m));
+    row "GPU bw / node GB/s" (fun m -> Printf.sprintf "%.0f" (gpu_bw_per_node m));
+    row "CPU-GPU bw GB/s" (fun m -> Printf.sprintf "%.0f" m.cpu_gpu_gbs);
+    row "Interconnect" (fun m -> m.interconnect);
+  ]
+
+let table_ii_header = "Attribute" :: List.map (fun m -> m.name) all

@@ -1,0 +1,1 @@
+lib/physics/analysis.ml: Array Float Util

@@ -1,0 +1,1 @@
+lib/physics/contract.ml: Array Dirac Lattice Linalg List Propagator

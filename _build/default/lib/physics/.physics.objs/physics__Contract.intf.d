@@ -1,0 +1,1 @@
+lib/physics/contract.mli: Linalg Propagator

@@ -1,0 +1,1 @@
+lib/physics/fh.ml: Array Bigarray Contract Dirac Lattice Linalg List Propagator Solver Source

@@ -1,0 +1,1 @@
+lib/physics/fh.mli: Lattice Linalg Propagator Solver

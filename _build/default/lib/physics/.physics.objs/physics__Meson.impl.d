@@ -1,0 +1,1 @@
+lib/physics/meson.ml: Array Dirac Float Lattice Linalg Printf Propagator

@@ -1,0 +1,1 @@
+lib/physics/meson.mli: Lattice Linalg Propagator

@@ -1,0 +1,1 @@
+lib/physics/propagator.ml: Array Bigarray Dirac Lattice Linalg List Solver Source

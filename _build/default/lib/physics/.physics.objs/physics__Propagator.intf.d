@@ -1,0 +1,1 @@
+lib/physics/propagator.mli: Lattice Linalg Solver

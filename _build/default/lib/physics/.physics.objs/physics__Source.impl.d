@@ -1,0 +1,1 @@
+lib/physics/source.ml: Array Bigarray Dirac Lattice Linalg Util

@@ -1,0 +1,1 @@
+lib/physics/source.mli: Lattice Linalg Util

@@ -1,0 +1,1 @@
+lib/physics/synth.ml: Array Float Util

@@ -1,0 +1,141 @@
+(* Correlator analysis: effective masses/couplings, resampled errors,
+   and the multi-state fits that extract gA (the fit of Fig 1). *)
+
+module Stats = Util.Stats
+module Fit = Util.Fit
+
+(* Effective mass m_eff(t) = ln C(t)/C(t+1). *)
+let effective_mass (c : float array) : float array =
+  Array.init
+    (Array.length c - 1)
+    (fun t -> if c.(t) > 0. && c.(t + 1) > 0. then log (c.(t) /. c.(t + 1)) else nan)
+
+(* Ensemble = samples x t. Mean and bootstrap error per timeslice. *)
+let ensemble_mean (samples : float array array) : float array =
+  let n = Array.length samples in
+  let nt = Array.length samples.(0) in
+  Array.init nt (fun t ->
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. samples.(i).(t)
+      done;
+      !acc /. float_of_int n)
+
+let ensemble_error (samples : float array array) : float array =
+  let nt = Array.length samples.(0) in
+  Array.init nt (fun t ->
+      Stats.standard_error (Array.map (fun s -> s.(t)) samples))
+
+(* Apply an observable per sample (e.g. g_eff of each bootstrap draw)
+   and return central value and bootstrap spread per timeslice. *)
+let bootstrap_observable ~rng ~n_boot (samples : float array array)
+    (observable : float array -> float array) =
+  let n = Array.length samples in
+  let mean = observable (ensemble_mean samples) in
+  let nt_obs = Array.length mean in
+  let draws =
+    Array.init n_boot (fun _ ->
+        let resample =
+          Array.init n (fun _ -> samples.(Util.Rng.int rng n))
+        in
+        observable (ensemble_mean resample))
+  in
+  let err =
+    Array.init nt_obs (fun t -> Stats.std (Array.map (fun d -> d.(t)) draws))
+  in
+  (mean, err)
+
+(* Two-state form of the FH effective coupling:
+     g_eff(t) = g00 + b01 e^{-dE t} + b11 t e^{-dE t}.
+   The fit removes the excited-state contamination visible at small t
+   (the grey -> black points of Fig 1). *)
+let geff_model p t =
+  let g00 = p.(0) and b01 = p.(1) and b11 = p.(2) and de = p.(3) in
+  g00 +. (b01 *. exp (-.de *. t)) +. (b11 *. t *. exp (-.de *. t))
+
+type ga_fit = {
+  ga : float;
+  ga_err : float;
+  de : float;
+  chi2_dof : float;
+  fit : Fit.result;
+  t_range : int * int;
+}
+
+(* Variable-projection fit: the model is linear in (g00, b01, b11) at
+   fixed gap dE, so scan dE over a grid, solve the linear
+   least-squares problem at each, and keep the minimum-chi2 profile
+   point. Far more stable than a free 4-parameter descent on data
+   whose errors grow exponentially with t.
+
+   The grid plays the role of the analysis' Bayesian prior on the gap:
+   the lowest nucleon excitation is the N-pi state, dE >~ 2 m_pi ~ 0.27
+   in a09m310 units — without that constraint dE -> 0 opens a flat
+   direction where slowly-decaying "excited" terms impersonate the
+   ground state. *)
+let de_grid = Array.init 39 (fun i -> 0.25 +. (0.025 *. float_of_int i))
+
+(* Gaussian prior on the gap (the Bayesian constraint of the real
+   analysis): centred a little above 2 m_pi with a generous width. *)
+let de_prior_mu = 0.5
+let de_prior_sigma = 0.3
+
+let profile_fit ?(prior = true) ~xs ~ys ~sigmas () =
+  let best = ref None in
+  Array.iter
+    (fun de ->
+      (* transition-dominated two-state form: g00 + b01 e^{-dE t}.
+         (The doubly-excited t e^{-dE t} direction is nearly flat on a
+         single correlator and is dropped, as in a transition-dominated
+         truncation of the full model.) *)
+      let basis = [| (fun _ -> 1.); (fun t -> exp (-.de *. t)) |] in
+      match Fit.linear_lsq ~basis ~xs ~ys ~sigmas with
+      | r ->
+        let penalty =
+          if prior then ((de -. de_prior_mu) /. de_prior_sigma) ** 2. else 0.
+        in
+        let score = r.Fit.chi2 +. penalty in
+        (match !best with
+        | Some (_, _, s) when s <= score -> ()
+        | _ -> best := Some (de, r, score))
+      | exception Fit.Singular -> ())
+    de_grid;
+  match !best with
+  | Some (de, r, _) -> (de, r)
+  | None -> invalid_arg "Analysis.profile_fit: no stable fit"
+
+(* Fit g_eff(t) over [t_min, t_max] with bootstrap errors on gA. *)
+let fit_geff ~rng ~n_boot (samples : float array array)
+    ~(observable : float array -> float array) ~t_min ~t_max =
+  let mean, err = bootstrap_observable ~rng ~n_boot samples observable in
+  let t_max = min t_max (Array.length mean - 1) in
+  let xs = Array.init (t_max - t_min + 1) (fun i -> float_of_int (t_min + i)) in
+  let ys = Array.init (t_max - t_min + 1) (fun i -> mean.(t_min + i)) in
+  let sigmas = Array.init (t_max - t_min + 1) (fun i -> Float.max err.(t_min + i) 1e-12) in
+  let de, central = profile_fit ~xs ~ys ~sigmas () in
+  (* bootstrap the whole profile fit for the gA error *)
+  let n = Array.length samples in
+  let draws =
+    Array.init n_boot (fun _ ->
+        let resample = Array.init n (fun _ -> samples.(Util.Rng.int rng n)) in
+        let m = observable (ensemble_mean resample) in
+        let ys' = Array.init (t_max - t_min + 1) (fun i -> m.(t_min + i)) in
+        let _, r = profile_fit ~xs ~ys:ys' ~sigmas () in
+        r.Fit.params.(0))
+  in
+  {
+    ga = central.Fit.params.(0);
+    ga_err = Stats.std draws;
+    de;
+    chi2_dof = central.Fit.chi2 /. float_of_int (max 1 central.Fit.dof);
+    fit = central;
+    t_range = (t_min, t_max);
+  }
+
+(* Plateau (constant) fit for the traditional method's late-time data. *)
+let fit_plateau ~(mean : float array) ~(err : float array) ~t_min ~t_max =
+  let t_max = min t_max (Array.length mean - 1) in
+  let ys = Array.sub mean t_min (t_max - t_min + 1) in
+  let sigmas = Array.sub err t_min (t_max - t_min + 1) in
+  let r = Fit.constant_fit ~ys ~sigmas in
+  (r.Fit.params.(0), r.Fit.errors.(0))

@@ -1,0 +1,33 @@
+(** Hadron contractions (the CPU-only 3% of the workflow): pion and
+    proton two-point functions via explicit Wick contraction. *)
+
+val epsilon : (int * int * int * float) array
+(** The six color permutations with signs. *)
+
+val c_gamma5 : Linalg.Cplx.t array array
+(** The diquark matrix Cγ5 (DeGrand–Rossi: C = γt·γy). *)
+
+val parity_projector : Linalg.Cplx.t array array
+(** (1 + γt)/2 — forward-propagating nucleon. *)
+
+val polarized_projector : Linalg.Cplx.t array array
+(** (1 + γt)/2 · (1 − iγxγy)/2 — for the axial-charge measurement. *)
+
+val pion : Propagator.t -> float array
+(** γ5–γ5 correlator: C(t) = Σ_x |G(x)|² by γ5-hermiticity. *)
+
+val proton_general :
+  projector:Linalg.Cplx.t array array ->
+  u1:Propagator.t ->
+  u2:Propagator.t ->
+  d:Propagator.t ->
+  Linalg.Cplx.t array
+(** The two-term proton Wick contraction with independently
+    substitutable up-quark legs (for Feynman–Hellmann insertions). *)
+
+val proton :
+  ?projector:Linalg.Cplx.t array array ->
+  up:Propagator.t ->
+  down:Propagator.t ->
+  unit ->
+  float array

@@ -1,0 +1,26 @@
+(** General meson two-point functions with momentum projection. *)
+
+type channel = {
+  name : string;
+  snk : Linalg.Cplx.t array array;
+  src : Linalg.Cplx.t array array;
+}
+
+val pion : channel
+val rho : int -> channel
+(** [rho mu] with the γ_mu vertex, mu ∈ 0..2. *)
+
+val a0 : channel
+val axial_temporal : channel
+val standard_channels : channel list
+
+val momentum_phase : Lattice.Geometry.t -> k:int array -> int -> Linalg.Cplx.t
+(** e^{−i p·x} for integer spatial momentum [k]. *)
+
+val correlator : ?k:int array -> channel -> Propagator.t -> float array
+(** C(t; p) using γ5-hermiticity for the backward propagator. For the
+    pion channel this equals [Contract.pion]. *)
+
+val lattice_dispersion : m:float -> k:int array -> dims:int array -> float
+(** Free lattice boson dispersion:
+    sinh²(E/2) = sinh²(m/2) + Σ sin²(p_mu/2). *)

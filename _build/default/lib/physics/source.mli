@@ -1,0 +1,22 @@
+(** Sources and the 4D ↔ 5D domain-wall boundary maps. *)
+
+val fps : int
+(** 24 floats per 4D spinor site. *)
+
+val point : Lattice.Geometry.t -> site:int -> spin:int -> color:int -> Linalg.Field.t
+val wall : Lattice.Geometry.t -> t:int -> spin:int -> color:int -> Linalg.Field.t
+
+val noise : Lattice.Geometry.t -> Util.Rng.t -> t:int -> Linalg.Field.t
+(** Gaussian noise on one timeslice (stochastic estimators). *)
+
+val to_5d : l5:int -> Lattice.Geometry.t -> Linalg.Field.t -> Linalg.Field.t
+(** 4D source → 5D domain-wall source:
+    B = P+ η on slice 0, P− η on slice L5−1. *)
+
+val to_4d : l5:int -> Lattice.Geometry.t -> Linalg.Field.t -> Linalg.Field.t
+(** 5D solution → 4D quark field at the walls:
+    q = P− ψ(0) + P+ ψ(L5−1). *)
+
+val apply_spin_matrix :
+  Linalg.Cplx.t array array -> Linalg.Field.t -> Linalg.Field.t
+(** Apply a 4×4 spin matrix to every site of a 4D field. *)

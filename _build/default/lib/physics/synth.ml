@@ -1,0 +1,140 @@
+(* Synthetic correlator ensembles calibrated to the a09m310 analysis
+   of Fig 1 — the documented stand-in for the paper's ~10,000-
+   propagator production campaign (DESIGN.md substitution table).
+
+   The generator implements exactly the statistical physics the figure
+   is about:
+     - two-state spectral content: C(t) = A0 e^{-E0 t} (1 + r1 e^{-dE t})
+     - FH ratio R(t) = g00 (t - t0) with excited-state contamination
+       (the small-t curvature of Fig 1),
+     - Parisi-Lepage noise: the nucleon signal-to-noise degrades as
+       e^{-(E0 - 1.5 m_pi) t}, so late times are exponentially noisy,
+     - the traditional estimator's noise is set by the SINK separation
+       t_sep, while FH reads the signal from small t.                *)
+
+module Rng = Util.Rng
+
+type params = {
+  e0 : float;  (* nucleon mass, lattice units *)
+  m_pi : float;
+  de : float;  (* excited-state gap *)
+  a0 : float;  (* ground-state amplitude *)
+  r1 : float;  (* excited/ground amplitude ratio in C(t) *)
+  g00 : float;  (* gA (ground-state matrix element) *)
+  g01 : float;  (* ground-excited transition contamination in g_eff *)
+  g11 : float;  (* excited-excited term *)
+  noise0 : float;  (* per-sample relative noise at t = 0 *)
+  fh_noise : float;  (* extra per-sample noise on the FH ratio *)
+  nt : int;
+}
+
+(* Calibrated to the a09m310 ensemble of Refs. [8-10]:
+   a = 0.0871 fm, m_pi = 310 MeV, m_N = 1.13 GeV, gA = 1.2711(126). *)
+let a09m310 =
+  {
+    e0 = 0.499;
+    m_pi = 0.1369;
+    de = 0.40;
+    a0 = 1.0;
+    r1 = 0.35;
+    g00 = 1.2711;
+    g01 = -0.34;
+    g11 = 0.0;  (* transition term dominates the contamination *)
+    noise0 = 0.25;
+    fh_noise = 0.50;
+    nt = 16;
+  }
+
+let noise_growth_rate p = p.e0 -. (1.5 *. p.m_pi)
+
+let c2_mean p t =
+  p.a0 *. exp (-.p.e0 *. t) *. (1. +. (p.r1 *. exp (-.p.de *. t)))
+
+(* FH ratio mean with two-state contamination; its finite difference
+   is geff_model in Analysis. *)
+let ratio_mean p t =
+  (* integral of g_eff: g00 t + transition/excited terms *)
+  (p.g00 *. t)
+  -. (p.g01 /. p.de *. exp (-.p.de *. t))
+  -. (p.g11 *. ((t /. p.de) +. (1. /. (p.de *. p.de))) *. exp (-.p.de *. t))
+
+let geff_mean p t =
+  ratio_mean p (t +. 1.) -. ratio_mean p t
+
+(* Correlated unit-variance fluctuation field over t: a few smooth
+   random modes plus white noise, with coefficients chosen so the
+   variance is exactly 1 at every t. *)
+let unit_fluctuation rng p =
+  let a = Rng.gaussian rng and b = Rng.gaussian rng and c = Rng.gaussian rng in
+  Array.init p.nt (fun t ->
+      let theta = Float.pi *. float_of_int t /. float_of_int p.nt in
+      (0.5 *. a)
+      +. (0.5 *. ((b *. sin theta) +. (c *. cos theta)))
+      +. (Rng.gaussian rng /. sqrt 2.))
+
+(* Absolute noise on the nucleon correlator: Parisi-Lepage — the
+   variance correlator falls like a three-pion state, e^{-3 m_pi t},
+   so sigma_abs(t) = noise0 * a0 * e^{-1.5 m_pi t} and the RELATIVE
+   noise grows like e^{(E0 - 1.5 m_pi) t}. Additive and Gaussian:
+   individual samples can (physically!) fluctuate negative at late t. *)
+let sigma_abs p t = p.noise0 *. p.a0 *. exp (-1.5 *. p.m_pi *. t)
+
+(* One sample of (C(t), C_FH(t)): the fluctuations of C are shared by
+   C_FH (same gauge configuration and source) scaled by the ratio, with
+   an extra independent FH component controlling g_eff noise. *)
+let sample rng p =
+  let shared = unit_fluctuation rng p in
+  let extra = unit_fluctuation rng p in
+  let c2 =
+    Array.init p.nt (fun t ->
+        let tf = float_of_int t in
+        c2_mean p tf +. (sigma_abs p tf *. shared.(t)))
+  in
+  let c_fh =
+    Array.init p.nt (fun t ->
+        let tf = float_of_int t in
+        (c2_mean p tf *. ratio_mean p tf)
+        +. (sigma_abs p tf *. ratio_mean p tf *. shared.(t))
+        +. (sigma_abs p tf *. p.fh_noise *. extra.(t)))
+  in
+  (c2, c_fh)
+
+(* Ensemble of n samples; returns (c2 samples, c_fh samples). *)
+let ensemble rng p ~n =
+  let c2s = Array.make n [||] and fhs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let c2, fh = sample rng p in
+    c2s.(i) <- c2;
+    fhs.(i) <- fh
+  done;
+  (c2s, fhs)
+
+(* Paired observable for Analysis.bootstrap: concatenate (c2 | c_fh)
+   per sample so resampling keeps them correlated. *)
+let paired_samples (c2s, fhs) =
+  Array.map2 Array.append c2s fhs
+
+let geff_observable p (row : float array) =
+  let c2 = Array.sub row 0 p.nt and fh = Array.sub row p.nt p.nt in
+  Array.init (p.nt - 1) (fun t ->
+      (fh.(t + 1) /. c2.(t + 1)) -. (fh.(t) /. c2.(t)))
+
+(* ---- traditional (fixed sink separation) estimator ----
+   g_eff^trad(tau; t_sep) for tau in (0, t_sep): contamination from
+   both source and sink sides, noise set by e^{rate * t_sep}. *)
+let traditional_sample rng p ~t_sep =
+  let rate = noise_growth_rate p in
+  let ts = float_of_int t_sep in
+  (* the 3pt/2pt ratio inherits the 2pt's relative noise at the SINK
+     separation: per-sample sigma ~ e^{rate * t_sep} *)
+  let sigma = p.noise0 *. 2.0 *. exp (rate *. ts) in
+  Array.init (t_sep + 1) (fun tau ->
+      let tf = float_of_int tau in
+      let contamination =
+        p.g01 *. (exp (-.p.de *. tf) +. exp (-.p.de *. (ts -. tf)))
+        +. (p.g11 *. exp (-.p.de *. ts))
+      in
+      p.g00 +. contamination +. (sigma *. Rng.gaussian rng))
+
+let traditional_ensemble rng p ~n ~t_sep =
+  Array.init n (fun _ -> traditional_sample rng p ~t_sep)

@@ -1,0 +1,53 @@
+(** Synthetic correlator ensembles calibrated to the a09m310 analysis
+    of Fig 1 — the documented stand-in for the paper's production
+    statistics (DESIGN.md substitution table). Implements two-state
+    spectral content and Parisi–Lepage noise growth. *)
+
+type params = {
+  e0 : float;  (** nucleon mass (lattice units) *)
+  m_pi : float;
+  de : float;  (** excited-state gap *)
+  a0 : float;
+  r1 : float;  (** excited/ground amplitude ratio in C(t) *)
+  g00 : float;  (** gA *)
+  g01 : float;  (** transition contamination *)
+  g11 : float;
+  noise0 : float;  (** per-sample absolute noise scale at t = 0 *)
+  fh_noise : float;  (** extra independent noise on the FH correlator *)
+  nt : int;
+}
+
+val a09m310 : params
+(** Calibrated to a = 0.0871 fm, mπ = 310 MeV, mN = 1.13 GeV,
+    gA = 1.2711(126) [Nature 558, 91]. *)
+
+val noise_growth_rate : params -> float
+(** E0 − 1.5·mπ: the Parisi–Lepage signal-to-noise decay rate. *)
+
+val c2_mean : params -> float -> float
+val ratio_mean : params -> float -> float
+val geff_mean : params -> float -> float
+
+val sigma_abs : params -> float -> float
+(** Absolute correlator noise ∝ e^{−1.5 mπ t} (three-pion variance). *)
+
+val unit_fluctuation : Util.Rng.t -> params -> float array
+(** Correlated unit-variance fluctuation field over t. *)
+
+val sample : Util.Rng.t -> params -> float array * float array
+(** One (C, C_FH) draw; the two share gauge fluctuations. *)
+
+val ensemble : Util.Rng.t -> params -> n:int -> float array array * float array array
+
+val paired_samples : float array array * float array array -> float array array
+(** Concatenate (C | C_FH) per sample so resampling keeps them
+    correlated. *)
+
+val geff_observable : params -> float array -> float array
+(** g_eff from a concatenated (C | C_FH) row. *)
+
+val traditional_sample : Util.Rng.t -> params -> t_sep:int -> float array
+(** g_eff^trad(τ; t_sep): noise set by the SINK separation. *)
+
+val traditional_ensemble :
+  Util.Rng.t -> params -> n:int -> t_sep:int -> float array array

@@ -1,0 +1,1 @@
+lib/qio/h5lite.ml: Array Buffer Char Fun Hashtbl Int32 Int64 Lazy Linalg List String

@@ -1,0 +1,1 @@
+lib/qio/h5lite.mli: Linalg

@@ -1,0 +1,197 @@
+(* HDF5-lite: a hierarchical binary container with groups implied by
+   slash-separated dataset paths, CRC-checked payloads, and 64-bit
+   sizes — the role HDF5 plays in the paper's I/O layer [19], scoped
+   to what the workflow needs (propagators, correlators, metadata).
+
+   File layout:
+     magic "NFH5" | u32 version | u32 record count
+     repeat: u16 path_len | path bytes | u8 tag | u64 payload bytes
+             | payload | u32 crc32(payload)
+   All integers little-endian. *)
+
+type value =
+  | Float_array of float array
+  | Int_array of int array
+  | Str of string
+
+type t = { entries : (string, value) Hashtbl.t; mutable order : string list }
+
+let magic = "NFH5"
+let version = 1
+
+let create () = { entries = Hashtbl.create 32; order = [] }
+
+let valid_path path =
+  String.length path > 0
+  && path.[0] <> '/'
+  && String.for_all (fun c -> c <> '\n' && c <> '\t') path
+
+let write t ~path value =
+  if not (valid_path path) then invalid_arg "H5lite.write: bad path";
+  if not (Hashtbl.mem t.entries path) then t.order <- path :: t.order;
+  Hashtbl.replace t.entries path value
+
+let read t ~path = Hashtbl.find_opt t.entries path
+
+let read_exn t ~path =
+  match read t ~path with
+  | Some v -> v
+  | None -> raise Not_found
+
+let paths t = List.rev t.order
+
+let mem t ~path = Hashtbl.mem t.entries path
+
+(* Datasets under a group prefix (group/... convention). *)
+let list_group t ~group =
+  let prefix = group ^ "/" in
+  List.filter (fun p -> String.starts_with ~prefix p) (paths t)
+
+(* ---- CRC32 (IEEE 802.3) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---- serialization ---- *)
+
+let buf_add_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let buf_add_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let buf_add_u64 b (v : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let payload_of_value = function
+  | Float_array a ->
+    let b = Buffer.create (Array.length a * 8) in
+    Array.iter (fun x -> buf_add_u64 b (Int64.bits_of_float x)) a;
+    (0, Buffer.contents b)
+  | Int_array a ->
+    let b = Buffer.create (Array.length a * 8) in
+    Array.iter (fun x -> buf_add_u64 b (Int64.of_int x)) a;
+    (1, Buffer.contents b)
+  | Str s -> (2, s)
+
+exception Corrupt of string
+
+let read_u16 s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let read_u32 s pos =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let read_u64 s pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+let value_of_payload tag payload =
+  match tag with
+  | 0 ->
+    let n = String.length payload / 8 in
+    Float_array (Array.init n (fun i -> Int64.float_of_bits (read_u64 payload (8 * i))))
+  | 1 ->
+    let n = String.length payload / 8 in
+    Int_array (Array.init n (fun i -> Int64.to_int (read_u64 payload (8 * i))))
+  | 2 -> Str payload
+  | _ -> raise (Corrupt "unknown tag")
+
+let save t filename =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  buf_add_u32 b version;
+  let ps = paths t in
+  buf_add_u32 b (List.length ps);
+  List.iter
+    (fun path ->
+      let tag, payload = payload_of_value (Hashtbl.find t.entries path) in
+      buf_add_u16 b (String.length path);
+      Buffer.add_string b path;
+      Buffer.add_char b (Char.chr tag);
+      buf_add_u64 b (Int64.of_int (String.length payload));
+      Buffer.add_string b payload;
+      buf_add_u32 b (Int32.to_int (Int32.logand (crc32 payload) 0xFFFFFFFFl) land 0xFFFFFFFF))
+    ps;
+  let oc = open_out_bin filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)
+
+let load filename =
+  let ic = open_in_bin filename in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.length s < 12 || String.sub s 0 4 <> magic then
+    raise (Corrupt "bad magic");
+  let ver = read_u32 s 4 in
+  if ver <> version then raise (Corrupt "unsupported version");
+  let count = read_u32 s 8 in
+  let t = create () in
+  let pos = ref 12 in
+  for _ = 1 to count do
+    let plen = read_u16 s !pos in
+    pos := !pos + 2;
+    let path = String.sub s !pos plen in
+    pos := !pos + plen;
+    let tag = Char.code s.[!pos] in
+    incr pos;
+    let nbytes = Int64.to_int (read_u64 s !pos) in
+    pos := !pos + 8;
+    let payload = String.sub s !pos nbytes in
+    pos := !pos + nbytes;
+    let crc_stored = read_u32 s !pos in
+    pos := !pos + 4;
+    let crc_actual = Int32.to_int (Int32.logand (crc32 payload) 0xFFFFFFFFl) land 0xFFFFFFFF in
+    if crc_stored <> crc_actual then raise (Corrupt ("crc mismatch at " ^ path));
+    write t ~path (value_of_payload tag payload)
+  done;
+  t
+
+(* ---- field / correlator convenience ---- *)
+
+let write_field t ~path (f : Linalg.Field.t) =
+  write t ~path (Float_array (Linalg.Field.to_array f))
+
+let read_field t ~path =
+  match read t ~path with
+  | Some (Float_array a) -> Some (Linalg.Field.of_array a)
+  | _ -> None
+
+let write_correlator t ~path (c : float array) = write t ~path (Float_array c)
+
+let read_correlator t ~path =
+  match read t ~path with Some (Float_array a) -> Some a | _ -> None

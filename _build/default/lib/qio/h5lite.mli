@@ -1,0 +1,39 @@
+(** HDF5-lite: hierarchical binary container with slash-path groups,
+    CRC-checked payloads and 64-bit sizes — the role HDF5 plays in the
+    paper's I/O layer, scoped to the workflow's needs. *)
+
+type value =
+  | Float_array of float array
+  | Int_array of int array
+  | Str of string
+
+type t
+
+exception Corrupt of string
+
+val create : unit -> t
+
+val write : t -> path:string -> value -> unit
+(** Paths are relative ("group/dataset"); overwriting replaces.
+    @raise Invalid_argument on empty or absolute paths. *)
+
+val read : t -> path:string -> value option
+val read_exn : t -> path:string -> value
+val paths : t -> string list
+(** Insertion order. *)
+
+val mem : t -> path:string -> bool
+val list_group : t -> group:string -> string list
+
+val crc32 : string -> int32
+(** IEEE 802.3 CRC (test vector: crc32 "123456789" = 0xCBF43926). *)
+
+val save : t -> string -> unit
+
+val load : string -> t
+(** @raise Corrupt on bad magic, version, or CRC mismatch. *)
+
+val write_field : t -> path:string -> Linalg.Field.t -> unit
+val read_field : t -> path:string -> Linalg.Field.t option
+val write_correlator : t -> path:string -> float array -> unit
+val read_correlator : t -> path:string -> float array option

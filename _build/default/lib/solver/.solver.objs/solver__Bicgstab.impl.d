@@ -1,0 +1,1 @@
+lib/solver/bicgstab.ml: Bigarray Cg Linalg Unix

@@ -1,0 +1,1 @@
+lib/solver/bicgstab.mli: Cg Linalg

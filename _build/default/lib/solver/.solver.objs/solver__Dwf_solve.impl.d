@@ -1,0 +1,1 @@
+lib/solver/dwf_solve.ml: Cg Dirac Lattice Linalg Mixed

@@ -1,0 +1,1 @@
+lib/solver/dwf_solve.mli: Cg Dirac Lattice Linalg Mixed

@@ -1,0 +1,1 @@
+lib/solver/eigen.ml: Cg Float Linalg Util

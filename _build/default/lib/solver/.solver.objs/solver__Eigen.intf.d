@@ -1,0 +1,1 @@
+lib/solver/eigen.mli: Linalg Util

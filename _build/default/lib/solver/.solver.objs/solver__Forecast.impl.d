@@ -1,0 +1,1 @@
+lib/solver/forecast.ml: Array Linalg List Util

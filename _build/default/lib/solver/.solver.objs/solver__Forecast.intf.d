@@ -1,0 +1,1 @@
+lib/solver/forecast.mli: Linalg

@@ -1,0 +1,1 @@
+lib/solver/mixed.ml: Cg Float Linalg Unix

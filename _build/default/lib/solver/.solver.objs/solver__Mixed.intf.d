@@ -1,0 +1,1 @@
+lib/solver/mixed.mli: Cg Linalg

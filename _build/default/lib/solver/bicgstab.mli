@@ -1,0 +1,16 @@
+(** BiCGStab on a (non-hermitian) complex-linear operator — the
+    baseline alternative to CG on the normal equations. The operator
+    must be complex-linear over the interleaved re/im layout (Dirac
+    operators are; componentwise-real test matrices are not). *)
+
+val solve :
+  ?x0:Linalg.Field.t ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  b:Linalg.Field.t ->
+  tol:float ->
+  max_iter:int ->
+  flops_per_apply:float ->
+  unit ->
+  Linalg.Field.t * Cg.stats
+(** Converges when |r| ≤ tol·|b|; [converged = false] on breakdown
+    (vanishing ρ or ω) or max_iter. *)

@@ -1,0 +1,103 @@
+(* Conjugate gradient on the normal equations — the paper's solver
+   family. The operator is a closure so the same CG drives the plain
+   Wilson normal operator, the full Mobius normal operator and the
+   red-black preconditioned Schur normal operator. *)
+
+module Field = Linalg.Field
+
+type stats = {
+  iterations : int;
+  converged : bool;
+  relative_residual : float;  (* |r| / |b| from the recurrence *)
+  true_relative_residual : float option;  (* recomputed |b - Ax| / |b| *)
+  flops : float;
+  seconds : float;
+  reliable_updates : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "iters=%d conv=%b rel_res=%.2e%s flops=%s time=%s"
+    s.iterations s.converged s.relative_residual
+    (match s.true_relative_residual with
+    | None -> ""
+    | Some r -> Printf.sprintf " true_res=%.2e" r)
+    (Util.Ascii.si_float s.flops)
+    (Util.Ascii.seconds s.seconds)
+
+(* Flops of the BLAS-1 work per CG iteration on vectors of n floats:
+   2 reductions (2n each) + 3 axpys (2n each). *)
+let blas1_flops n = float_of_int (10 * n)
+
+let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
+    ~flops_per_apply () =
+  let n = Field.length b in
+  let t_start = Unix.gettimeofday () in
+  let x = match x0 with Some x -> Field.copy x | None -> Field.create n in
+  let r = Field.create n in
+  let ap = Field.create n in
+  (* r = b - A x *)
+  (match x0 with
+  | None -> Field.blit b r
+  | Some _ ->
+    apply x ap;
+    Field.sub b ap r);
+  let p = Field.copy r in
+  let b2 = Field.norm2 b in
+  if b2 = 0. then begin
+    Field.fill x 0.;
+    ( x,
+      {
+        iterations = 0;
+        converged = true;
+        relative_residual = 0.;
+        true_relative_residual = Some 0.;
+        flops = 0.;
+        seconds = Unix.gettimeofday () -. t_start;
+        reliable_updates = 0;
+      } )
+  end
+  else begin
+    let target = tol *. tol *. b2 in
+    let r2 = ref (Field.norm2 r) in
+    let iters = ref 0 in
+    let applies = ref (match x0 with None -> 0 | Some _ -> 1) in
+    while !r2 > target && !iters < max_iter do
+      incr iters;
+      apply p ap;
+      incr applies;
+      let pap = Field.dot_re p ap in
+      if pap <= 0. then
+        (* Operator not positive along p: bail out (caller sees
+           converged=false). Normal equations should not hit this. *)
+        iters := max_iter
+      else begin
+        let alpha = !r2 /. pap in
+        Field.axpy alpha p x;
+        Field.axpy (-.alpha) ap r;
+        let r2_new = Field.norm2 r in
+        let beta = r2_new /. !r2 in
+        r2 := r2_new;
+        (* p = r + beta p *)
+        Field.xpay r beta p
+      end
+    done;
+    (* true residual *)
+    apply x ap;
+    incr applies;
+    Field.sub b ap ap;
+    let true_res = sqrt (Field.norm2 ap /. b2) in
+    let flops =
+      (float_of_int !applies *. flops_per_apply)
+      +. (float_of_int !iters *. blas1_flops n)
+    in
+    ( x,
+      {
+        iterations = !iters;
+        converged = !r2 <= target;
+        relative_residual = sqrt (!r2 /. b2);
+        true_relative_residual = Some true_res;
+        flops;
+        seconds = Unix.gettimeofday () -. t_start;
+        reliable_updates = 0;
+      } )
+  end

@@ -1,0 +1,32 @@
+(** Conjugate gradient on the normal equations — the paper's solver
+    family. The operator is a closure: the same CG drives the Wilson
+    normal operator, the full Möbius normal operator and the red-black
+    Schur normal operator. *)
+
+type stats = {
+  iterations : int;
+  converged : bool;
+  relative_residual : float;  (** |r|/|b| from the CG recurrence *)
+  true_relative_residual : float option;  (** recomputed |b − Ax|/|b| *)
+  flops : float;
+  seconds : float;
+  reliable_updates : int;  (** mixed-precision solves only *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val blas1_flops : int -> float
+(** BLAS-1 flops of one CG iteration on vectors of [n] floats. *)
+
+val solve :
+  ?x0:Linalg.Field.t ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  b:Linalg.Field.t ->
+  tol:float ->
+  max_iter:int ->
+  flops_per_apply:float ->
+  unit ->
+  Linalg.Field.t * stats
+(** [solve ~apply ~b ~tol ~max_iter ~flops_per_apply ()] solves A x = b
+    for a hermitian positive-definite [apply]. Convergence criterion:
+    |r| ≤ tol·|b|. The true residual is recomputed at the end. *)

@@ -1,0 +1,42 @@
+(** Spectral estimates for hermitian positive operators: the condition
+    number behind CG's convergence rate and lattice QCD's critical
+    slowing down toward light quark masses. *)
+
+type estimate = {
+  lambda_max : float;
+  lambda_min : float;
+  condition_number : float;
+  iterations_max : int;  (** power iterations used *)
+  iterations_min : int;  (** inverse iterations used *)
+}
+
+val power_max :
+  ?tol:float ->
+  ?max_iter:int ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  n:int ->
+  rng:Util.Rng.t ->
+  unit ->
+  float * int
+(** Largest eigenvalue by power iteration; returns (λ, iterations). *)
+
+val power_min :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?cg_tol:float ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  n:int ->
+  rng:Util.Rng.t ->
+  unit ->
+  float * int
+(** Smallest eigenvalue by CG-based inverse iteration. *)
+
+val condition_number :
+  ?rng:Util.Rng.t ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  n:int ->
+  unit ->
+  estimate
+
+val cg_iteration_bound : condition_number:float -> tol:float -> float
+(** Classical bound: ~(1/2)·sqrt(κ)·ln(2/tol) iterations. *)

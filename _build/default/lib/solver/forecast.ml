@@ -1,0 +1,61 @@
+(* Chronological initial-guess forecasting: production campaigns solve
+   the same operator against a stream of related right-hand sides (12
+   spin-color columns, many sources); extrapolating an initial guess
+   from previous solutions cuts the iteration count. This implements
+   the minimal-residual projection onto the span of the last [depth]
+   solutions (Brower et al., "chronological inversion"). *)
+
+module Field = Linalg.Field
+
+type t = {
+  depth : int;
+  mutable history : Field.t list;  (* most recent first *)
+}
+
+let create ?(depth = 4) () =
+  if depth < 1 then invalid_arg "Forecast.create: depth >= 1";
+  { depth; history = [] }
+
+let record t (x : Field.t) =
+  let keep = Field.copy x in
+  t.history <-
+    keep :: (if List.length t.history >= t.depth then
+               List.filteri (fun i _ -> i < t.depth - 1) t.history
+             else t.history)
+
+let size t = List.length t.history
+
+(* Guess minimizing |b - A x|^2 over x in span(history): solve the
+   small Gram system (A v_i, A v_j) c_j = (A v_i, b). [apply] is A. *)
+let guess t ~apply ~(b : Field.t) : Field.t option =
+  match t.history with
+  | [] -> None
+  | vs ->
+    let m = List.length vs in
+    let n = Field.length b in
+    let avs =
+      List.map
+        (fun v ->
+          let av = Field.create n in
+          apply v av;
+          av)
+        vs
+    in
+    let avs = Array.of_list avs in
+    let vs = Array.of_list vs in
+    (* real-valued Gram formulation (adequate: the minimizer over the
+       real span; complex span would halve the residual a bit more) *)
+    let gram = Array.make (m * m) 0. in
+    let rhs = Array.make m 0. in
+    for i = 0 to m - 1 do
+      rhs.(i) <- Field.dot_re avs.(i) b;
+      for j = 0 to m - 1 do
+        gram.((i * m) + j) <- Field.dot_re avs.(i) avs.(j)
+      done
+    done;
+    (match Util.Fit.solve_linear_system gram rhs with
+    | c ->
+      let x = Field.create n in
+      Array.iteri (fun i v -> Field.axpy c.(i) v x) vs;
+      Some x
+    | exception Util.Fit.Singular -> None)

@@ -1,0 +1,22 @@
+(** Chronological initial-guess forecasting: minimal-residual
+    extrapolation from previous solutions of the same operator
+    (Brower et al.). Cuts iteration counts across the 12 spin-color
+    columns and source positions of a production stream. *)
+
+type t
+
+val create : ?depth:int -> unit -> t
+(** Keep the last [depth] (default 4) solutions. *)
+
+val record : t -> Linalg.Field.t -> unit
+(** Push a converged solution (copied) into the history. *)
+
+val size : t -> int
+
+val guess :
+  t ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  b:Linalg.Field.t ->
+  Linalg.Field.t option
+(** Minimizer of |b − A x|² over the (real) span of the history; [None]
+    when the history is empty or the Gram system is singular. *)

@@ -1,0 +1,113 @@
+(* Mixed-precision CG with reliable updates — the paper's double-half
+   solver. The inner iteration runs with vectors stored in 16-bit
+   fixed point (per-site norms, Linalg.Field.Half); the iterated
+   residual therefore drifts from the true one, and whenever it has
+   dropped by [delta] relative to the last checkpoint the solution is
+   promoted to the double-precision accumulator and the residual is
+   recomputed exactly (a "reliable update"). All reductions are in
+   double precision throughout, as in the paper. *)
+
+module Field = Linalg.Field
+
+type config = {
+  tol : float;
+  max_iter : int;
+  delta : float;  (* reliable-update trigger: residual drop factor *)
+  block : int;  (* floats sharing one half-precision norm (24 = site) *)
+}
+
+let default_config = { tol = 1e-8; max_iter = 2000; delta = 0.1; block = 24 }
+
+(* Quantize a vector in place through the half codec: this is the
+   storage-precision loss the inner solve sees. *)
+let quantize ~block v =
+  let h = Field.Half.create ~block (Field.length v) in
+  Field.Half.encode v h;
+  Field.Half.decode h v
+
+let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
+  let n = Field.length b in
+  let t_start = Unix.gettimeofday () in
+  let block = config.block in
+  let x = Field.create n in
+  (* double-precision residual *)
+  let r = Field.create n in
+  Field.blit b r;
+  let b2 = Field.norm2 b in
+  let target = config.tol *. config.tol *. b2 in
+  let ap = Field.create n in
+  let applies = ref 0 in
+  let iters = ref 0 in
+  let reliable = ref 0 in
+  if b2 > 0. then begin
+    let r2 = ref (Field.norm2 r) in
+    let continue_outer = ref true in
+    while !continue_outer && !r2 > target && !iters < config.max_iter do
+      (* ---- inner half-precision CG cycle against current r ---- *)
+      let rs = Field.copy r in
+      quantize ~block rs;
+      let p = Field.copy rs in
+      let xs = Field.create n in
+      let rs2 = ref (Field.norm2 rs) in
+      let checkpoint = !rs2 in
+      let inner_target = Float.max target (config.delta *. config.delta *. checkpoint) in
+      let stalled = ref false in
+      while (not !stalled) && !rs2 > inner_target && !iters < config.max_iter do
+        incr iters;
+        (* the stencil consumes and produces half-stored data *)
+        quantize ~block p;
+        apply p ap;
+        incr applies;
+        quantize ~block ap;
+        let pap = Field.dot_re p ap in
+        if pap <= 0. then stalled := true
+        else begin
+          let alpha = !rs2 /. pap in
+          Field.axpy alpha p xs;
+          Field.axpy (-.alpha) ap rs;
+          quantize ~block rs;
+          let rs2_new = Field.norm2 rs in
+          let beta = rs2_new /. !rs2 in
+          rs2 := rs2_new;
+          Field.xpay rs beta p
+        end
+      done;
+      (* ---- reliable update: promote and recompute exactly ---- *)
+      incr reliable;
+      Field.axpy 1. xs x;
+      apply x ap;
+      incr applies;
+      Field.sub b ap r;
+      let r2_new = Field.norm2 r in
+      (* If quantization noise floors out before the target, stop:
+         the caller can fall back to a pure double solve. *)
+      if !stalled || r2_new >= !r2 *. 0.9999 then continue_outer := false;
+      r2 := r2_new
+    done;
+    let flops =
+      (float_of_int !applies *. flops_per_apply)
+      +. (float_of_int !iters *. Cg.blas1_flops n)
+    in
+    let rel = sqrt (Field.norm2 r /. b2) in
+    ( x,
+      {
+        Cg.iterations = !iters;
+        converged = Field.norm2 r <= target;
+        relative_residual = rel;
+        true_relative_residual = Some rel;
+        flops;
+        seconds = Unix.gettimeofday () -. t_start;
+        reliable_updates = !reliable;
+      } )
+  end
+  else
+    ( x,
+      {
+        Cg.iterations = 0;
+        converged = true;
+        relative_residual = 0.;
+        true_relative_residual = Some 0.;
+        flops = 0.;
+        seconds = Unix.gettimeofday () -. t_start;
+        reliable_updates = 0;
+      } )

@@ -1,0 +1,30 @@
+(** Mixed-precision CG with reliable updates — the paper's double-half
+    solver. Inner iterations run on 16-bit fixed-point storage
+    ([Linalg.Field.Half]); the residual is recomputed exactly in double
+    precision at each reliable update. All reductions are double
+    precision. *)
+
+type config = {
+  tol : float;
+  max_iter : int;
+  delta : float;  (** reliable-update trigger: residual drop factor *)
+  block : int;  (** floats sharing one half-precision norm (24 = site) *)
+}
+
+val default_config : config
+
+val quantize : block:int -> Linalg.Field.t -> unit
+(** Round-trip a vector through the half codec in place — the storage
+    precision the inner solve sees. *)
+
+val solve :
+  ?config:config ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  b:Linalg.Field.t ->
+  flops_per_apply:float ->
+  unit ->
+  Linalg.Field.t * Cg.stats
+(** Requires [config.block] to divide the vector length. If the
+    half-precision noise floor is reached before [config.tol], returns
+    with [converged = false]; callers can polish in double precision
+    (see [Dwf_solve.solve]). *)

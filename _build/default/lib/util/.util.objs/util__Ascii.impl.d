@@ -1,0 +1,1 @@
+lib/util/ascii.ml: Array Buffer Float List Printf Stats String

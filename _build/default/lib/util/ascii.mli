@@ -1,0 +1,42 @@
+(** ASCII rendering of tables, plots and histograms for bench output. *)
+
+val si_float : ?digits:int -> float -> string
+(** Format with SI magnitude suffix (k/M/G/T/P/E, m/u/n). *)
+
+val flops : ?digits:int -> float -> string
+val bytes_per_sec : ?digits:int -> float -> string
+val seconds : float -> string
+
+val render_table : header:string list -> string list list -> string
+val print_table : header:string list -> string list list -> unit
+
+type series = { label : string; points : (float * float) array; glyph : char }
+
+val series : ?glyph:char -> string -> (float * float) array -> series
+
+val render_plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?logx:bool ->
+  ?zero_y:bool ->
+  series list ->
+  string
+(** [zero_y] (default true) pins the y-axis to include zero. *)
+
+val print_plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?logx:bool ->
+  ?zero_y:bool ->
+  series list ->
+  unit
+
+val render_histogram : ?width:int -> Stats.histogram -> string
+val print_histogram : ?width:int -> Stats.histogram -> unit
+
+val banner : string -> unit
+(** Print a section banner. *)

@@ -1,0 +1,32 @@
+(** Deterministic, splittable pseudo-random numbers (xoshiro256 starstar).
+
+    Every stochastic component of the library threads one of these
+    explicitly; nothing uses global state, so experiments are
+    reproducible from their seeds. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed via splitmix64. *)
+
+val split : t -> t
+(** [split t] returns a statistically independent child stream and
+    advances [t]. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0,1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); bias-free. *)
+
+val gaussian : t -> float
+(** Standard normal deviate. *)
+
+val gaussian_sigma : t -> mu:float -> sigma:float -> float
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+val exponential : t -> mean:float -> float

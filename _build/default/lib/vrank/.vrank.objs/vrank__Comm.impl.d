@@ -1,0 +1,1 @@
+lib/vrank/comm.ml: Array Bigarray Fun Lattice Linalg

@@ -1,0 +1,1 @@
+lib/vrank/comm.mli: Lattice Linalg

@@ -1,0 +1,1 @@
+lib/vrank/dd_solve.ml: Array Bigarray Comm Dd_wilson Dirac Lattice Linalg Solver Unix

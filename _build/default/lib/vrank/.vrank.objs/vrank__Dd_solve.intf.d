@@ -1,0 +1,1 @@
+lib/vrank/dd_solve.mli: Dd_wilson Linalg Solver

@@ -1,0 +1,1 @@
+lib/vrank/dd_wilson.ml: Array Comm Dirac Lattice Linalg

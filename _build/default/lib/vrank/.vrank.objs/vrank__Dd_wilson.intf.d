@@ -1,0 +1,1 @@
+lib/vrank/dd_wilson.mli: Comm Dirac Lattice Linalg

@@ -1,0 +1,116 @@
+(* Virtual-rank message passing: N ranks executed sequentially with
+   real buffers. This runs the same pack / exchange / unpack pattern an
+   MPI halo exchange performs — message counts and byte volumes are
+   recorded so the machine model can cost them — while staying
+   deterministic and testable in one process.
+
+   A rank's field covers the extended volume (local sites then ghost
+   slots). The exchange fills every rank's ghost slots from its
+   neighbors' boundary sites. *)
+
+module Domain = Lattice.Domain
+module Field = Linalg.Field
+
+type stats = {
+  mutable exchanges : int;  (* halo exchanges performed *)
+  mutable messages : int;  (* per-face sends *)
+  mutable bytes : float;  (* total payload *)
+}
+
+type t = {
+  dom : Domain.t;
+  dof : int;  (* floats per site *)
+  stats : stats;
+}
+
+let create dom ~dof = { dom; dof; stats = { exchanges = 0; messages = 0; bytes = 0. } }
+
+let stats t = t.stats
+
+let n_ranks t = Domain.n_ranks t.dom
+
+(* Rank-local extended field (local + ghosts), zero ghosts. *)
+let create_fields t : Field.t array =
+  Array.init (n_ranks t) (fun r ->
+      let rg = Domain.rank_geometry t.dom r in
+      Field.create (rg.Domain.ext_volume * t.dof))
+
+(* Distribute a global field (volume * dof) into per-rank extended
+   fields; ghosts left stale (a halo exchange must follow). *)
+let scatter t (global : Field.t) (fields : Field.t array) =
+  Array.iteri
+    (fun r (local : Field.t) ->
+      let rg = Domain.rank_geometry t.dom r in
+      for s = 0 to rg.Domain.local_volume - 1 do
+        let g = rg.Domain.local_to_global.(s) in
+        for d = 0 to t.dof - 1 do
+          Bigarray.Array1.unsafe_set local ((s * t.dof) + d)
+            (Bigarray.Array1.unsafe_get global ((g * t.dof) + d))
+        done
+      done)
+    fields
+
+let gather t (fields : Field.t array) : Field.t =
+  let global = Field.create (Lattice.Geometry.volume (Domain.global t.dom) * t.dof) in
+  Array.iteri
+    (fun r (local : Field.t) ->
+      let rg = Domain.rank_geometry t.dom r in
+      for s = 0 to rg.Domain.local_volume - 1 do
+        let g = rg.Domain.local_to_global.(s) in
+        for d = 0 to t.dof - 1 do
+          Bigarray.Array1.unsafe_set global ((g * t.dof) + d)
+            (Bigarray.Array1.unsafe_get local ((s * t.dof) + d))
+        done
+      done)
+    fields;
+  global
+
+(* Fill the ghost region of face [recv_face] on [dst] from the
+   boundary sites of [src_face] on [src]. The two faces agree on the
+   transverse ordering by construction. *)
+let copy_face t (src : Field.t) (src_face : Domain.face) (dst : Field.t)
+    (recv_face : Domain.face) =
+  let dof = t.dof in
+  Array.iteri
+    (fun i s ->
+      let sb = s * dof in
+      let db = (recv_face.Domain.ghost_base + i) * dof in
+      for d = 0 to dof - 1 do
+        Bigarray.Array1.unsafe_set dst (db + d)
+          (Bigarray.Array1.unsafe_get src (sb + d))
+      done)
+    src_face.Domain.send_sites
+
+(* Exchange the halos of [faces] (default: all 8). Sequential loop over
+   ranks; sends read local sites and writes land in ghost slots, so the
+   order is immaterial. *)
+let halo_exchange ?faces t (fields : Field.t array) =
+  t.stats.exchanges <- t.stats.exchanges + 1;
+  for r = 0 to n_ranks t - 1 do
+    let rg = Domain.rank_geometry t.dom r in
+    let face_ids =
+      match faces with None -> Array.init 8 Fun.id | Some f -> f
+    in
+    Array.iter
+      (fun fid ->
+        let face = rg.Domain.faces.(fid) in
+        (* data leaving face (mu, dir) lands in the neighbor's ghost
+           region of the opposite face (mu, 1-dir) *)
+        let nb = face.Domain.neighbor in
+        let nrg = Domain.rank_geometry t.dom nb in
+        let mirror =
+          nrg.Domain.faces.((2 * face.Domain.mu) + (1 - face.Domain.dir))
+        in
+        copy_face t fields.(r) face fields.(nb) mirror;
+        t.stats.messages <- t.stats.messages + 1;
+        t.stats.bytes <-
+          t.stats.bytes
+          +. float_of_int (Array.length face.Domain.send_sites * t.dof * 8))
+      face_ids
+  done
+
+(* Bytes one full halo exchange moves for a single rank (both
+   directions, all four dimensions), for the performance model. *)
+let halo_bytes_per_rank t r =
+  let rg = Domain.rank_geometry t.dom r in
+  float_of_int (Domain.halo_sites rg * t.dof * 8)

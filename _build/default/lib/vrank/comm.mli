@@ -1,0 +1,31 @@
+(** Virtual-rank message passing: N ranks executed sequentially with
+    real buffers, running the pack/exchange/unpack pattern of an MPI
+    halo exchange with message and byte accounting. *)
+
+type stats = {
+  mutable exchanges : int;
+  mutable messages : int;
+  mutable bytes : float;
+}
+
+type t
+
+val create : Lattice.Domain.t -> dof:int -> t
+(** [dof] = floats per site. *)
+
+val stats : t -> stats
+val n_ranks : t -> int
+
+val create_fields : t -> Linalg.Field.t array
+(** One extended-volume (local + ghosts) field per rank, zeroed. *)
+
+val scatter : t -> Linalg.Field.t -> Linalg.Field.t array -> unit
+(** Global field → per-rank local portions (ghosts left stale). *)
+
+val gather : t -> Linalg.Field.t array -> Linalg.Field.t
+
+val halo_exchange : ?faces:int array -> t -> Linalg.Field.t array -> unit
+(** Fill every rank's ghost slots from its neighbors' boundary sites
+    (all 8 faces by default). *)
+
+val halo_bytes_per_rank : t -> int -> float

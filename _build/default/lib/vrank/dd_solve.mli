@@ -1,0 +1,20 @@
+(** Distributed CG on the domain-decomposed Wilson normal operator:
+    halo exchange inside every application, per-rank partial sums
+    combined for every inner product (the all-reduce the machine model
+    charges). Deterministic; checked against the single-domain CGNE. *)
+
+type t
+
+val create : Dd_wilson.t -> mass:float -> t
+
+val solve_normal :
+  ?tol:float ->
+  ?max_iter:int ->
+  t ->
+  b_global:Linalg.Field.t ->
+  Linalg.Field.t
+  * Solver.Cg.stats
+  * [ `Exchanges of int ]
+  * [ `Allreduces of int ]
+(** Solve M†M x = M†b with b given in global layout; returns the
+    gathered global solution plus communication counts. *)

@@ -1,0 +1,85 @@
+(* Domain-decomposed Wilson operator over virtual ranks: the stencil
+   communication pattern of the paper executed functionally. The
+   overlapped application follows the canonical recipe from Sec. IV:
+
+     1. pack the halo into contiguous buffers (inside halo_exchange)
+     2. communicate halos to neighbors
+     3. compute the interior stencil
+     4. complete the boundary stencil once halos have arrived
+
+   Ranks run sequentially, so "overlap" here is exercised structurally
+   (interior computed from pre-exchange data is verified identical);
+   the timing benefit is what Machine.Perf_model costs out. *)
+
+module Domain = Lattice.Domain
+module Field = Linalg.Field
+module Wilson = Dirac.Wilson
+
+type t = {
+  dom : Domain.t;
+  comm : Comm.t;
+  kernels : Wilson.t array;  (* one per rank *)
+  gauges : Field.t array;  (* extended-volume gauge copies *)
+}
+
+let create dom gauge =
+  let comm = Comm.create dom ~dof:Wilson.floats_per_site in
+  let gauges =
+    Array.init (Domain.n_ranks dom) (fun r -> Domain.gather_gauge dom gauge r)
+  in
+  let kernels =
+    Array.init (Domain.n_ranks dom) (fun r ->
+        Wilson.of_domain_rank (Domain.rank_geometry dom r) gauges.(r))
+  in
+  { dom; comm; kernels; gauges }
+
+let comm t = t.comm
+
+(* Simple application: exchange halos, then run the full stencil on
+   every rank. [fields] are extended source fields; [dsts] receive
+   local_volume sites each. *)
+let hop t ~(fields : Field.t array) ~(dsts : Field.t array) =
+  Comm.halo_exchange t.comm fields;
+  Array.iteri
+    (fun r kernel -> Wilson.hop kernel ~src:fields.(r) ~dst:dsts.(r))
+    t.kernels
+
+(* Overlapped application: interior stencil runs between the exchange
+   "post" and "wait" (sequentially the exchange completes first, but
+   the interior uses no ghost data — asserted by construction of
+   interior_sites — so the split is faithful). *)
+let hop_overlapped t ~(fields : Field.t array) ~(dsts : Field.t array) =
+  (* interior first, from pre-exchange data *)
+  Array.iteri
+    (fun r kernel ->
+      let rg = Domain.rank_geometry t.dom r in
+      Wilson.hop_sites kernel ~sites:rg.Domain.interior_sites ~src:fields.(r)
+        ~dst:dsts.(r) ())
+    t.kernels;
+  Comm.halo_exchange t.comm fields;
+  Array.iteri
+    (fun r kernel ->
+      let rg = Domain.rank_geometry t.dom r in
+      Wilson.hop_sites kernel ~sites:rg.Domain.boundary_sites ~src:fields.(r)
+        ~dst:dsts.(r) ())
+    t.kernels
+
+(* Global-field convenience interface (tests, small workloads):
+   dst = H src computed across all ranks. *)
+let hop_global ?(overlapped = false) t (src : Field.t) : Field.t =
+  let fields = Comm.create_fields t.comm in
+  Comm.scatter t.comm src fields;
+  let dsts =
+    Array.init (Domain.n_ranks t.dom) (fun r ->
+        let rg = Domain.rank_geometry t.dom r in
+        Field.create (rg.Domain.local_volume * Wilson.floats_per_site))
+  in
+  if overlapped then hop_overlapped t ~fields ~dsts else hop t ~fields ~dsts;
+  Domain.gather_field t.dom ~dof:Wilson.floats_per_site dsts
+
+let apply_global ?(overlapped = false) t ~mass (src : Field.t) : Field.t =
+  let h = hop_global ~overlapped t src in
+  let out = Field.copy src in
+  Field.scale (4. +. mass) out;
+  Field.axpy (-0.5) h out;
+  out

@@ -1,0 +1,27 @@
+(** Domain-decomposed Wilson operator over virtual ranks: the paper's
+    stencil communication recipe (pack → communicate → interior →
+    boundary), verified against the single-domain oracle. *)
+
+type t = {
+  dom : Lattice.Domain.t;
+  comm : Comm.t;
+  kernels : Dirac.Wilson.t array;
+  gauges : Linalg.Field.t array;
+}
+
+val create : Lattice.Domain.t -> Lattice.Gauge.t -> t
+val comm : t -> Comm.t
+
+val hop : t -> fields:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Exchange halos, then the full stencil on every rank. *)
+
+val hop_overlapped :
+  t -> fields:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Interior stencil from pre-exchange data, then exchange, then the
+    boundary stencil — the overlap structure of Sec. IV. *)
+
+val hop_global : ?overlapped:bool -> t -> Linalg.Field.t -> Linalg.Field.t
+(** Convenience: scatter a global field, apply, gather. *)
+
+val apply_global : ?overlapped:bool -> t -> mass:float -> Linalg.Field.t -> Linalg.Field.t
+(** Full Wilson operator (4 + m) − H/2 across ranks. *)

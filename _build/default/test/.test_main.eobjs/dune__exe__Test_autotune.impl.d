@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Array Autotune Dirac Filename Fun Lattice Linalg List Machine Sys Util

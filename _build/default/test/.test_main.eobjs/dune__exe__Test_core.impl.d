@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Filename Lazy List Machine Printf Qio Sys Util

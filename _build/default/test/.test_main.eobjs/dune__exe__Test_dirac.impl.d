@@ -1,0 +1,1 @@
+test/test_dirac.ml: Alcotest Array Bigarray Dirac Float Lattice Linalg List Printf QCheck QCheck_alcotest Util

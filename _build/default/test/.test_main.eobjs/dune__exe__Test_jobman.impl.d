@@ -1,0 +1,1 @@
+test/test_jobman.ml: Alcotest Jobman List Printf Util

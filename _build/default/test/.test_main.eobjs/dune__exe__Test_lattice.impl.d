@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Float Lattice Linalg List Printf Util

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Bigarray Float Format Linalg List Printf QCheck QCheck_alcotest Util

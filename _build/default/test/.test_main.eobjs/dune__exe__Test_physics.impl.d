@@ -1,0 +1,1 @@
+test/test_physics.ml: Alcotest Array Bigarray Dirac Float Lattice Lazy Linalg List Physics Printf Solver Util

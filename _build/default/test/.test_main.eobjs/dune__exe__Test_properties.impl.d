@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bytes Char Filename Float Gen Jobman Lattice Linalg List QCheck QCheck_alcotest Qio String Sys Util

@@ -1,0 +1,1 @@
+test/test_qio.ml: Alcotest Array Bytes Char Filename Linalg List Qio Sys Util

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Bigarray Dirac Lattice Linalg Option Printf Solver Util

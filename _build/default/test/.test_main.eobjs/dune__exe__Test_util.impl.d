@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii Fit Float List Printf Rng Stats String Util

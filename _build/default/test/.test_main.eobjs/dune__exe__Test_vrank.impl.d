@@ -1,0 +1,1 @@
+test/test_vrank.ml: Alcotest Array Bigarray Dirac Lattice Linalg List Printf Solver String Util Vrank

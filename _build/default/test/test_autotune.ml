@@ -1,0 +1,177 @@
+(* Tests for Autotune: caching semantics, persistence, variant
+   equivalence, and communication-policy tuning. *)
+
+module Tuner = Autotune.Tuner
+module Variants = Autotune.Variants
+module Comm_tune = Autotune.Comm_tune
+module Field = Linalg.Field
+
+let test_tuner_caches () =
+  let t = Tuner.create ~repeats:1 () in
+  let calls = ref 0 in
+  let candidates =
+    [
+      Tuner.candidate "a" (fun () -> incr calls);
+      Tuner.candidate "b" (fun () -> incr calls);
+    ]
+  in
+  let w1 = Tuner.tune t ~kernel:"k" ~signature:"v1" candidates in
+  let calls_after_first = !calls in
+  let w2 = Tuner.tune t ~kernel:"k" ~signature:"v1" candidates in
+  Alcotest.(check string) "same winner" w1 w2;
+  Alcotest.(check int) "no re-measurement" calls_after_first !calls;
+  Alcotest.(check int) "one search" 1 (Tuner.tune_count t);
+  Alcotest.(check int) "one hit" 1 (Tuner.hit_count t)
+
+let test_tuner_distinguishes_signatures () =
+  let t = Tuner.create ~repeats:1 () in
+  let candidates = [ Tuner.candidate "only" (fun () -> ()) ] in
+  ignore (Tuner.tune t ~kernel:"k" ~signature:"v1" candidates);
+  ignore (Tuner.tune t ~kernel:"k" ~signature:"v2" candidates);
+  Alcotest.(check int) "two searches" 2 (Tuner.tune_count t)
+
+let test_tuner_picks_faster () =
+  let t = Tuner.create ~repeats:3 () in
+  let slow () =
+    let acc = ref 0. in
+    for i = 1 to 2_000_000 do
+      acc := !acc +. float_of_int i
+    done;
+    ignore !acc
+  in
+  let fast () = () in
+  let w =
+    Tuner.tune t ~kernel:"speed" ~signature:"x"
+      [ Tuner.candidate "slow" slow; Tuner.candidate "fast" fast ]
+  in
+  Alcotest.(check string) "fast wins" "fast" w
+
+let test_tuner_backup_restore () =
+  let t = Tuner.create ~repeats:2 () in
+  let data = ref 0 in
+  let snapshots = ref 0 in
+  let backup () = incr snapshots in
+  let restore () = data := 0 in
+  ignore
+    (Tuner.tune t ~backup ~restore ~kernel:"destructive" ~signature:"s"
+       [ Tuner.candidate "only" (fun () -> data := !data + 1) ]);
+  Alcotest.(check int) "data restored" 0 !data;
+  Alcotest.(check int) "backup per trial" 2 !snapshots
+
+let test_tuner_save_load () =
+  let t = Tuner.create ~repeats:1 () in
+  ignore
+    (Tuner.tune t ~kernel:"k1" ~signature:"s1"
+       [ Tuner.candidate "w" (fun () -> ()) ]);
+  let path = Filename.temp_file "tunecache" ".tsv" in
+  Tuner.save t path;
+  let t2 = Tuner.create () in
+  Tuner.load t2 path;
+  Sys.remove path;
+  (match Tuner.lookup t2 ~kernel:"k1" ~signature:"s1" with
+  | Some e -> Alcotest.(check string) "winner persisted" "w" e.Tuner.winner
+  | None -> Alcotest.fail "entry lost");
+  (* and a lookup hits the cache, no re-search *)
+  ignore
+    (Tuner.tune t2 ~kernel:"k1" ~signature:"s1"
+       [ Tuner.candidate "other" (fun () -> ()) ]);
+  Alcotest.(check int) "no search after load" 0 (Tuner.tune_count t2)
+
+let test_axpy_variants_agree () =
+  let rng = Util.Rng.create 5 in
+  let n = 1000 in
+  let x = Field.create n in
+  Field.gaussian rng x;
+  let reference = Field.create n in
+  Field.gaussian rng reference;
+  List.iter
+    (fun (label, f) ->
+      let y1 = Field.copy reference in
+      let y2 = Field.copy reference in
+      Field.axpy 0.7 x y1;
+      f 0.7 x y2;
+      Alcotest.(check (float 0.)) (label ^ " equals Field.axpy") 0.
+        (Field.max_abs_diff y1 y2))
+    Variants.axpy_variants
+
+let test_site_orders_are_permutations () =
+  let n = 100 in
+  List.iter
+    (fun (label, order) ->
+      let seen = Array.make n false in
+      Array.iter (fun s -> seen.(s) <- true) order;
+      Alcotest.(check int) (label ^ " length") n (Array.length order);
+      Alcotest.(check bool) (label ^ " covers all sites") true
+        (Array.for_all Fun.id seen))
+    (Variants.hop_orders n)
+
+let test_hop_orders_same_result () =
+  let geom = Lattice.Geometry.create [| 4; 4; 2; 2 |] in
+  let gauge = Lattice.Gauge.random geom (Util.Rng.create 9) in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Lattice.Geometry.volume geom * 24 in
+  let src = Field.create n in
+  Field.gaussian (Util.Rng.create 10) src;
+  let reference = Field.create n in
+  Dirac.Wilson.hop w ~src ~dst:reference;
+  List.iter
+    (fun (label, sites) ->
+      let dst = Field.create n in
+      Dirac.Wilson.hop_sites w ~sites ~src ~dst ();
+      Alcotest.(check (float 0.)) (label ^ " matches") 0.
+        (Field.max_abs_diff reference dst))
+    (Variants.hop_orders (Lattice.Geometry.volume geom))
+
+let test_tune_hop_returns_valid_order () =
+  let tuner = Tuner.create ~repeats:1 () in
+  let geom = Lattice.Geometry.create [| 4; 4; 2; 2 |] in
+  let gauge = Lattice.Gauge.unit geom in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Lattice.Geometry.volume geom * 24 in
+  let src = Field.create n and dst = Field.create n in
+  let label, sites = Variants.tune_hop tuner w ~src ~dst ~signature:"4422" in
+  Alcotest.(check bool) "label known" true
+    (List.mem_assoc label (Variants.hop_orders (Lattice.Geometry.volume geom)));
+  Alcotest.(check int) "sites cover volume" (Lattice.Geometry.volume geom)
+    (Array.length sites)
+
+let test_comm_tune_caches () =
+  let ct = Comm_tune.create () in
+  let p = Machine.Perf_model.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20 in
+  let r1 = Comm_tune.pick ct Machine.Spec.sierra p ~n_gpus:16 in
+  let r2 = Comm_tune.pick ct Machine.Spec.sierra p ~n_gpus:16 in
+  Alcotest.(check bool) "found" true (r1 <> None && r2 <> None);
+  Alcotest.(check int) "one tune" 1 (Comm_tune.tune_count ct);
+  Alcotest.(check int) "one hit" 1 (Comm_tune.hit_count ct)
+
+let test_comm_tune_respects_availability () =
+  let ct = Comm_tune.create () in
+  let p = Machine.Perf_model.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20 in
+  match Comm_tune.pick ct Machine.Spec.sierra p ~n_gpus:64 with
+  | None -> Alcotest.fail "no policy"
+  | Some (pol, _) ->
+    Alcotest.(check bool) "no GDR picked on Sierra" true
+      (pol.Machine.Policy.transfer <> Machine.Policy.Gdr)
+
+let test_comm_tune_survey () =
+  let ct = Comm_tune.create () in
+  let p = Machine.Perf_model.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20 in
+  let rows = Comm_tune.survey ct Machine.Spec.ray p ~gpu_counts:[ 4; 16; 64 ] in
+  Alcotest.(check int) "3 rows" 3 (List.length rows);
+  List.iter (fun (_, _, tf) -> Alcotest.(check bool) "positive" true (tf > 0.)) rows
+
+let suite =
+  [
+    Alcotest.test_case "tuner caches" `Quick test_tuner_caches;
+    Alcotest.test_case "tuner signatures" `Quick test_tuner_distinguishes_signatures;
+    Alcotest.test_case "tuner picks faster" `Quick test_tuner_picks_faster;
+    Alcotest.test_case "backup/restore" `Quick test_tuner_backup_restore;
+    Alcotest.test_case "save/load" `Quick test_tuner_save_load;
+    Alcotest.test_case "axpy variants agree" `Quick test_axpy_variants_agree;
+    Alcotest.test_case "site orders permute" `Quick test_site_orders_are_permutations;
+    Alcotest.test_case "hop orders same result" `Quick test_hop_orders_same_result;
+    Alcotest.test_case "tune_hop valid" `Quick test_tune_hop_returns_valid_order;
+    Alcotest.test_case "comm_tune caches" `Quick test_comm_tune_caches;
+    Alcotest.test_case "comm_tune availability" `Quick test_comm_tune_respects_availability;
+    Alcotest.test_case "comm_tune survey" `Quick test_comm_tune_survey;
+  ]

@@ -1,0 +1,272 @@
+(* Tests for Jobman: event engine, cluster accounting, and the three
+   scheduling strategies' qualitative claims from the paper. *)
+
+module Des = Jobman.Des
+module Cluster = Jobman.Cluster
+module Task = Jobman.Task
+module Sched = Jobman.Schedulers
+module Startup = Jobman.Startup
+module Placement = Jobman.Placement
+
+let rng () = Util.Rng.create 1999
+
+let test_des_ordering () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:2. (fun () -> log := "b" :: !log);
+  Des.schedule des ~delay:1. (fun () -> log := "a" :: !log);
+  Des.schedule des ~delay:3. (fun () -> log := "c" :: !log);
+  Des.run des;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 3. (Des.now des)
+
+let test_des_fifo_ties () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:1. (fun () -> log := "first" :: !log);
+  Des.schedule des ~delay:1. (fun () -> log := "second" :: !log);
+  Des.run des;
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second" ]
+    (List.rev !log)
+
+let test_des_nested_scheduling () =
+  let des = Des.create () in
+  let count = ref 0 in
+  let rec tick n = if n > 0 then Des.schedule des ~delay:1. (fun () -> incr count; tick (n - 1)) in
+  tick 5;
+  Des.run des;
+  Alcotest.(check int) "5 ticks" 5 !count;
+  Alcotest.(check (float 0.)) "clock 5" 5. (Des.now des)
+
+let test_des_rejects_past () =
+  let des = Des.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Des.schedule: negative delay")
+    (fun () -> Des.schedule des ~delay:(-1.) (fun () -> ()))
+
+let test_cluster_accounting () =
+  let c = Cluster.create ~n_nodes:4 ~gpus_per_node:4 ~cpus_per_node:16 (rng ()) in
+  Cluster.allocate_nodes c ~time:0. [| 0; 1 |];
+  Cluster.release_nodes c ~time:10. [| 0; 1 |];
+  (* 2 nodes busy for 10 s on a 4-node cluster over 10 s -> 50% *)
+  Alcotest.(check (float 1e-9)) "utilization" 0.5 (Cluster.utilization c ~makespan:10.)
+
+let test_cluster_contiguous_allocation () =
+  let c = Cluster.create ~n_nodes:8 ~gpus_per_node:1 ~cpus_per_node:4 (rng ()) in
+  Cluster.allocate_nodes c ~time:0. [| 2; 3 |];
+  (match Cluster.find_free_nodes ~contiguous:true c 4 with
+  | Some ids -> Alcotest.(check (array int)) "first free run" [| 4; 5; 6; 7 |] ids
+  | None -> Alcotest.fail "should find a contiguous run");
+  match Cluster.find_free_nodes ~contiguous:true c 7 with
+  | Some _ -> Alcotest.fail "no 7-run available"
+  | None -> ()
+
+let test_cluster_double_allocation_rejected () =
+  let c = Cluster.create ~n_nodes:2 ~gpus_per_node:1 ~cpus_per_node:4 (rng ()) in
+  Cluster.allocate_nodes c ~time:0. [| 0 |];
+  Alcotest.check_raises "busy node"
+    (Invalid_argument "Cluster.allocate_nodes: busy node") (fun () ->
+      Cluster.allocate_nodes c ~time:1. [| 0 |])
+
+let test_locality_factor () =
+  let c = Cluster.create ~n_nodes:64 ~gpus_per_node:1 ~cpus_per_node:4 (rng ()) in
+  let dense = Cluster.locality_factor c [| 4; 5; 6; 7 |] in
+  let scattered = Cluster.locality_factor c [| 0; 20; 40; 60 |] in
+  Alcotest.(check (float 1e-9)) "dense is free" 1.0 dense;
+  Alcotest.(check bool) "scatter penalized" true (scattered < 1.0);
+  Alcotest.(check bool) "penalty bounded" true (scattered >= 0.75)
+
+let make_workload ?(spread = 0.18) n =
+  Task.campaign ~spread ~n ~nodes:4 ~duration:600. (rng ())
+
+let test_naive_bundling_wastes () =
+  (* the paper: naive bundling idles 20-25% with heterogeneous tasks *)
+  let cluster = Cluster.create ~n_nodes:32 ~gpus_per_node:4 ~cpus_per_node:16 ~jitter:0.05 (rng ()) in
+  let tasks = make_workload 64 in
+  let o = Sched.naive ~cluster ~tasks in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle fraction %.3f in [0.08, 0.40]" o.Sched.idle_fraction)
+    true
+    (o.Sched.idle_fraction > 0.08 && o.Sched.idle_fraction < 0.40)
+
+let test_metaq_recovers_idle () =
+  let mk () = Cluster.create ~n_nodes:32 ~gpus_per_node:4 ~cpus_per_node:16 ~jitter:0.05 (rng ()) in
+  let tasks = make_workload 64 in
+  let naive = Sched.naive ~cluster:(mk ()) ~tasks in
+  let metaq = Sched.metaq ~cluster:(mk ()) ~tasks () in
+  Alcotest.(check bool)
+    (Printf.sprintf "metaq %.3f > naive %.3f utilization" metaq.Sched.utilization
+       naive.Sched.utilization)
+    true
+    (metaq.Sched.utilization > naive.Sched.utilization);
+  Alcotest.(check bool) "metaq speedup >= 15%" true
+    (naive.Sched.makespan /. metaq.Sched.makespan > 1.15)
+
+let test_mpi_jm_beats_metaq_locality () =
+  let mk () = Cluster.create ~n_nodes:32 ~gpus_per_node:4 ~cpus_per_node:16 ~jitter:0.05 (rng ()) in
+  let tasks = make_workload 64 in
+  let metaq = Sched.metaq ~cluster:(mk ()) ~tasks () in
+  let jm = Sched.mpi_jm ~block_nodes:8 ~cluster:(mk ()) ~tasks () in
+  Alcotest.(check bool)
+    (Printf.sprintf "mpi_jm %.0f <= metaq %.0f makespan" jm.Sched.makespan
+       metaq.Sched.makespan)
+    true
+    (jm.Sched.makespan <= metaq.Sched.makespan *. 1.02)
+
+let test_all_strategies_complete_work () =
+  let tasks = make_workload 16 in
+  let mk () = Cluster.create ~n_nodes:16 ~gpus_per_node:4 ~cpus_per_node:16 (rng ()) in
+  let naive = Sched.naive ~cluster:(mk ()) ~tasks in
+  let metaq = Sched.metaq ~cluster:(mk ()) ~tasks () in
+  let jm = Sched.mpi_jm ~block_nodes:8 ~cluster:(mk ()) ~tasks () in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) (o.Sched.strategy ^ " finishes") true (o.Sched.makespan > 0.);
+      Alcotest.(check bool) (o.Sched.strategy ^ " not over unity") true
+        (o.Sched.utilization <= 1.0 +. 1e-9);
+      Alcotest.(check bool) (o.Sched.strategy ^ " above ideal bound") true
+        (o.Sched.makespan >= o.Sched.ideal_time *. 0.99))
+    [ naive; metaq; jm ]
+
+let test_startup_lumps_beat_monolithic () =
+  let mono_t, _ = Startup.monolithic Startup.default ~nodes:4224 in
+  let lump = Startup.mpi_jm ~nodes:4224 ~lump_nodes:128 (rng ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "lumps %.0f s << monolithic %.0f s" lump.Startup.total_s mono_t)
+    true
+    (lump.Startup.total_s < mono_t /. 2.);
+  (* the paper: 4224 nodes in 3-5 minutes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "startup %.0f s in [120, 330]" lump.Startup.total_s)
+    true
+    (lump.Startup.total_s > 120. && lump.Startup.total_s < 330.)
+
+let test_startup_failed_lumps_dropped () =
+  let params = { Startup.default with Startup.node_failure_prob = 0.002 } in
+  let r = Startup.mpi_jm ~params ~nodes:2048 ~lump_nodes:64 (rng ()) in
+  Alcotest.(check bool) "some lumps failed" true (r.Startup.lumps_failed > 0);
+  Alcotest.(check int) "nodes lost = failed x lump size"
+    (r.Startup.lumps_failed * 64) r.Startup.nodes_lost;
+  Alcotest.(check bool) "most nodes usable" true
+    (r.Startup.usable_nodes > 2048 * 7 / 10)
+
+let test_failures_small_lumps_resilient () =
+  (* the paper's rationale: an MPI_Abort kills the whole lump, so small
+     lumps preserve more capacity on flaky systems *)
+  let r = rng () in
+  let sweep =
+    Jobman.Failures.lump_size_sweep ~abort_prob:0.05 ~n_nodes:256 ~job_nodes:4
+      ~n_tasks:256 ~duration:600. ~lump_sizes:[ 8; 64; 256 ] r
+  in
+  (match sweep with
+  | [ small; medium; big ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "capacity: small %.2f >= big %.2f" small.Jobman.Failures.capacity_left
+         big.Jobman.Failures.capacity_left)
+      true
+      (small.Jobman.Failures.capacity_left >= big.Jobman.Failures.capacity_left);
+    Alcotest.(check bool) "medium between or equal" true
+      (medium.Jobman.Failures.capacity_left >= big.Jobman.Failures.capacity_left -. 1e-9)
+  | _ -> Alcotest.fail "expected 3 outcomes")
+
+let test_failures_no_aborts_completes () =
+  let r = rng () in
+  let o =
+    Jobman.Failures.run ~abort_prob:0. ~n_nodes:64 ~lump_nodes:16 ~job_nodes:4
+      ~n_tasks:64 ~duration:100. r
+  in
+  Alcotest.(check int) "all complete" 64 o.Jobman.Failures.completed;
+  Alcotest.(check int) "no lumps lost" 0 o.Jobman.Failures.lumps_lost;
+  Alcotest.(check (float 1e-9)) "full capacity" 1. o.Jobman.Failures.capacity_left
+
+let test_failures_requeue_accounting () =
+  let r = rng () in
+  let o =
+    Jobman.Failures.run ~abort_prob:0.2 ~n_nodes:64 ~lump_nodes:32 ~job_nodes:4
+      ~n_tasks:128 ~duration:100. r
+  in
+  Alcotest.(check bool) "lumps lost" true (o.Jobman.Failures.lumps_lost > 0);
+  Alcotest.(check int) "nodes lost consistent"
+    (o.Jobman.Failures.lumps_lost * 32) o.Jobman.Failures.nodes_lost;
+  Alcotest.(check bool) "requeues happened" true (o.Jobman.Failures.tasks_requeued > 0)
+
+let test_pipeline_coscheduling_wins () =
+  let r = rng () in
+  let tasks = Jobman.Pipeline.campaign ~batch:4 ~n_props:128 ~prop_nodes:4 ~duration:600. r in
+  let sep, cos = Jobman.Pipeline.compare_modes ~n_nodes:32 ~tasks in
+  Alcotest.(check bool)
+    (Printf.sprintf "co-scheduled %.0f <= separate %.0f" cos.Jobman.Pipeline.makespan
+       sep.Jobman.Pipeline.makespan)
+    true
+    (cos.Jobman.Pipeline.makespan <= sep.Jobman.Pipeline.makespan);
+  Alcotest.(check int) "separate completes all" (List.length tasks) sep.Jobman.Pipeline.completed;
+  Alcotest.(check int) "co-scheduled completes all" (List.length tasks) cos.Jobman.Pipeline.completed
+
+let test_pipeline_dependencies_gate () =
+  (* a contraction cannot finish before its propagators: with one node
+     batch=1, the contraction must start strictly after its dep *)
+  let tasks =
+    [
+      { Jobman.Pipeline.id = 0; nodes = 1; duration = 100.; deps = []; cpu_only = false };
+      { Jobman.Pipeline.id = 1; nodes = 1; duration = 10.; deps = [ 0 ]; cpu_only = true };
+    ]
+  in
+  let o = Jobman.Pipeline.run ~mode:`Coscheduled ~n_nodes:4 ~tasks in
+  Alcotest.(check int) "both complete" 2 o.Jobman.Pipeline.completed;
+  Alcotest.(check bool) "makespan = prop + contraction" true
+    (abs_float (o.Jobman.Pipeline.makespan -. 110.) < 1e-6)
+
+let test_placement_summit_example () =
+  (* Sec. VII: three 16-GPU jobs on 8 Summit nodes (48 GPUs) *)
+  match Placement.place ~n_jobs:3 ~gpus_per_job:16 ~nodes:8 ~gpus_per_node:6 with
+  | None -> Alcotest.fail "placement should exist"
+  | Some ps ->
+    Alcotest.(check int) "3 jobs placed" 3 (List.length ps);
+    let total_gpus =
+      List.fold_left
+        (fun a p -> a + (p.Placement.nodes_used * p.Placement.gpus_per_node_used))
+        0 ps
+    in
+    Alcotest.(check int) "48 GPUs used" 48 total_gpus;
+    (* at least one job had to take a sparse placement *)
+    Alcotest.(check bool) "someone pays a penalty" true
+      (List.exists (fun p -> p.Placement.efficiency < 1.0) ps);
+    Alcotest.(check bool) "penalty mild" true
+      (Placement.aggregate_efficiency ps > 0.85)
+
+let test_placement_capacity_limit () =
+  match Placement.place ~n_jobs:4 ~gpus_per_job:16 ~nodes:8 ~gpus_per_node:6 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "64 GPUs cannot fit on 48"
+
+let test_placement_dense_when_room () =
+  match Placement.place ~n_jobs:1 ~gpus_per_job:12 ~nodes:8 ~gpus_per_node:6 with
+  | Some [ p ] ->
+    Alcotest.(check int) "dense: 2 nodes x 6" 2 p.Placement.nodes_used;
+    Alcotest.(check (float 0.)) "no penalty" 1.0 p.Placement.efficiency
+  | _ -> Alcotest.fail "expected one placement"
+
+let suite =
+  [
+    Alcotest.test_case "des ordering" `Quick test_des_ordering;
+    Alcotest.test_case "des fifo ties" `Quick test_des_fifo_ties;
+    Alcotest.test_case "des nested" `Quick test_des_nested_scheduling;
+    Alcotest.test_case "des rejects past" `Quick test_des_rejects_past;
+    Alcotest.test_case "cluster accounting" `Quick test_cluster_accounting;
+    Alcotest.test_case "contiguous allocation" `Quick test_cluster_contiguous_allocation;
+    Alcotest.test_case "double allocation" `Quick test_cluster_double_allocation_rejected;
+    Alcotest.test_case "locality factor" `Quick test_locality_factor;
+    Alcotest.test_case "naive bundling wastes" `Quick test_naive_bundling_wastes;
+    Alcotest.test_case "metaq recovers idle" `Quick test_metaq_recovers_idle;
+    Alcotest.test_case "mpi_jm beats metaq" `Quick test_mpi_jm_beats_metaq_locality;
+    Alcotest.test_case "strategies complete" `Quick test_all_strategies_complete_work;
+    Alcotest.test_case "startup lumps fast" `Quick test_startup_lumps_beat_monolithic;
+    Alcotest.test_case "failed lumps dropped" `Quick test_startup_failed_lumps_dropped;
+    Alcotest.test_case "failures: small lumps win" `Quick test_failures_small_lumps_resilient;
+    Alcotest.test_case "failures: clean run" `Quick test_failures_no_aborts_completes;
+    Alcotest.test_case "failures: requeue accounting" `Quick test_failures_requeue_accounting;
+    Alcotest.test_case "pipeline: co-scheduling" `Quick test_pipeline_coscheduling_wins;
+    Alcotest.test_case "pipeline: dependencies" `Quick test_pipeline_dependencies_gate;
+    Alcotest.test_case "summit 3x16 placement" `Quick test_placement_summit_example;
+    Alcotest.test_case "placement capacity" `Quick test_placement_capacity_limit;
+    Alcotest.test_case "dense placement" `Quick test_placement_dense_when_room;
+  ]

@@ -1,0 +1,253 @@
+(* Tests for Linalg: complex arithmetic, SU(3), fields, half codec. *)
+
+module Cplx = Linalg.Cplx
+module Su3 = Linalg.Su3
+module Field = Linalg.Field
+
+let rng () = Util.Rng.create 20_240_601
+
+let check_close ?(eps = 1e-12) msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (|%g - %g| <= %g)" msg a b eps) true
+    (abs_float (a -. b) <= eps)
+
+(* ---- Cplx ---- *)
+
+let test_cplx_field_axioms () =
+  let a = Cplx.make 1.5 (-0.5) and b = Cplx.make 0.25 2. in
+  Alcotest.(check bool) "commutative mul" true
+    (Cplx.equal (Cplx.mul a b) (Cplx.mul b a));
+  Alcotest.(check bool) "a * a^-1 = 1" true (Cplx.equal (Cplx.mul a (Cplx.inv a)) Cplx.one);
+  Alcotest.(check bool) "conj involution" true (Cplx.equal (Cplx.conj (Cplx.conj a)) a);
+  check_close "norm2 = a conj a" (Cplx.norm2 a) (Cplx.re (Cplx.mul a (Cplx.conj a)))
+
+let test_cplx_exp_i () =
+  let e = Cplx.exp_i (Float.pi /. 2.) in
+  Alcotest.(check bool) "e^{i pi/2} = i" true (Cplx.equal ~eps:1e-15 e Cplx.i)
+
+(* ---- Su3 ---- *)
+
+let test_su3_identity () =
+  let e = Su3.id () in
+  Alcotest.(check bool) "unitary" true (Su3.is_unitary e);
+  Alcotest.(check bool) "special" true (Su3.is_special_unitary e);
+  check_close "trace 3" 3. (Su3.re_trace e)
+
+let test_su3_random_is_special_unitary () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let u = Su3.random r in
+    Alcotest.(check bool) "unitary" true (Su3.is_unitary ~eps:1e-9 u);
+    Alcotest.(check bool) "det 1" true (Su3.is_special_unitary ~eps:1e-9 u)
+  done
+
+let test_su3_near_identity_spread () =
+  let r = rng () in
+  let u = Su3.random_near_identity r ~eps:0.01 in
+  Alcotest.(check bool) "close to id" true (Su3.frobenius_dist u (Su3.id ()) < 0.2);
+  Alcotest.(check bool) "still SU(3)" true (Su3.is_special_unitary ~eps:1e-9 u)
+
+let test_su3_mul_associative () =
+  let r = rng () in
+  let a = Su3.random r and b = Su3.random r and c = Su3.random r in
+  let lhs = Su3.mul (Su3.mul a b) c and rhs = Su3.mul a (Su3.mul b c) in
+  check_close ~eps:1e-12 "assoc" 0. (Su3.frobenius_dist lhs rhs)
+
+let test_su3_adj_antihomomorphism () =
+  let r = rng () in
+  let a = Su3.random r and b = Su3.random r in
+  let lhs = Su3.adj (Su3.mul a b) and rhs = Su3.mul (Su3.adj b) (Su3.adj a) in
+  check_close "(ab)^dag = b^dag a^dag" 0. (Su3.frobenius_dist lhs rhs)
+
+let test_su3_reunitarize_projects () =
+  let r = rng () in
+  let u = Su3.random r in
+  (* perturb off the group then project back *)
+  let perturbed = Su3.copy u in
+  perturbed.(0) <- perturbed.(0) +. 0.05;
+  perturbed.(7) <- perturbed.(7) -. 0.03;
+  let fixed = Su3.reunitarize perturbed in
+  Alcotest.(check bool) "back on SU(3)" true (Su3.is_special_unitary ~eps:1e-10 fixed);
+  Alcotest.(check bool) "stayed close" true (Su3.frobenius_dist fixed u < 0.3)
+
+let test_su3_mul_vec_matches_get () =
+  let r = rng () in
+  let u = Su3.random r in
+  let v = Array.init 6 (fun _ -> Util.Rng.gaussian r) in
+  let w = Su3.mul_vec u v in
+  (* compare against explicit complex arithmetic *)
+  for row = 0 to 2 do
+    let acc = ref Cplx.zero in
+    for k = 0 to 2 do
+      acc :=
+        Cplx.add !acc
+          (Cplx.mul (Su3.get u row k) (Cplx.make v.(2 * k) v.((2 * k) + 1)))
+    done;
+    check_close "re" (Cplx.re !acc) w.(2 * row);
+    check_close "im" (Cplx.im !acc) w.((2 * row) + 1)
+  done
+
+let test_su3_adj_mul_vec_inverts () =
+  let r = rng () in
+  let u = Su3.random r in
+  let v = Array.init 6 (fun _ -> Util.Rng.gaussian r) in
+  let w = Su3.adj_mul_vec u (Su3.mul_vec u v) in
+  Array.iteri (fun i x -> check_close ~eps:1e-10 "U^dag U v = v" v.(i) x) w
+
+let test_su3_embed_extract_su2 () =
+  (* embed a normalized quaternion and extract it back *)
+  let a0, a1, a2, a3 = (0.5, 0.5, 0.5, 0.5) in
+  List.iter
+    (fun (p, q) ->
+      let m = Su3.embed_su2 ~p ~q (a0, a1, a2, a3) in
+      Alcotest.(check bool) "embedded is SU(3)" true (Su3.is_special_unitary m);
+      let b0, b1, b2, b3 = Su3.extract_su2 ~p ~q m in
+      check_close "a0" a0 b0;
+      check_close "a1" a1 b1;
+      check_close "a2" a2 b2;
+      check_close "a3" a3 b3)
+    [ (0, 1); (0, 2); (1, 2) ]
+
+let test_su3_determinant_multiplicative () =
+  let r = rng () in
+  let a = Su3.random r and b = Su3.random r in
+  let da = Su3.determinant a and db = Su3.determinant b in
+  let dab = Su3.determinant (Su3.mul a b) in
+  Alcotest.(check bool) "det(ab) = det a det b" true
+    (Cplx.equal ~eps:1e-10 dab (Cplx.mul da db))
+
+(* ---- Field / BLAS1 ---- *)
+
+let test_field_axpy () =
+  let x = Field.of_array [| 1.; 2.; 3. |] in
+  let y = Field.of_array [| 10.; 20.; 30. |] in
+  Field.axpy 2. x y;
+  Alcotest.(check (array (float 1e-12))) "y + 2x" [| 12.; 24.; 36. |] (Field.to_array y)
+
+let test_field_xpay () =
+  let x = Field.of_array [| 1.; 2. |] in
+  let y = Field.of_array [| 10.; 20. |] in
+  Field.xpay x 0.5 y;
+  Alcotest.(check (array (float 1e-12))) "x + a y" [| 6.; 12. |] (Field.to_array y)
+
+let test_field_norms_and_dots () =
+  let r = rng () in
+  let n = 2048 in
+  let x = Field.create n and y = Field.create n in
+  Field.gaussian r x;
+  Field.gaussian r y;
+  check_close ~eps:1e-9 "norm2 = dot(x,x)" (Field.norm2 x) (Field.dot_re x x);
+  let cxy = Field.cdot x y and cyx = Field.cdot y x in
+  check_close ~eps:1e-9 "<x|y> = conj <y|x> (re)" (Cplx.re cxy) (Cplx.re cyx);
+  check_close ~eps:1e-9 "<x|y> = conj <y|x> (im)" (Cplx.im cxy) (-.Cplx.im cyx);
+  check_close ~eps:1e-9 "re cdot = dot_re" (Cplx.re cxy) (Field.dot_re x y)
+
+let test_field_caxpy_matches_complex () =
+  let x = Field.of_array [| 1.; 0.; 0.; 1. |] in
+  (* x = [1, i] *)
+  let y = Field.create 4 in
+  Field.caxpy (0., 1.) x y;
+  (* y = i * [1, i] = [i, -1] *)
+  Alcotest.(check (array (float 1e-12))) "i*x" [| 0.; 1.; -1.; 0. |] (Field.to_array y)
+
+let test_field_cauchy_schwarz () =
+  let r = rng () in
+  let x = Field.create 240 and y = Field.create 240 in
+  Field.gaussian r x;
+  Field.gaussian r y;
+  let lhs = Cplx.abs (Field.cdot x y) in
+  let rhs = Field.norm x *. Field.norm y in
+  Alcotest.(check bool) "|<x,y>| <= |x||y|" true (lhs <= rhs *. (1. +. 1e-12))
+
+let test_half_roundtrip_accuracy () =
+  let r = rng () in
+  let n = 24 * 64 in
+  let x = Field.create n in
+  Field.gaussian r x;
+  let y = Field.Half.round_trip x ~block:24 in
+  (* per-block error bounded by norm/2/32767 plus float32 norm rounding *)
+  for b = 0 to (n / 24) - 1 do
+    let norm = ref 0. in
+    for i = 0 to 23 do
+      let v = abs_float (Bigarray.Array1.get x ((b * 24) + i)) in
+      if v > !norm then norm := v
+    done;
+    for i = 0 to 23 do
+      let d =
+        abs_float
+          (Bigarray.Array1.get x ((b * 24) + i)
+          -. Bigarray.Array1.get y ((b * 24) + i))
+      in
+      Alcotest.(check bool) "within quantum" true
+        (d <= (!norm /. Field.Half.max_q /. 2.) +. (!norm *. 2e-7))
+    done
+  done
+
+let test_half_preserves_zero_and_scale () =
+  let x = Field.create 48 in
+  let y = Field.Half.round_trip x ~block:24 in
+  Alcotest.(check (float 0.)) "zero stays zero" 0. (Field.norm2 y);
+  (* the per-block max element is exactly representable *)
+  let z = Field.of_array (Array.init 24 (fun i -> if i = 5 then 7.25 else 0.)) in
+  let w = Field.Half.round_trip z ~block:24 in
+  Alcotest.(check (float 1e-6)) "max element survives" 7.25 (Bigarray.Array1.get w 5)
+
+let test_half_relative_error_small () =
+  let r = rng () in
+  let x = Field.create (24 * 32) in
+  Field.gaussian r x;
+  let y = Field.Half.round_trip x ~block:24 in
+  let d = Field.create (Field.length x) in
+  Field.sub x y d;
+  let rel = sqrt (Field.norm2 d /. Field.norm2 x) in
+  Alcotest.(check bool) (Printf.sprintf "rel err %g < 2e-4" rel) true (rel < 2e-4)
+
+(* ---- qcheck properties ---- *)
+
+let su3_arb =
+  QCheck.make
+    ~print:(fun u -> Format.asprintf "%a" Su3.pp u)
+    (QCheck.Gen.map
+       (fun seed -> Su3.random (Util.Rng.create seed))
+       QCheck.Gen.int)
+
+let prop_su3_product_closed =
+  QCheck.Test.make ~name:"su3 product stays in SU(3)" ~count:50
+    (QCheck.pair su3_arb su3_arb) (fun (a, b) ->
+      Su3.is_special_unitary ~eps:1e-8 (Su3.mul a b))
+
+let prop_su3_unitarity =
+  QCheck.Test.make ~name:"su3 U U^dag = 1" ~count:50 su3_arb (fun u ->
+      Su3.frobenius_dist (Su3.mul u (Su3.adj u)) (Su3.id ()) < 1e-9)
+
+let prop_su3_trace_cyclic =
+  QCheck.Test.make ~name:"tr(ab) = tr(ba)" ~count:50 (QCheck.pair su3_arb su3_arb)
+    (fun (a, b) ->
+      Cplx.abs (Cplx.sub (Su3.trace (Su3.mul a b)) (Su3.trace (Su3.mul b a)))
+      < 1e-10)
+
+let suite =
+  [
+    Alcotest.test_case "cplx field axioms" `Quick test_cplx_field_axioms;
+    Alcotest.test_case "cplx exp_i" `Quick test_cplx_exp_i;
+    Alcotest.test_case "su3 identity" `Quick test_su3_identity;
+    Alcotest.test_case "su3 random in group" `Quick test_su3_random_is_special_unitary;
+    Alcotest.test_case "su3 near identity" `Quick test_su3_near_identity_spread;
+    Alcotest.test_case "su3 associativity" `Quick test_su3_mul_associative;
+    Alcotest.test_case "su3 adjoint reverses" `Quick test_su3_adj_antihomomorphism;
+    Alcotest.test_case "su3 reunitarize" `Quick test_su3_reunitarize_projects;
+    Alcotest.test_case "su3 mul_vec" `Quick test_su3_mul_vec_matches_get;
+    Alcotest.test_case "su3 adj_mul_vec" `Quick test_su3_adj_mul_vec_inverts;
+    Alcotest.test_case "su3 su2 embed/extract" `Quick test_su3_embed_extract_su2;
+    Alcotest.test_case "su3 determinant" `Quick test_su3_determinant_multiplicative;
+    Alcotest.test_case "field axpy" `Quick test_field_axpy;
+    Alcotest.test_case "field xpay" `Quick test_field_xpay;
+    Alcotest.test_case "field norms/dots" `Quick test_field_norms_and_dots;
+    Alcotest.test_case "field caxpy" `Quick test_field_caxpy_matches_complex;
+    Alcotest.test_case "field cauchy-schwarz" `Quick test_field_cauchy_schwarz;
+    Alcotest.test_case "half codec accuracy" `Quick test_half_roundtrip_accuracy;
+    Alcotest.test_case "half zero/scale" `Quick test_half_preserves_zero_and_scale;
+    Alcotest.test_case "half relative error" `Quick test_half_relative_error_small;
+    QCheck_alcotest.to_alcotest prop_su3_product_closed;
+    QCheck_alcotest.to_alcotest prop_su3_unitarity;
+    QCheck_alcotest.to_alcotest prop_su3_trace_cyclic;
+  ]

@@ -1,0 +1,160 @@
+(* Tests for Machine: Table II data, the performance model's
+   calibration anchors and qualitative behaviours. *)
+
+module Spec = Machine.Spec
+module Policy = Machine.Policy
+module PM = Machine.Perf_model
+
+let p48 = PM.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20
+let p96 = PM.problem ~dims:[| 96; 96; 96; 144 |] ~l5:20
+
+let test_table_ii_contents () =
+  let rows = Spec.table_ii () in
+  Alcotest.(check int) "8 attribute rows" 8 (List.length rows);
+  List.iter
+    (fun row -> Alcotest.(check int) "4 machines + label" 5 (List.length row))
+    rows;
+  (* spot checks against the paper *)
+  Alcotest.(check int) "titan nodes" 18688 Spec.titan.Spec.nodes;
+  Alcotest.(check int) "summit gpus/node" 6 Spec.summit.Spec.gpus_per_node;
+  Alcotest.(check (float 0.)) "sierra fp32/node" 60. (Spec.fp32_tflops_per_node Spec.sierra);
+  Alcotest.(check (float 0.)) "summit gpu bw/node" 5400. (Spec.gpu_bw_per_node Spec.summit)
+
+let test_calibration_anchor_bandwidths () =
+  (* At the 16-GPU production group the model must return the paper's
+     achieved bandwidths (these are calibration inputs). *)
+  List.iter
+    (fun (m, expect) ->
+      match PM.best_policy m p48 ~n_gpus:16 with
+      | None -> Alcotest.fail "no grid at 16 GPUs"
+      | Some r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s bw %g ~ %g" m.Spec.name r.PM.bw_per_gpu_gbs expect)
+          true
+          (abs_float (r.PM.bw_per_gpu_gbs -. expect) /. expect < 0.05))
+    [ (Spec.titan, 139.); (Spec.ray, 516.); (Spec.sierra, 975.) ]
+
+let test_sierra_20_percent_at_low_count () =
+  match PM.best_policy Spec.sierra p48 ~n_gpus:16 with
+  | None -> Alcotest.fail "no grid"
+  | Some r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "sierra %%peak %g in [19, 22]" r.PM.percent_peak)
+      true
+      (r.PM.percent_peak > 19. && r.PM.percent_peak < 22.)
+
+let test_strong_scaling_efficiency_declines () =
+  (* per-GPU performance decreases monotonically with GPU count *)
+  let counts = [ 8; 16; 32; 64; 128 ] in
+  List.iter
+    (fun m ->
+      let perfs =
+        List.filter_map
+          (fun n ->
+            Option.map (fun r -> r.PM.tflops_per_gpu) (PM.best_policy m p48 ~n_gpus:n))
+          counts
+      in
+      let rec mono = function
+        | a :: b :: rest -> a >= b -. 1e-9 && mono (b :: rest)
+        | _ -> true
+      in
+      Alcotest.(check bool) (m.Spec.name ^ " per-GPU monotone") true (mono perfs))
+    [ Spec.titan; Spec.ray; Spec.sierra ]
+
+let test_total_performance_increases_then_saturates () =
+  (* Fig 4 shape: total grows at small counts; the marginal gain
+     collapses at large counts. *)
+  let p r = r.PM.tflops_total in
+  let get n = Option.get (PM.best_policy Spec.summit p96 ~n_gpus:n) in
+  let t512 = p (get 512) and t2048 = p (get 2048) in
+  let t8192 = p (get 8192) in
+  Alcotest.(check bool) "grows 512 -> 2048" true (t2048 > t512 *. 1.3);
+  Alcotest.(check bool) "saturates 2048 -> 8192" true (t8192 < t2048 *. 1.3)
+
+let test_machine_ordering_matches_generations () =
+  (* per-GPU and %peak order: Titan < Ray < Sierra at the same config *)
+  let perf m = (Option.get (PM.best_policy m p48 ~n_gpus:16)).PM.percent_peak in
+  Alcotest.(check bool) "titan < ray" true (perf Spec.titan < perf Spec.ray);
+  Alcotest.(check bool) "ray < sierra" true (perf Spec.ray < perf Spec.sierra)
+
+let test_gdr_availability () =
+  let gdr = { Policy.transfer = Policy.Gdr; granularity = Policy.Fine } in
+  Alcotest.(check bool) "no GDR on Sierra" false (Policy.available gdr Spec.sierra);
+  Alcotest.(check bool) "no GDR on Summit" false (Policy.available gdr Spec.summit);
+  Alcotest.(check bool) "GDR on Ray" true (Policy.available gdr Spec.ray)
+
+let test_gdr_beats_staging_when_available () =
+  let p = p48 in
+  let fine t = { Policy.transfer = t; granularity = Policy.Fine } in
+  let perf pol =
+    (Option.get (PM.solver_performance Spec.ray pol p ~n_gpus:64)).PM.tflops_total
+  in
+  Alcotest.(check bool) "gdr >= staged" true
+    (perf (fine Policy.Gdr) >= perf (fine Policy.Staged_mpi))
+
+let test_best_grid_divides () =
+  match PM.best_grid p48 12 with
+  | None -> Alcotest.fail "no grid for 12"
+  | Some g ->
+    Alcotest.(check int) "product" 12 (Array.fold_left ( * ) 1 g);
+    Array.iteri
+      (fun mu gm -> Alcotest.(check int) "divides" 0 (p48.PM.dims.(mu) mod gm))
+      g
+
+let test_grid_prefers_low_surface () =
+  (* For 16 GPUs on 48^3 x 64, a 2x2x2x2 grid has a lower surface than
+     16x1x1x1; the chosen grid must be at least as good as both. *)
+  match PM.best_grid p48 16 with
+  | None -> Alcotest.fail "no grid"
+  | Some g ->
+    let s = PM.surface_sites p48 g in
+    Alcotest.(check bool) "beats pencil" true
+      (s <= PM.surface_sites p48 [| 16; 1; 1; 1 |]);
+    Alcotest.(check bool) "beats hypercube or ties" true
+      (s <= PM.surface_sites p48 [| 2; 2; 2; 2 |])
+
+let test_weak_scaling_linear () =
+  let pt n =
+    Option.get
+      (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack:PM.Mvapich2
+         ~n_gpus:n)
+  in
+  let r = pt 3200 /. pt 1600 in
+  Alcotest.(check bool) (Printf.sprintf "doubling GPUs doubles PFlops (%g)" r) true
+    (abs_float (r -. 2.) < 1e-9)
+
+let test_stack_ordering () =
+  let pt stack =
+    Option.get
+      (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack ~n_gpus:1600)
+  in
+  Alcotest.(check bool) "spectrum > openmpi" true (pt PM.Spectrum > pt PM.Open_mpi);
+  Alcotest.(check bool) "openmpi > mvapich2" true (pt PM.Open_mpi > pt PM.Mvapich2)
+
+let test_sustained_20pf_at_13500 () =
+  (* the headline: ~20 PFlops sustained on 13500 Sierra GPUs *)
+  let pf =
+    Option.get
+      (PM.weak_scaling_point Spec.sierra p48 ~group_gpus:16 ~stack:PM.Mvapich2
+         ~n_gpus:13500)
+    /. 1000.
+  in
+  Alcotest.(check bool) (Printf.sprintf "%g PF in [14, 22]" pf) true
+    (pf > 14. && pf < 22.)
+
+let suite =
+  [
+    Alcotest.test_case "table II contents" `Quick test_table_ii_contents;
+    Alcotest.test_case "calibration bandwidths" `Quick test_calibration_anchor_bandwidths;
+    Alcotest.test_case "sierra 20% at 16 GPUs" `Quick test_sierra_20_percent_at_low_count;
+    Alcotest.test_case "strong scaling declines" `Quick test_strong_scaling_efficiency_declines;
+    Alcotest.test_case "fig4 saturation shape" `Quick test_total_performance_increases_then_saturates;
+    Alcotest.test_case "generation ordering" `Quick test_machine_ordering_matches_generations;
+    Alcotest.test_case "GDR availability" `Quick test_gdr_availability;
+    Alcotest.test_case "GDR beats staging" `Quick test_gdr_beats_staging_when_available;
+    Alcotest.test_case "grid divides dims" `Quick test_best_grid_divides;
+    Alcotest.test_case "grid minimizes surface" `Quick test_grid_prefers_low_surface;
+    Alcotest.test_case "weak scaling linear" `Quick test_weak_scaling_linear;
+    Alcotest.test_case "MPI stack ordering" `Quick test_stack_ordering;
+    Alcotest.test_case "20 PF at 13500 GPUs" `Quick test_sustained_20pf_at_13500;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "neutron_fall"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("lattice", Test_lattice.suite);
+      ("dirac", Test_dirac.suite);
+      ("solver", Test_solver.suite);
+      ("vrank", Test_vrank.suite);
+      ("machine", Test_machine.suite);
+      ("autotune", Test_autotune.suite);
+      ("jobman", Test_jobman.suite);
+      ("qio", Test_qio.suite);
+      ("physics", Test_physics.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,168 @@
+(* Cross-library qcheck property tests on core invariants. *)
+
+module Field = Linalg.Field
+module H5 = Qio.H5lite
+
+let prop_h5lite_roundtrip =
+  QCheck.Test.make ~name:"h5lite save/load roundtrips arbitrary datasets"
+    ~count:30
+    QCheck.(
+      small_list
+        (pair (string_gen_of_size (Gen.int_range 1 12) Gen.printable) (small_list float)))
+    (fun entries ->
+      let t = H5.create () in
+      let valid =
+        List.filter
+          (fun (path, _) ->
+            String.length path > 0 && path.[0] <> '/'
+            && String.for_all (fun c -> c <> '\n' && c <> '\t') path)
+          entries
+      in
+      List.iter
+        (fun (path, data) -> H5.write t ~path (H5.Float_array (Array.of_list data)))
+        valid;
+      let file = Filename.temp_file "prop_h5" ".nfh5" in
+      H5.save t file;
+      let t2 = H5.load file in
+      Sys.remove file;
+      List.for_all
+        (fun (path, _) ->
+          match (H5.read t ~path, H5.read t2 ~path) with
+          | Some (H5.Float_array a), Some (H5.Float_array b) -> a = b
+          | None, None -> true
+          | _ -> false)
+        valid)
+
+let prop_half_codec_bounded_error =
+  QCheck.Test.make ~name:"half codec error bounded by block norm / 32767" ~count:50
+    QCheck.(list_of_size (Gen.return 24) (float_range (-100.) 100.))
+    (fun floats ->
+      let v = Field.of_array (Array.of_list floats) in
+      let w = Field.Half.round_trip v ~block:24 in
+      let norm = Array.fold_left (fun a x -> Float.max a (abs_float x)) 0. (Field.to_array v) in
+      let tol = (norm /. Field.Half.max_q /. 2.) +. (norm *. 3e-7) +. 1e-300 in
+      Field.max_abs_diff v w <= tol)
+
+let prop_geometry_neighbors_involutive =
+  QCheck.Test.make ~name:"geometry fwd/bwd are inverse for random dims" ~count:20
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 3) (int_range 1 4))
+    (fun (a, b, c, d) ->
+      let dims = [| 2 * a; 2 * b; 2 * c; 2 * d |] in
+      let g = Lattice.Geometry.create dims in
+      let ok = ref true in
+      Lattice.Geometry.iter_sites g (fun s ->
+          for mu = 0 to 3 do
+            if Lattice.Geometry.bwd g (Lattice.Geometry.fwd g s mu) mu <> s then
+              ok := false
+          done);
+      !ok)
+
+let prop_rng_split_streams_differ =
+  QCheck.Test.make ~name:"rng split streams decorrelate" ~count:20 QCheck.int
+    (fun seed ->
+      let a = Util.Rng.create seed in
+      let b = Util.Rng.split a in
+      let xs = Array.init 64 (fun _ -> Util.Rng.float a) in
+      let ys = Array.init 64 (fun _ -> Util.Rng.float b) in
+      xs <> ys)
+
+let prop_stats_jackknife_of_mean_is_stderr =
+  QCheck.Test.make ~name:"jackknife error of the mean equals stderr" ~count:30
+    QCheck.(list_of_size (Gen.int_range 4 40) (float_range (-10.) 10.))
+    (fun data ->
+      let a = Array.of_list data in
+      if Util.Stats.std a = 0. then true
+      else begin
+        let _, jk = Util.Stats.jackknife ~estimator:Util.Stats.mean a in
+        abs_float (jk -. Util.Stats.standard_error a)
+        <= 1e-9 *. (1. +. Util.Stats.standard_error a)
+      end)
+
+let prop_field_caxpy_linear =
+  QCheck.Test.make ~name:"caxpy distributes over addition" ~count:30
+    QCheck.(pair (pair (float_range (-2.) 2.) (float_range (-2.) 2.)) int)
+    (fun ((ar, ai), seed) ->
+      let rng = Util.Rng.create seed in
+      let n = 48 in
+      let x = Field.create n and y1 = Field.create n and y2 = Field.create n in
+      Field.gaussian rng x;
+      Field.gaussian rng y1;
+      Field.blit y1 y2;
+      (* apply a then b vs (a+b) in one step *)
+      Field.caxpy (ar, ai) x y1;
+      Field.caxpy (2. *. ar, 2. *. ai) x y1;
+      Field.caxpy (3. *. ar, 3. *. ai) x y2;
+      Field.max_abs_diff y1 y2 < 1e-10)
+
+let prop_placement_capacity_respected =
+  QCheck.Test.make ~name:"placement never exceeds node GPU capacity" ~count:50
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 24) (int_range 1 12) (int_range 1 6))
+    (fun (n_jobs, gpus_per_job, nodes, gpus_per_node) ->
+      match Jobman.Placement.place ~n_jobs ~gpus_per_job ~nodes ~gpus_per_node with
+      | None -> true
+      | Some ps ->
+        let total =
+          List.fold_left
+            (fun a p ->
+              a + (p.Jobman.Placement.nodes_used * p.Jobman.Placement.gpus_per_node_used))
+            0 ps
+        in
+        total <= nodes * gpus_per_node
+        && List.for_all
+             (fun p -> p.Jobman.Placement.gpus_per_node_used <= gpus_per_node)
+             ps)
+
+let prop_des_monotone_time =
+  QCheck.Test.make ~name:"DES clock is monotone for random delays" ~count:30
+    QCheck.(small_list (float_range 0. 100.))
+    (fun delays ->
+      let des = Jobman.Des.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Jobman.Des.schedule des ~delay:d (fun () -> times := Jobman.Des.now des :: !times))
+        delays;
+      Jobman.Des.run des;
+      let rec mono = function
+        | a :: b :: tl -> a >= b -. 1e-12 && mono (b :: tl)
+        | _ -> true
+      in
+      mono !times)
+
+let prop_su3_exp_unitary =
+  QCheck.Test.make ~name:"exp(iQ) of random hermitian Q lands in SU(3)" ~count:30
+    QCheck.int
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let q = Lattice.Hmc.random_momentum rng in
+      let u = Lattice.Smear.exp_i_herm (Linalg.Su3.scale 0.3 q) in
+      Linalg.Su3.is_special_unitary ~eps:1e-8 u)
+
+let prop_crc_sensitive =
+  QCheck.Test.make ~name:"crc32 differs for single-char changes" ~count:50
+    QCheck.(pair (string_gen_of_size (Gen.int_range 1 64) Gen.printable) (int_range 0 255))
+    (fun (s, byte) ->
+      if String.length s = 0 then true
+      else begin
+        let b = Bytes.of_string s in
+        let old = Bytes.get b 0 in
+        Bytes.set b 0 (Char.chr ((Char.code old + 1 + (byte mod 255)) mod 256));
+        let s' = Bytes.to_string b in
+        s = s' || H5.crc32 s <> H5.crc32 s'
+      end)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_h5lite_roundtrip;
+      prop_half_codec_bounded_error;
+      prop_geometry_neighbors_involutive;
+      prop_rng_split_streams_differ;
+      prop_stats_jackknife_of_mean_is_stderr;
+      prop_field_caxpy_linear;
+      prop_placement_capacity_respected;
+      prop_des_monotone_time;
+      prop_su3_exp_unitary;
+      prop_crc_sensitive;
+    ]

@@ -1,0 +1,144 @@
+(* Tests for Qio.H5lite: roundtrips, CRC integrity, group listing. *)
+
+module H5 = Qio.H5lite
+module Field = Linalg.Field
+
+let temp () = Filename.temp_file "h5lite" ".nfh5"
+
+let test_roundtrip_all_types () =
+  let t = H5.create () in
+  H5.write t ~path:"run/corr" (H5.Float_array [| 1.5; -2.25; 3.75e-300; 0. |]);
+  H5.write t ~path:"run/dims" (H5.Int_array [| 4; 4; 4; 8 |]);
+  H5.write t ~path:"run/meta" (H5.Str "a09m310");
+  let path = temp () in
+  H5.save t path;
+  let t2 = H5.load path in
+  Sys.remove path;
+  (match H5.read t2 ~path:"run/corr" with
+  | Some (H5.Float_array a) ->
+    Alcotest.(check (array (float 0.))) "floats exact" [| 1.5; -2.25; 3.75e-300; 0. |] a
+  | _ -> Alcotest.fail "corr lost");
+  (match H5.read t2 ~path:"run/dims" with
+  | Some (H5.Int_array a) -> Alcotest.(check (array int)) "ints" [| 4; 4; 4; 8 |] a
+  | _ -> Alcotest.fail "dims lost");
+  match H5.read t2 ~path:"run/meta" with
+  | Some (H5.Str s) -> Alcotest.(check string) "string" "a09m310" s
+  | _ -> Alcotest.fail "meta lost"
+
+let test_special_floats () =
+  let t = H5.create () in
+  H5.write t ~path:"x" (H5.Float_array [| infinity; neg_infinity; 1e-323 |]);
+  let path = temp () in
+  H5.save t path;
+  let t2 = H5.load path in
+  Sys.remove path;
+  match H5.read t2 ~path:"x" with
+  | Some (H5.Float_array a) ->
+    Alcotest.(check bool) "inf" true (a.(0) = infinity);
+    Alcotest.(check bool) "-inf" true (a.(1) = neg_infinity);
+    Alcotest.(check (float 0.)) "subnormal" 1e-323 a.(2)
+  | _ -> Alcotest.fail "lost"
+
+let test_path_order_preserved () =
+  let t = H5.create () in
+  H5.write t ~path:"b" (H5.Str "1");
+  H5.write t ~path:"a" (H5.Str "2");
+  H5.write t ~path:"c" (H5.Str "3");
+  Alcotest.(check (list string)) "insertion order" [ "b"; "a"; "c" ] (H5.paths t)
+
+let test_overwrite_no_duplicate () =
+  let t = H5.create () in
+  H5.write t ~path:"x" (H5.Str "old");
+  H5.write t ~path:"x" (H5.Str "new");
+  Alcotest.(check int) "single entry" 1 (List.length (H5.paths t));
+  match H5.read t ~path:"x" with
+  | Some (H5.Str s) -> Alcotest.(check string) "latest wins" "new" s
+  | _ -> Alcotest.fail "lost"
+
+let test_group_listing () =
+  let t = H5.create () in
+  H5.write t ~path:"cfg0/pion" (H5.Str "");
+  H5.write t ~path:"cfg0/proton" (H5.Str "");
+  H5.write t ~path:"cfg1/pion" (H5.Str "");
+  Alcotest.(check (list string)) "cfg0 members" [ "cfg0/pion"; "cfg0/proton" ]
+    (H5.list_group t ~group:"cfg0")
+
+let test_crc_detects_corruption () =
+  let t = H5.create () in
+  H5.write t ~path:"payload" (H5.Float_array (Array.init 64 float_of_int));
+  let path = temp () in
+  H5.save t path;
+  (* flip one byte in the middle of the payload *)
+  let ic = open_in_bin path in
+  let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let mid = Bytes.length s / 2 in
+  Bytes.set s mid (Char.chr (Char.code (Bytes.get s mid) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc;
+  (try
+     ignore (H5.load path);
+     Sys.remove path;
+     Alcotest.fail "corruption not detected"
+   with H5.Corrupt _ | Invalid_argument _ ->
+     Sys.remove path)
+
+let test_bad_magic_rejected () =
+  let path = temp () in
+  let oc = open_out_bin path in
+  output_string oc "NOTAFILE";
+  close_out oc;
+  (try
+     ignore (H5.load path);
+     Sys.remove path;
+     Alcotest.fail "bad magic accepted"
+   with H5.Corrupt _ -> Sys.remove path)
+
+let test_invalid_path_rejected () =
+  let t = H5.create () in
+  Alcotest.check_raises "absolute path" (Invalid_argument "H5lite.write: bad path")
+    (fun () -> H5.write t ~path:"/abs" (H5.Str ""));
+  Alcotest.check_raises "empty path" (Invalid_argument "H5lite.write: bad path")
+    (fun () -> H5.write t ~path:"" (H5.Str ""))
+
+let test_field_helpers () =
+  let rng = Util.Rng.create 3 in
+  let f = Field.create 96 in
+  Field.gaussian rng f;
+  let t = H5.create () in
+  H5.write_field t ~path:"prop/col0" f;
+  let path = temp () in
+  H5.save t path;
+  let t2 = H5.load path in
+  Sys.remove path;
+  match H5.read_field t2 ~path:"prop/col0" with
+  | Some g -> Alcotest.(check (float 0.)) "field exact" 0. (Field.max_abs_diff f g)
+  | None -> Alcotest.fail "field lost"
+
+let test_crc32_known_value () =
+  (* standard test vector: crc32("123456789") = 0xCBF43926 *)
+  Alcotest.(check int32) "crc32 vector" 0xCBF43926l (H5.crc32 "123456789")
+
+let test_empty_archive () =
+  let t = H5.create () in
+  let path = temp () in
+  H5.save t path;
+  let t2 = H5.load path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "no paths" [] (H5.paths t2)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all types" `Quick test_roundtrip_all_types;
+    Alcotest.test_case "special floats" `Quick test_special_floats;
+    Alcotest.test_case "path order" `Quick test_path_order_preserved;
+    Alcotest.test_case "overwrite" `Quick test_overwrite_no_duplicate;
+    Alcotest.test_case "group listing" `Quick test_group_listing;
+    Alcotest.test_case "crc detects corruption" `Quick test_crc_detects_corruption;
+    Alcotest.test_case "bad magic" `Quick test_bad_magic_rejected;
+    Alcotest.test_case "invalid paths" `Quick test_invalid_path_rejected;
+    Alcotest.test_case "field helpers" `Quick test_field_helpers;
+    Alcotest.test_case "crc32 vector" `Quick test_crc32_known_value;
+    Alcotest.test_case "empty archive" `Quick test_empty_archive;
+  ]

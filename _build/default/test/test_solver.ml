@@ -1,0 +1,444 @@
+(* Tests for Solver: CG, mixed-precision CG with reliable updates, and
+   the end-to-end domain-wall solves (red-black vs full oracle). *)
+
+module Geometry = Lattice.Geometry
+module Gauge = Lattice.Gauge
+module Field = Linalg.Field
+module Mobius = Dirac.Mobius
+module Cg = Solver.Cg
+module Mixed = Solver.Mixed
+module Dwf = Solver.Dwf_solve
+
+let rng () = Util.Rng.create 90_210
+
+(* A small SPD operator: A = I + B^T B for a random sparse-ish B,
+   realized densely on vectors of length n. *)
+let make_spd n seed =
+  let r = Util.Rng.create seed in
+  let bmat = Array.init (n * n) (fun _ -> Util.Rng.gaussian r /. float_of_int n) in
+  fun (src : Field.t) (dst : Field.t) ->
+    (* dst = src + B^T (B src) *)
+    let tmp = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. (bmat.((i * n) + j) *. Bigarray.Array1.get src j)
+      done;
+      tmp.(i) <- !acc
+    done;
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. (bmat.((i * n) + j) *. tmp.(i))
+      done;
+      Bigarray.Array1.set dst j (Bigarray.Array1.get src j +. !acc)
+    done
+
+let test_cg_solves_spd () =
+  let n = 48 in
+  let apply = make_spd n 1 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x, stats = Cg.solve ~apply ~b ~tol:1e-12 ~max_iter:500 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "converged" true stats.Cg.converged;
+  let ax = Field.create n in
+  apply x ax;
+  let d = Field.create n in
+  Field.sub b ax d;
+  Alcotest.(check bool) "true residual small" true
+    (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-10)
+
+let test_cg_zero_rhs () =
+  let apply = make_spd 8 2 in
+  let b = Field.create 8 in
+  let x, stats = Cg.solve ~apply ~b ~tol:1e-10 ~max_iter:10 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "converged" true stats.Cg.converged;
+  Alcotest.(check int) "0 iterations" 0 stats.Cg.iterations;
+  Alcotest.(check (float 0.)) "x = 0" 0. (Field.norm2 x)
+
+let test_cg_initial_guess () =
+  let n = 32 in
+  let apply = make_spd n 3 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x1, s1 = Cg.solve ~apply ~b ~tol:1e-12 ~max_iter:500 ~flops_per_apply:1. () in
+  (* warm start from the solution: should converge immediately *)
+  let _, s2 = Cg.solve ~x0:x1 ~apply ~b ~tol:1e-10 ~max_iter:500 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "warm start trivial" true (s2.Cg.iterations <= 1);
+  Alcotest.(check bool) "cold start took iterations" true (s1.Cg.iterations > 1)
+
+let test_cg_max_iter_respected () =
+  let n = 64 in
+  let apply = make_spd n 4 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let _, stats = Cg.solve ~apply ~b ~tol:1e-30 ~max_iter:3 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "stopped at max_iter" true (stats.Cg.iterations <= 3);
+  Alcotest.(check bool) "not converged" true (not stats.Cg.converged)
+
+let test_cg_flops_accounting () =
+  let n = 16 in
+  let apply = make_spd n 5 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let _, stats = Cg.solve ~apply ~b ~tol:1e-12 ~max_iter:100 ~flops_per_apply:1000. () in
+  (* at least one apply per iteration plus the closing true-residual apply *)
+  Alcotest.(check bool) "flops >= applies" true
+    (stats.Cg.flops >= float_of_int (stats.Cg.iterations + 1) *. 1000.)
+
+let test_mixed_cg_converges () =
+  let n = 24 * 8 in
+  (* block size must divide n *)
+  let apply = make_spd n 6 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x, stats = Mixed.solve ~apply ~b ~flops_per_apply:1. () in
+  Alcotest.(check bool) "converged" true stats.Cg.converged;
+  Alcotest.(check bool) "used reliable updates" true (stats.Cg.reliable_updates >= 1);
+  let ax = Field.create n in
+  apply x ax;
+  let d = Field.create n in
+  Field.sub b ax d;
+  Alcotest.(check bool) "true residual meets tol" true
+    (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-7)
+
+let test_mixed_matches_double () =
+  let n = 24 * 4 in
+  let apply = make_spd n 7 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let xd, _ = Cg.solve ~apply ~b ~tol:1e-10 ~max_iter:1000 ~flops_per_apply:1. () in
+  let xm, _ =
+    Mixed.solve
+      ~config:{ Mixed.default_config with tol = 1e-10 }
+      ~apply ~b ~flops_per_apply:1. ()
+  in
+  let d = Field.create n in
+  Field.sub xd xm d;
+  Alcotest.(check bool) "mixed = double within tolerance" true
+    (sqrt (Field.norm2 d /. Field.norm2 xd) < 1e-6)
+
+(* ---- BiCGStab ---- *)
+
+(* BiCGStab uses complex inner products, so its operator must be
+   complex-linear: a real matrix applied to the real and imaginary
+   parts independently (interleaved layout, n complex components). *)
+let make_spd_complex n seed =
+  let r = Util.Rng.create seed in
+  let bmat = Array.init (n * n) (fun _ -> Util.Rng.gaussian r /. float_of_int n) in
+  fun (src : Field.t) (dst : Field.t) ->
+    let tmp = Array.make (2 * n) 0. in
+    for i = 0 to n - 1 do
+      let re = ref 0. and im = ref 0. in
+      for j = 0 to n - 1 do
+        re := !re +. (bmat.((i * n) + j) *. Bigarray.Array1.get src (2 * j));
+        im := !im +. (bmat.((i * n) + j) *. Bigarray.Array1.get src ((2 * j) + 1))
+      done;
+      tmp.(2 * i) <- !re;
+      tmp.((2 * i) + 1) <- !im
+    done;
+    for j = 0 to n - 1 do
+      let re = ref 0. and im = ref 0. in
+      for i = 0 to n - 1 do
+        re := !re +. (bmat.((i * n) + j) *. tmp.(2 * i));
+        im := !im +. (bmat.((i * n) + j) *. tmp.((2 * i) + 1))
+      done;
+      Bigarray.Array1.set dst (2 * j) (Bigarray.Array1.get src (2 * j) +. !re);
+      Bigarray.Array1.set dst ((2 * j) + 1)
+        (Bigarray.Array1.get src ((2 * j) + 1) +. !im)
+    done
+
+let test_bicgstab_spd () =
+  let n = 48 in
+  let apply = make_spd_complex (n / 2) 31 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x, st = Solver.Bicgstab.solve ~apply ~b ~tol:1e-10 ~max_iter:500 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "converged" true st.Cg.converged;
+  let ax = Field.create n in
+  apply x ax;
+  let d = Field.create n in
+  Field.sub b ax d;
+  Alcotest.(check bool) "true residual" true (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-8)
+
+let test_bicgstab_nonhermitian () =
+  (* BiCGStab's reason to exist: solve a genuinely non-hermitian system
+     (a Wilson operator) directly. *)
+  let geom = Geometry.create [| 4; 2; 2; 4 |] in
+  let gauge = Gauge.random geom (rng ()) in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Geometry.volume geom * 24 in
+  let apply src dst = Dirac.Wilson.apply w ~mass:0.3 ~src ~dst in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x, st = Solver.Bicgstab.solve ~apply ~b ~tol:1e-10 ~max_iter:2000 ~flops_per_apply:1. () in
+  Alcotest.(check bool) "converged" true st.Cg.converged;
+  let ax = Field.create n in
+  apply x ax;
+  let d = Field.create n in
+  Field.sub b ax d;
+  Alcotest.(check bool) "solves Wilson directly" true
+    (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-8)
+
+let test_bicgstab_matches_cgne () =
+  (* same Wilson system through CG on the normal equations *)
+  let geom = Geometry.create [| 2; 2; 2; 4 |] in
+  let gauge = Gauge.warm geom (rng ()) ~eps:0.3 in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Geometry.volume geom * 24 in
+  let apply src dst = Dirac.Wilson.apply w ~mass:0.3 ~src ~dst in
+  let apply_normal src dst =
+    let tmp = Field.create n in
+    apply src tmp;
+    let tmp2 = Field.create n in
+    Dirac.Gamma.apply_gamma5 tmp tmp2;
+    let tmp3 = Field.create n in
+    apply tmp2 tmp3;
+    Dirac.Gamma.apply_gamma5 tmp3 dst
+  in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x_bi, _ = Solver.Bicgstab.solve ~apply ~b ~tol:1e-12 ~max_iter:4000 ~flops_per_apply:1. () in
+  (* CGNE: M^dag M x = M^dag b with M^dag = g5 M g5 *)
+  let rhs = Field.create n in
+  let t1 = Field.create n in
+  Dirac.Gamma.apply_gamma5 b t1;
+  let t2 = Field.create n in
+  apply t1 t2;
+  Dirac.Gamma.apply_gamma5 t2 rhs;
+  let x_cg, _ = Cg.solve ~apply:apply_normal ~b:rhs ~tol:1e-12 ~max_iter:4000 ~flops_per_apply:1. () in
+  let d = Field.create n in
+  Field.sub x_bi x_cg d;
+  Alcotest.(check bool) "BiCGStab = CGNE solution" true
+    (sqrt (Field.norm2 d /. Field.norm2 x_cg) < 1e-7)
+
+(* ---- chronological forecasting ---- *)
+
+let test_forecast_exact_history () =
+  let n = 32 in
+  let apply = make_spd n 77 in
+  let r = rng () in
+  let b = Field.create n in
+  Field.gaussian r b;
+  let x, _ = Cg.solve ~apply ~b ~tol:1e-13 ~max_iter:500 ~flops_per_apply:1. () in
+  let f = Solver.Forecast.create ~depth:3 () in
+  Solver.Forecast.record f x;
+  (match Solver.Forecast.guess f ~apply ~b with
+  | None -> Alcotest.fail "no guess"
+  | Some g ->
+    let ag = Field.create n in
+    apply g ag;
+    let d = Field.create n in
+    Field.sub b ag d;
+    Alcotest.(check bool) "exact history -> exact guess" true
+      (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-9))
+
+let test_forecast_reduces_iterations () =
+  let n = 64 in
+  let apply = make_spd n 78 in
+  let r = rng () in
+  let b1 = Field.create n in
+  Field.gaussian r b1;
+  let x1, s_cold = Cg.solve ~apply ~b:b1 ~tol:1e-10 ~max_iter:500 ~flops_per_apply:1. () in
+  let f = Solver.Forecast.create () in
+  Solver.Forecast.record f x1;
+  (* a nearby RHS: b2 = b1 + small perturbation *)
+  let b2 = Field.copy b1 in
+  let noise = Field.create n in
+  Field.gaussian r noise;
+  Field.axpy 0.01 noise b2;
+  let guess = Option.get (Solver.Forecast.guess f ~apply ~b:b2) in
+  let _, s_warm = Cg.solve ~x0:guess ~apply ~b:b2 ~tol:1e-10 ~max_iter:500 ~flops_per_apply:1. () in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d < cold %d iters" s_warm.Cg.iterations s_cold.Cg.iterations)
+    true
+    (s_warm.Cg.iterations < s_cold.Cg.iterations)
+
+let test_forecast_depth_bounded () =
+  let f = Solver.Forecast.create ~depth:2 () in
+  let v = Field.create 4 in
+  Solver.Forecast.record f v;
+  Solver.Forecast.record f v;
+  Solver.Forecast.record f v;
+  Alcotest.(check int) "bounded history" 2 (Solver.Forecast.size f)
+
+(* ---- spectral estimates ---- *)
+
+let test_eigen_known_matrix () =
+  (* diagonal operator with known spectrum *)
+  let n = 16 in
+  let diag = Array.init n (fun i -> 1. +. float_of_int i) in
+  let apply (src : Field.t) (dst : Field.t) =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set dst i (diag.(i) *. Bigarray.Array1.get src i)
+    done
+  in
+  let est = Solver.Eigen.condition_number ~rng:(rng ()) ~apply ~n () in
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda_max %g ~ 16" est.Solver.Eigen.lambda_max)
+    true
+    (abs_float (est.Solver.Eigen.lambda_max -. 16.) < 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda_min %g ~ 1" est.Solver.Eigen.lambda_min)
+    true
+    (abs_float (est.Solver.Eigen.lambda_min -. 1.) < 0.05);
+  Alcotest.(check bool) "condition ~ 16" true
+    (abs_float (est.Solver.Eigen.condition_number -. 16.) < 1.)
+
+let test_eigen_condition_predicts_cg () =
+  (* CG iterations stay below the classical bound from the condition
+     number *)
+  let n = 64 in
+  let apply = make_spd n 91 in
+  let est = Solver.Eigen.condition_number ~rng:(rng ()) ~apply ~n () in
+  let b = Field.create n in
+  Field.gaussian (rng ()) b;
+  let _, st = Cg.solve ~apply ~b ~tol:1e-8 ~max_iter:2000 ~flops_per_apply:1. () in
+  let bound =
+    Solver.Eigen.cg_iteration_bound
+      ~condition_number:est.Solver.Eigen.condition_number ~tol:1e-8
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "iters %d <= bound %.0f (+ slack)" st.Cg.iterations bound)
+    true
+    (float_of_int st.Cg.iterations <= (2. *. bound) +. 10.)
+
+let test_eigen_mass_dependence () =
+  (* the Mobius Schur normal operator gets worse-conditioned as the
+     quark mass decreases: lattice QCD's critical slowing down *)
+  let geom = Geometry.create [| 2; 2; 2; 4 |] in
+  let gauge = Gauge.warm geom (rng ()) ~eps:0.3 in
+  let fgauge = Gauge.with_antiperiodic_time gauge in
+  let kappa mass =
+    let p = Dirac.Mobius.mobius ~l5:4 ~m5:1.8 ~alpha:1.5 ~mass in
+    let eo = Dirac.Mobius.of_geometry_eo p geom fgauge in
+    let n = Dirac.Mobius.eo_field_length eo in
+    let apply src dst = Dirac.Mobius.apply_schur_normal eo ~src ~dst in
+    (Solver.Eigen.condition_number ~rng:(rng ()) ~apply ~n ()).Solver.Eigen.condition_number
+  in
+  let k_heavy = kappa 0.4 and k_light = kappa 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "kappa(m=0.05) %g > kappa(m=0.4) %g" k_light k_heavy)
+    true (k_light > k_heavy)
+
+(* ---- Domain-wall solves ---- *)
+
+let dwf_setup () =
+  let geom = Geometry.create [| 2; 2; 2; 4 |] in
+  let gauge = Gauge.warm geom (rng ()) ~eps:0.4 in
+  let gauge = Gauge.with_antiperiodic_time gauge in
+  let p = Dirac.Mobius.mobius ~l5:4 ~m5:1.8 ~alpha:1.5 ~mass:0.1 in
+  Dwf.create p geom gauge
+
+let point_source t =
+  let rhs = Field.create (Dwf.field_length t) in
+  (* delta at 5D origin, spin 0, color 0 *)
+  Bigarray.Array1.set rhs 0 1.;
+  rhs
+
+let test_dwf_eo_solve_residual () =
+  let t = dwf_setup () in
+  let rhs = point_source t in
+  let x, stats = Dwf.solve t ~tol:1e-10 ~rhs in
+  Alcotest.(check bool) "converged" true stats.Cg.converged;
+  let res = Dwf.residual t ~x ~rhs in
+  Alcotest.(check bool) (Printf.sprintf "residual %g < 1e-8" res) true (res < 1e-8)
+
+let test_dwf_full_solve_residual () =
+  let t = dwf_setup () in
+  let rhs = point_source t in
+  let x, stats = Dwf.solve_full t ~tol:1e-10 ~rhs in
+  Alcotest.(check bool) "converged" true stats.Cg.converged;
+  let res = Dwf.residual t ~x ~rhs in
+  Alcotest.(check bool) (Printf.sprintf "residual %g < 1e-8" res) true (res < 1e-8)
+
+let test_dwf_eo_matches_full () =
+  (* D is nonsingular, so both paths must find the same solution. *)
+  let t = dwf_setup () in
+  let rhs = point_source t in
+  let x_eo, _ = Dwf.solve t ~tol:1e-12 ~rhs in
+  let x_full, _ = Dwf.solve_full t ~tol:1e-12 ~rhs in
+  let d = Field.create (Field.length x_eo) in
+  Field.sub x_eo x_full d;
+  let rel = sqrt (Field.norm2 d /. Field.norm2 x_full) in
+  Alcotest.(check bool) (Printf.sprintf "eo = full (rel %g)" rel) true (rel < 1e-8)
+
+let test_dwf_mixed_precision_solve () =
+  let t = dwf_setup () in
+  let rhs = point_source t in
+  let x, stats =
+    Dwf.solve t ~precision:(Dwf.Mixed Mixed.default_config) ~tol:1e-8 ~rhs
+  in
+  let res = Dwf.residual t ~x ~rhs in
+  Alcotest.(check bool) (Printf.sprintf "residual %g < 1e-6" res) true (res < 1e-6);
+  Alcotest.(check bool) "reliable updates happened" true
+    (stats.Cg.reliable_updates >= 1)
+
+let test_dwf_eo_iterations_beat_full () =
+  (* The red-black system is better conditioned; with the same
+     tolerance it should not need more iterations than the
+     unpreconditioned normal equations. *)
+  let t = dwf_setup () in
+  let rhs = point_source t in
+  let _, s_eo = Dwf.solve t ~tol:1e-10 ~rhs in
+  let _, s_full = Dwf.solve_full t ~tol:1e-10 ~rhs in
+  Alcotest.(check bool)
+    (Printf.sprintf "eo iters %d <= full iters %d" s_eo.Cg.iterations
+       s_full.Cg.iterations)
+    true
+    (s_eo.Cg.iterations <= s_full.Cg.iterations)
+
+let test_dwf_linearity () =
+  let t = dwf_setup () in
+  let r = rng () in
+  let n = Dwf.field_length t in
+  let rhs1 = Field.create n and rhs2 = Field.create n in
+  Field.gaussian r rhs1;
+  Field.gaussian r rhs2;
+  let x1, _ = Dwf.solve t ~tol:1e-12 ~rhs:rhs1 in
+  let x2, _ = Dwf.solve t ~tol:1e-12 ~rhs:rhs2 in
+  (* solve for rhs1 + 2 rhs2 *)
+  let rhs3 = Field.copy rhs1 in
+  Field.axpy 2. rhs2 rhs3;
+  let x3, _ = Dwf.solve t ~tol:1e-12 ~rhs:rhs3 in
+  let expect = Field.copy x1 in
+  Field.axpy 2. x2 expect;
+  let d = Field.create n in
+  Field.sub x3 expect d;
+  let rel = sqrt (Field.norm2 d /. Field.norm2 x3) in
+  Alcotest.(check bool) (Printf.sprintf "linear (rel %g)" rel) true (rel < 1e-7)
+
+let suite =
+  [
+    Alcotest.test_case "cg solves SPD" `Quick test_cg_solves_spd;
+    Alcotest.test_case "cg zero rhs" `Quick test_cg_zero_rhs;
+    Alcotest.test_case "cg warm start" `Quick test_cg_initial_guess;
+    Alcotest.test_case "cg max_iter" `Quick test_cg_max_iter_respected;
+    Alcotest.test_case "cg flops accounting" `Quick test_cg_flops_accounting;
+    Alcotest.test_case "mixed cg converges" `Quick test_mixed_cg_converges;
+    Alcotest.test_case "mixed = double" `Quick test_mixed_matches_double;
+    Alcotest.test_case "bicgstab SPD" `Quick test_bicgstab_spd;
+    Alcotest.test_case "bicgstab non-hermitian" `Quick test_bicgstab_nonhermitian;
+    Alcotest.test_case "bicgstab = CGNE" `Quick test_bicgstab_matches_cgne;
+    Alcotest.test_case "forecast exact" `Quick test_forecast_exact_history;
+    Alcotest.test_case "forecast warm start" `Quick test_forecast_reduces_iterations;
+    Alcotest.test_case "forecast depth" `Quick test_forecast_depth_bounded;
+    Alcotest.test_case "eigen known spectrum" `Quick test_eigen_known_matrix;
+    Alcotest.test_case "eigen CG bound" `Quick test_eigen_condition_predicts_cg;
+    Alcotest.test_case "critical slowing down" `Slow test_eigen_mass_dependence;
+    Alcotest.test_case "dwf eo solve" `Quick test_dwf_eo_solve_residual;
+    Alcotest.test_case "dwf full solve" `Quick test_dwf_full_solve_residual;
+    Alcotest.test_case "dwf eo = full" `Quick test_dwf_eo_matches_full;
+    Alcotest.test_case "dwf mixed precision" `Quick test_dwf_mixed_precision_solve;
+    Alcotest.test_case "dwf eo conditioning" `Quick test_dwf_eo_iterations_beat_full;
+    Alcotest.test_case "dwf linearity" `Slow test_dwf_linearity;
+  ]

@@ -1,0 +1,196 @@
+(* Tests for Vrank: halo exchange correctness and the domain-decomposed
+   Wilson operator against the single-domain oracle. *)
+
+module Geometry = Lattice.Geometry
+module Gauge = Lattice.Gauge
+module Domain = Lattice.Domain
+module Field = Linalg.Field
+module Comm = Vrank.Comm
+module Dd = Vrank.Dd_wilson
+
+let rng () = Util.Rng.create 44_100
+
+let test_exchange_fills_ghosts () =
+  (* After an exchange, every ghost slot holds the value of its global
+     site (checked through local_to_global). *)
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let comm = Comm.create dom ~dof:1 in
+  (* global field = site index as a float *)
+  let global = Field.of_array (Array.init (Geometry.volume geom) float_of_int) in
+  let fields = Comm.create_fields comm in
+  Comm.scatter comm global fields;
+  Comm.halo_exchange comm fields;
+  for r = 0 to Domain.n_ranks dom - 1 do
+    let rg = Domain.rank_geometry dom r in
+    for e = 0 to rg.Domain.ext_volume - 1 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "rank %d ext %d" r e)
+        (float_of_int rg.Domain.local_to_global.(e))
+        (Bigarray.Array1.get fields.(r) e)
+    done
+  done
+
+let test_exchange_byte_accounting () =
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let dom = Domain.create geom [| 2; 1; 1; 2 |] in
+  let dof = 24 in
+  let comm = Comm.create dom ~dof in
+  let fields = Comm.create_fields comm in
+  Comm.halo_exchange comm fields;
+  let stats = Comm.stats comm in
+  Alcotest.(check int) "one exchange" 1 stats.Comm.exchanges;
+  Alcotest.(check int) "8 faces x 4 ranks" 32 stats.Comm.messages;
+  (* total bytes = sum over ranks of halo bytes *)
+  let expect = ref 0. in
+  for r = 0 to Domain.n_ranks dom - 1 do
+    expect := !expect +. Comm.halo_bytes_per_rank comm r
+  done;
+  Alcotest.(check (float 1e-6)) "byte accounting" !expect stats.Comm.bytes
+
+let dd_matches_oracle grid dims =
+  let geom = Geometry.create dims in
+  let gauge = Gauge.random geom (rng ()) in
+  let dom = Domain.create geom grid in
+  let dd = Dd.create dom gauge in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Geometry.volume geom * 24 in
+  let src = Field.create n in
+  Field.gaussian (rng ()) src;
+  let oracle = Field.create n in
+  Dirac.Wilson.hop w ~src ~dst:oracle;
+  let dd_result = Dd.hop_global dd src in
+  Field.max_abs_diff oracle dd_result
+
+let test_dd_wilson_grids () =
+  List.iter
+    (fun (grid, dims) ->
+      let diff = dd_matches_oracle grid dims in
+      Alcotest.(check bool)
+        (Printf.sprintf "grid [%s] diff %g"
+           (String.concat ";" (Array.to_list (Array.map string_of_int grid)))
+           diff)
+        true (diff < 1e-12))
+    [
+      ([| 1; 1; 1; 1 |], [| 4; 4; 2; 2 |]);
+      ([| 2; 1; 1; 1 |], [| 4; 4; 2; 2 |]);
+      ([| 2; 2; 1; 1 |], [| 4; 4; 2; 2 |]);
+      ([| 1; 1; 2; 2 |], [| 2; 2; 4; 4 |]);
+      ([| 2; 2; 2; 2 |], [| 4; 4; 4; 4 |]);
+      ([| 1; 2; 1; 4 |], [| 4; 4; 4; 8 |]);
+    ]
+
+let test_dd_overlapped_equals_simple () =
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let gauge = Gauge.random geom (rng ()) in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let dd = Dd.create dom gauge in
+  let src = Field.create (Geometry.volume geom * 24) in
+  Field.gaussian (rng ()) src;
+  let simple = Dd.hop_global ~overlapped:false dd src in
+  let overlapped = Dd.hop_global ~overlapped:true dd src in
+  Alcotest.(check (float 0.)) "overlap split exact" 0.
+    (Field.max_abs_diff simple overlapped)
+
+let test_dd_full_wilson_apply () =
+  let geom = Geometry.create [| 4; 2; 2; 4 |] in
+  let gauge = Gauge.random geom (rng ()) in
+  let dom = Domain.create geom [| 2; 1; 1; 2 |] in
+  let dd = Dd.create dom gauge in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let n = Geometry.volume geom * 24 in
+  let src = Field.create n in
+  Field.gaussian (rng ()) src;
+  let oracle = Field.create n in
+  Dirac.Wilson.apply w ~mass:0.3 ~src ~dst:oracle;
+  let got = Dd.apply_global dd ~mass:0.3 src in
+  Alcotest.(check bool) "full operator matches" true
+    (Field.max_abs_diff oracle got < 1e-12)
+
+let test_dd_solve_matches_single_domain () =
+  (* the full distributed CG path: halo exchange inside every operator
+     application, allreduce for every inner product *)
+  let geom = Geometry.create [| 4; 4; 2; 4 |] in
+  let gauge = Gauge.warm geom (rng ()) ~eps:0.4 in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let dd = Dd.create dom gauge in
+  let solver = Vrank.Dd_solve.create dd ~mass:0.3 in
+  let n = Geometry.volume geom * 24 in
+  let b = Field.create n in
+  Field.gaussian (rng ()) b;
+  let x_dd, st, `Exchanges ex, `Allreduces ar =
+    Vrank.Dd_solve.solve_normal ~tol:1e-10 solver ~b_global:b
+  in
+  Alcotest.(check bool) "converged" true st.Solver.Cg.converged;
+  Alcotest.(check bool) "exchanges happened" true (ex >= st.Solver.Cg.iterations);
+  (* two distributed dots per CG iteration plus setup reductions *)
+  Alcotest.(check bool) "allreduces happened" true (ar >= 2 * st.Solver.Cg.iterations);
+  (* single-domain oracle: CGNE on the same system *)
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let apply src dst = Dirac.Wilson.apply w ~mass:0.3 ~src ~dst in
+  let rhs = Field.create n in
+  let t1 = Field.create n in
+  Dirac.Gamma.apply_gamma5 b t1;
+  let t2 = Field.create n in
+  apply t1 t2;
+  Dirac.Gamma.apply_gamma5 t2 rhs;
+  let apply_normal src dst =
+    let u1 = Field.create n in
+    apply src u1;
+    let u2 = Field.create n in
+    Dirac.Gamma.apply_gamma5 u1 u2;
+    let u3 = Field.create n in
+    apply u2 u3;
+    Dirac.Gamma.apply_gamma5 u3 dst
+  in
+  let x_single, _ =
+    Solver.Cg.solve ~apply:apply_normal ~b:rhs ~tol:1e-10 ~max_iter:5000
+      ~flops_per_apply:1. ()
+  in
+  let d = Field.create n in
+  Field.sub x_dd x_single d;
+  let rel = sqrt (Field.norm2 d /. Field.norm2 x_single) in
+  Alcotest.(check bool) (Printf.sprintf "dd = single (rel %g)" rel) true (rel < 1e-7)
+
+let test_dd_solve_trivial_grid () =
+  (* 1-rank decomposition must agree exactly too (self-exchange path) *)
+  let geom = Geometry.create [| 2; 2; 2; 4 |] in
+  let gauge = Gauge.warm geom (rng ()) ~eps:0.3 in
+  let dom = Domain.create geom [| 1; 1; 1; 1 |] in
+  let dd = Dd.create dom gauge in
+  let solver = Vrank.Dd_solve.create dd ~mass:0.5 in
+  let n = Geometry.volume geom * 24 in
+  let b = Field.create n in
+  Field.gaussian (rng ()) b;
+  let x, st, _, _ = Vrank.Dd_solve.solve_normal ~tol:1e-10 solver ~b_global:b in
+  Alcotest.(check bool) "converged" true st.Solver.Cg.converged;
+  (* verify M^dag M x = M^dag b in the single-domain picture *)
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let mx = Field.create n in
+  Dirac.Wilson.apply w ~mass:0.5 ~src:x ~dst:mx;
+  let diff = Field.create n in
+  Field.sub mx b diff;
+  (* x solves the normal equations; M x = b because M is invertible *)
+  Alcotest.(check bool) "M x = b" true
+    (sqrt (Field.norm2 diff /. Field.norm2 b) < 1e-7)
+
+let test_comm_stats_accumulate () =
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 1; 1; 1 |] in
+  let comm = Comm.create dom ~dof:2 in
+  let fields = Comm.create_fields comm in
+  Comm.halo_exchange comm fields;
+  Comm.halo_exchange comm fields;
+  Alcotest.(check int) "2 exchanges" 2 (Comm.stats comm).Comm.exchanges
+
+let suite =
+  [
+    Alcotest.test_case "exchange fills ghosts" `Quick test_exchange_fills_ghosts;
+    Alcotest.test_case "byte accounting" `Quick test_exchange_byte_accounting;
+    Alcotest.test_case "dd wilson = oracle (6 grids)" `Quick test_dd_wilson_grids;
+    Alcotest.test_case "overlapped = simple" `Quick test_dd_overlapped_equals_simple;
+    Alcotest.test_case "dd full operator" `Quick test_dd_full_wilson_apply;
+    Alcotest.test_case "dd CG = single-domain" `Quick test_dd_solve_matches_single_domain;
+    Alcotest.test_case "dd CG trivial grid" `Quick test_dd_solve_trivial_grid;
+    Alcotest.test_case "stats accumulate" `Quick test_comm_stats_accumulate;
+  ]
