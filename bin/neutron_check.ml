@@ -1,0 +1,117 @@
+(* neutron_check — CLI driver for the static verification & sanitizer
+   subsystem (lib/check). Modes:
+
+     neutron_check                 verify the shipped example artifacts
+                                   (exit 1 on any error)
+     neutron_check --fixture NAME  run one seeded defect fixture; the
+                                   defect must be found, so the exit
+                                   code is 1 when diagnostics contain
+                                   errors (the expected outcome)
+     neutron_check --selftest      run all seeded fixtures and require
+                                   every one to be detected (exit 2 on
+                                   a missed defect)
+     neutron_check --rules         print the rule catalog
+     neutron_check --list          list the seeded fixtures
+
+   `dune build @check` runs the first and third modes over the build. *)
+
+let quiet = ref false
+let verbose = ref false
+let mode = ref `Suite
+
+let usage =
+  "neutron_check [--fixture NAME | --selftest | --rules | --list] [--quiet] \
+   [--verbose]"
+
+let spec =
+  [
+    ("--fixture", Arg.String (fun n -> mode := `Fixture n), "NAME run one seeded defect fixture");
+    ("--selftest", Arg.Unit (fun () -> mode := `Selftest), " verify every seeded fixture is detected");
+    ("--rules", Arg.Unit (fun () -> mode := `Rules), " print the rule catalog");
+    ("--list", Arg.Unit (fun () -> mode := `List), " list the seeded fixtures");
+    ("--quiet", Arg.Set quiet, " only print the summary and failures");
+    ("--verbose", Arg.Set verbose, " also print info-level findings");
+  ]
+
+let print_diags ds =
+  if not !quiet then
+    List.iter
+      (fun d -> print_endline ("   " ^ Check.Diagnostic.to_string d))
+      (Check.Diagnostic.sort
+         (if !verbose then ds
+          else List.filter (fun d -> d.Check.Diagnostic.severity <> Check.Diagnostic.Info) ds))
+
+let run_suite () =
+  let report = Check.standard_suite () in
+  if !quiet then begin
+    List.iter
+      (fun (pass, ds) ->
+        List.iter
+          (fun d ->
+            if Check.Diagnostic.is_error d then
+              Printf.printf "%s: %s\n" pass (Check.Diagnostic.to_string d))
+          ds)
+      report;
+    print_endline (Check.Diagnostic.summary report)
+  end
+  else Check.Diagnostic.print_report ~verbose:!verbose report;
+  exit (Check.Diagnostic.exit_code report)
+
+let run_fixture name =
+  match Check.Fixtures.find name with
+  | None ->
+    Printf.eprintf "unknown fixture %S; try --list\n" name;
+    exit 2
+  | Some f ->
+    Printf.printf "fixture %s: %s\n" f.Check.Fixtures.name f.Check.Fixtures.defect;
+    let ds = f.Check.Fixtures.run () in
+    print_diags ds;
+    Printf.printf "%d error(s), %d warning(s)\n" (Check.Diagnostic.count_errors ds)
+      (Check.Diagnostic.count_warnings ds);
+    (* finding the seeded defect is the point: errors → exit 1 *)
+    exit (if Check.Diagnostic.has_errors ds then 1 else 0)
+
+let run_selftest () =
+  let rows = Check.selftest () in
+  let missed = ref 0 in
+  List.iter
+    (fun ((f : Check.Fixtures.t), fired, detected) ->
+      if not detected then incr missed;
+      if (not !quiet) || not detected then
+        Printf.printf "%-16s %-8s expects %-8s fired [%s]  %s\n" f.Check.Fixtures.name
+          (if detected then "DETECTED" else "MISSED")
+          f.Check.Fixtures.expect
+          (String.concat " " fired)
+          f.Check.Fixtures.defect)
+    rows;
+  Printf.printf "selftest: %d/%d seeded defects detected\n"
+    (List.length rows - !missed)
+    (List.length rows);
+  exit (if !missed > 0 then 2 else 0)
+
+let run_rules () =
+  List.iter
+    (fun (pass, rules) ->
+      Printf.printf "%s:\n" pass;
+      List.iter (fun (id, desc) -> Printf.printf "  %-8s %s\n" id desc) rules)
+    Check.all_rules;
+  exit 0
+
+let run_list () =
+  List.iter
+    (fun (f : Check.Fixtures.t) ->
+      Printf.printf "%-16s %-8s %s\n" f.Check.Fixtures.name f.Check.Fixtures.expect
+        f.Check.Fixtures.defect)
+    Check.Fixtures.all;
+  exit 0
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  match !mode with
+  | `Suite -> run_suite ()
+  | `Fixture n -> run_fixture n
+  | `Selftest -> run_selftest ()
+  | `Rules -> run_rules ()
+  | `List -> run_list ()

@@ -21,6 +21,31 @@ let () =
   Printf.printf "campaign: %d tasks, %s of node-work\n" (List.length tasks)
     (Ascii.seconds (Task.total_work tasks /. 64.));
 
+  (* pre-flight: run the static campaign verifier before spending any
+     (simulated) allocation — the same pass `neutron_check` runs *)
+  let preflight =
+    Check.campaign ~n_nodes:64
+      (List.map
+         (fun (t : Task.t) ->
+           {
+             Jobman.Pipeline.id = t.Task.id;
+             nodes = t.Task.nodes;
+             duration = t.Task.base_duration;
+             deps = [];
+             cpu_only = (t.Task.kind = Task.Contraction);
+           })
+         tasks)
+  in
+  Printf.printf "pre-flight check: %d error(s), %d warning(s)\n"
+    (Check.Diagnostic.count_errors preflight)
+    (Check.Diagnostic.count_warnings preflight);
+  if Check.Diagnostic.has_errors preflight then begin
+    List.iter
+      (fun d -> print_endline ("  " ^ Check.Diagnostic.to_string d))
+      preflight;
+    exit 1
+  end;
+
   let mk () =
     Cluster.create ~n_nodes:64 ~gpus_per_node:4 ~cpus_per_node:40 ~jitter:0.05
       (Util.Rng.create 1)
@@ -66,4 +91,29 @@ let () =
           (p.Jobman.Placement.job + 1) p.Jobman.Placement.nodes_used
           p.Jobman.Placement.gpus_per_node_used p.Jobman.Placement.efficiency)
       ps);
+  (* dependency-aware pipeline: contractions depend on their batch of
+     propagators; verify the DAG (cycles, dangling deps, feasibility,
+     DES deadlock replay), then compare scheduling modes *)
+  print_endline "\nco-scheduled pipeline (contractions depend on their batch):";
+  let ptasks =
+    Jobman.Pipeline.campaign ~batch:4 ~n_props:64 ~prop_nodes:4 ~duration:1800.
+      (Util.Rng.create 2)
+  in
+  (match Check.campaign ~n_nodes:64 ptasks with
+  | [] -> print_endline "  DAG verified: no findings"
+  | ds when not (Check.Diagnostic.has_errors ds) ->
+    Printf.printf "  DAG verified: %d warning(s), no errors\n" (List.length ds)
+  | ds ->
+    List.iter (fun d -> print_endline ("  " ^ Check.Diagnostic.to_string d)) ds;
+    exit 1);
+  let separate, cosched = Jobman.Pipeline.compare_modes ~n_nodes:64 ~tasks:ptasks in
+  List.iter
+    (fun (o : Jobman.Pipeline.outcome) ->
+      Printf.printf "  %-12s makespan %s, billed %s node-s (overhead %s)\n"
+        o.Jobman.Pipeline.mode
+        (Ascii.seconds o.Jobman.Pipeline.makespan)
+        (Ascii.seconds o.Jobman.Pipeline.billed)
+        (Ascii.seconds o.Jobman.Pipeline.contraction_overhead))
+    [ separate; cosched ];
+
   print_endline "\nCPU co-scheduling: contractions ride on busy nodes' CPUs for free\n(mpi_jm absorbed all contraction tasks above without extra allocations)."

@@ -1,0 +1,30 @@
+(** Communication-policy autotuning (Sec. V): pick the optimum
+    communication approach for a problem at a node count on a machine,
+    measured through the performance model and cached per
+    (machine, problem, GPU count) like kernel launch parameters. *)
+
+type t
+
+val create : unit -> t
+
+val key : Machine.Spec.t -> Machine.Perf_model.problem -> n_gpus:int -> string
+
+val pick :
+  t ->
+  Machine.Spec.t ->
+  Machine.Perf_model.problem ->
+  n_gpus:int ->
+  (Machine.Policy.t * Machine.Perf_model.result) option
+(** Best policy for a configuration; cached. [None] when the GPU count
+    admits no process grid. *)
+
+val survey :
+  t ->
+  Machine.Spec.t ->
+  Machine.Perf_model.problem ->
+  gpu_counts:int list ->
+  (int * Machine.Policy.t * float) list
+(** Winning policy and TFlops for each GPU count. *)
+
+val tune_count : t -> int
+val hit_count : t -> int

@@ -1,0 +1,43 @@
+(** QUDA-style run-time kernel autotuner: brute-force search through a
+    candidate space on first encounter of a (kernel, signature) key,
+    cached winner afterwards, with backup/restore hooks around trials
+    of data-destructive kernels and tunecache-style persistence. *)
+
+type entry = {
+  kernel : string;
+  signature : string;  (** problem shape: volume, precision, … *)
+  winner : string;  (** label of the chosen launch configuration *)
+  time_s : float;  (** measured time of the winner *)
+  candidates_tried : int;
+  tuned_at : float;  (** wall-clock, metadata only *)
+}
+
+type t
+
+val create : ?repeats:int -> unit -> t
+(** [repeats] timing repetitions per candidate (default 3, median). *)
+
+type 'a candidate = { label : string; run : 'a }
+
+val candidate : string -> 'a -> 'a candidate
+
+val tune :
+  ?backup:(unit -> unit) ->
+  ?restore:(unit -> unit) ->
+  t ->
+  kernel:string ->
+  signature:string ->
+  (unit -> unit) candidate list ->
+  string
+(** Winning label: measured on first encounter, cache hit after.
+    @raise Invalid_argument on an empty candidate list. *)
+
+val lookup : t -> kernel:string -> signature:string -> entry option
+val entries : t -> entry list
+val tune_count : t -> int
+val hit_count : t -> int
+
+val save : t -> string -> unit
+(** Persist the cache (QUDA's tunecache file). *)
+
+val load : t -> string -> unit

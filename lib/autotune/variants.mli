@@ -1,0 +1,31 @@
+(** Launch-parameter spaces for the real OCaml kernels — the analogue
+    of CUDA block/grid shape: BLAS-1 unroll depth and stencil
+    site-traversal orderings, each a verified drop-in replacement. *)
+
+val axpy_plain : float -> Linalg.Field.t -> Linalg.Field.t -> unit
+val axpy_unroll4 : float -> Linalg.Field.t -> Linalg.Field.t -> unit
+val axpy_unroll8 : float -> Linalg.Field.t -> Linalg.Field.t -> unit
+
+val axpy_variants :
+  (string * (float -> Linalg.Field.t -> Linalg.Field.t -> unit)) list
+
+val site_order_natural : int -> int array
+val site_order_tiled : tile:int -> int -> int array
+val site_order_strided : stride:int -> int -> int array
+
+val hop_orders : int -> (string * int array) list
+(** The candidate traversal orders for [n] sites. *)
+
+val tune_hop :
+  Tuner.t ->
+  Dirac.Wilson.t ->
+  src:Linalg.Field.t ->
+  dst:Linalg.Field.t ->
+  signature:string ->
+  string * int array
+(** Tune the Wilson hop traversal on a concrete field pair; returns
+    the winning order's label and site array. *)
+
+val tune_axpy :
+  Tuner.t -> n:int -> string * (float -> Linalg.Field.t -> Linalg.Field.t -> unit)
+(** Tune axpy on vectors of [n] floats. *)

@@ -1,0 +1,126 @@
+(* Umbrella entry point: one call per artifact class, plus the
+   standard suite that verifies the repo's shipped example artifacts —
+   the campaign the examples build, the overlapped halo schedules the
+   domain-decomposed solver runs, the default workflow spec, and an
+   instrumented mixed-precision solve. bin/neutron_check drives this;
+   `dune build @check` and the test suite gate on it. *)
+
+module F = Linalg.Field
+
+(* check.ml is the library's main module: re-export the passes so
+   users see Check.Diagnostic, Check.Dag_check, ... *)
+module Diagnostic = Diagnostic
+module Dag_check = Dag_check
+module Halo_check = Halo_check
+module Numeric_check = Numeric_check
+module Spec_check = Spec_check
+module Fixtures = Fixtures
+
+(* ---- pass aliases ---- *)
+
+let campaign = Dag_check.verify
+let halo_schedule = Halo_check.verify_schedule
+let halo_audit = Halo_check.audit
+let field_finite = Numeric_check.check_finite
+let half_blocks = Numeric_check.half_blocks
+let probe_mixed_solve = Numeric_check.probe_mixed_solve
+let workflow_spec = Spec_check.workflow_spec
+let mixed_config = Spec_check.mixed_config
+
+let all_rules =
+  [
+    ("campaign", Dag_check.rules);
+    ("halo", Halo_check.rules);
+    ("numeric", Numeric_check.rules);
+    ("spec", Spec_check.rules);
+  ]
+
+(* ---- the shipped-example artifacts, verified ---- *)
+
+let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
+  let rng = Util.Rng.create seed in
+  (* the co-scheduling campaign of examples/job_manager and Fig 6 *)
+  let tasks =
+    Jobman.Pipeline.campaign ~batch:4 ~n_props:64 ~prop_nodes:4 ~duration:600.
+      rng
+  in
+  let campaign_ds = Dag_check.verify ~n_nodes:32 tasks in
+  (* the halo-exchange patterns Dd_wilson runs: simple and overlapped *)
+  let geom = Lattice.Geometry.create [| 4; 4; 4; 4 |] in
+  let dom = Lattice.Domain.create geom [| 2; 2; 1; 1 |] in
+  let halo_ds =
+    Halo_check.verify_schedule dom
+      [
+        Halo_check.Scatter;
+        Halo_check.Exchange None;
+        Halo_check.Stencil Halo_check.Full;
+      ]
+    @ Halo_check.verify_schedule dom
+        [
+          Halo_check.Scatter;
+          Halo_check.Stencil Halo_check.Interior;
+          Halo_check.Exchange None;
+          Halo_check.Stencil Halo_check.Boundary;
+        ]
+  in
+  (* a live Comm run through scatter + exchange must audit clean *)
+  let audit_ds =
+    let comm = Vrank.Comm.create dom ~dof:24 in
+    let global = F.create (Lattice.Geometry.volume geom * 24) in
+    F.gaussian rng global;
+    let fields = Vrank.Comm.create_fields comm in
+    Vrank.Comm.scatter comm global fields;
+    Vrank.Comm.halo_exchange comm fields;
+    Halo_check.audit comm
+  in
+  (* the default workflow spec, in double and mixed precision *)
+  let spec_ds =
+    Spec_check.workflow_spec Core.Workflow.default_spec
+    @ Spec_check.workflow_spec
+        {
+          Core.Workflow.default_spec with
+          Core.Workflow.precision =
+            Solver.Dwf_solve.Mixed Solver.Mixed.default_config;
+        }
+  in
+  (* numeric: a gaussian field through the codec analysis, and an
+     instrumented mixed solve against a clean SPD operator *)
+  let numeric_ds =
+    let n = 16 * 24 in
+    let v = F.create n in
+    F.gaussian rng v;
+    let codec_ds = Numeric_check.half_blocks ~block:24 v in
+    let apply (x : F.t) (y : F.t) =
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set y i
+          ((2.5 +. (float_of_int (i mod 24) /. 100.))
+          *. Bigarray.Array1.unsafe_get x i)
+      done
+    in
+    let b = F.create n in
+    F.gaussian rng b;
+    codec_ds @ Numeric_check.probe_mixed_solve ~apply ~b ()
+  in
+  [
+    ("campaign DAG (Jobman.Pipeline)", campaign_ds);
+    ("halo schedules (Vrank.Comm)", halo_ds);
+    ("halo runtime audit", audit_ds);
+    ("workflow + solver specs", spec_ds);
+    ("numeric sanitizer + half codec", numeric_ds);
+  ]
+
+(* Selftest: every seeded defect fixture must be detected. Returns
+   (fixture, fired rule ids, detected?) rows. *)
+let selftest () =
+  List.map
+    (fun (f : Fixtures.t) ->
+      let ds = f.Fixtures.run () in
+      let fired =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun d ->
+               if Diagnostic.is_error d then Some d.Diagnostic.rule else None)
+             ds)
+      in
+      (f, fired, List.mem f.Fixtures.expect fired))
+    Fixtures.all

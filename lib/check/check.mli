@@ -1,0 +1,41 @@
+(** Umbrella entry point of the static verification & sanitizer
+    subsystem: per-artifact passes ([Dag_check], [Halo_check],
+    [Numeric_check], [Spec_check]), the standard suite over the
+    repo's shipped example artifacts, and the seeded-defect selftest.
+    Driven by [bin/neutron_check] and the [@check] dune alias. *)
+
+module Diagnostic : module type of Diagnostic
+module Dag_check : module type of Dag_check
+module Halo_check : module type of Halo_check
+module Numeric_check : module type of Numeric_check
+module Spec_check : module type of Spec_check
+module Fixtures : module type of Fixtures
+
+val campaign : ?n_nodes:int -> Jobman.Pipeline.task list -> Diagnostic.t list
+val halo_schedule : Lattice.Domain.t -> Halo_check.op list -> Diagnostic.t list
+val halo_audit : Vrank.Comm.t -> Diagnostic.t list
+val field_finite : what:string -> Linalg.Field.t -> Diagnostic.t list
+val half_blocks : block:int -> Linalg.Field.t -> Diagnostic.t list
+
+val probe_mixed_solve :
+  ?config:Solver.Mixed.config ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  b:Linalg.Field.t ->
+  unit ->
+  Diagnostic.t list
+
+val workflow_spec : Core.Workflow.spec -> Diagnostic.t list
+val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
+
+val all_rules : (string * (string * string) list) list
+(** Pass name → its rule catalog. *)
+
+val standard_suite : ?seed:int -> unit -> Diagnostic.report
+(** Verify the shipped example artifacts: the co-scheduling campaign,
+    the simple and overlapped halo schedules, a live Comm audit, the
+    default workflow specs (double and mixed), and an instrumented
+    clean mixed solve. Must report zero errors. *)
+
+val selftest : unit -> (Fixtures.t * string list * bool) list
+(** Run every seeded defect fixture; each row is (fixture, error rule
+    ids fired, expected rule detected?). *)

@@ -1,0 +1,13 @@
+(** Campaign/DAG verifier for [Jobman.Pipeline] task graphs: duplicate
+    ids, dangling/duplicate dependencies, cycles, resource
+    infeasibility against an allocation width, starvation taint, and a
+    dynamic lost-wakeup/deadlock replay through the DES scheduler.
+    Rule ids [CAMP001]–[CAMP009]. *)
+
+val rules : (string * string) list
+(** Rule id → one-line description. *)
+
+val verify : ?n_nodes:int -> Jobman.Pipeline.task list -> Diagnostic.t list
+(** Static passes always run; [n_nodes] additionally enables the
+    resource-infeasibility rule (CAMP005) and, when the graph is
+    statically clean, the DES deadlock replay (CAMP009). *)

@@ -1,0 +1,109 @@
+(* Seeded defect fixtures: five artifacts, each carrying exactly the
+   class of bug its pass exists to catch. The CLI's --selftest and the
+   test suite assert every one is detected (≥1 error), which keeps the
+   checker honest — a pass that silently stops firing fails CI. *)
+
+module P = Jobman.Pipeline
+module F = Linalg.Field
+
+type t = {
+  name : string;
+  defect : string;  (* what is wrong with the artifact *)
+  expect : string;  (* rule id family expected to fire *)
+  run : unit -> Diagnostic.t list;
+}
+
+let task ?(nodes = 1) ?(duration = 60.) ?(deps = []) ?(cpu_only = false) id =
+  { P.id; nodes; duration; deps; cpu_only }
+
+(* 1. A campaign whose tail contraction closes a dependency cycle. *)
+let dag_cycle () =
+  let tasks =
+    [
+      task 0 ~deps:[ 2 ];
+      task 1 ~deps:[ 0 ];
+      task 2 ~deps:[ 1 ];
+      task 3;  (* innocent bystander, must still be schedulable *)
+    ]
+  in
+  Dag_check.verify ~n_nodes:8 tasks
+
+(* 2. A propagator task wider than the whole allocation. *)
+let oversubscribed () =
+  let tasks = [ task 0 ~nodes:64; task 1 ~deps:[ 0 ] ] in
+  Dag_check.verify ~n_nodes:32 tasks
+
+(* 3. An overlapped stencil schedule that only exchanges the x and y
+   faces before a full stencil read: z/t ghosts are read stale. *)
+let stale_ghost () =
+  let geom = Lattice.Geometry.create [| 4; 4; 4; 4 |] in
+  let dom = Lattice.Domain.create geom [| 2; 2; 1; 1 |] in
+  Halo_check.verify_schedule dom
+    [
+      Halo_check.Scatter;
+      Halo_check.Exchange (Some [| 0; 1; 2; 3 |]);
+      Halo_check.Stencil Halo_check.Full;
+    ]
+
+(* 4. A mixed-precision solve whose operator manufactures a NaN — the
+   half codec would silently launder it to zero; the instrumented
+   kernels trap it at the encode boundary. *)
+let nan_solve () =
+  let n = 2 * 24 in
+  let apply (x : F.t) (y : F.t) =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set y i (2.5 *. Bigarray.Array1.unsafe_get x i)
+    done;
+    Bigarray.Array1.unsafe_set y 0 Float.nan
+  in
+  let b = F.create n in
+  F.gaussian (Util.Rng.create 7) b;
+  Numeric_check.probe_mixed_solve ~apply ~b ()
+
+(* 5. A field whose half-codec blocks are invalid: one block loses
+   23/24 values to the int16 mantissa floor, the next underflows the
+   float32 norm entirely. *)
+let bad_half_block () =
+  let v = F.create 48 in
+  F.fill v 1e-9;
+  Bigarray.Array1.set v 0 1.0;  (* block 0: dynamic range 1e9 >> 32767 *)
+  for i = 24 to 47 do
+    Bigarray.Array1.set v i 1e-40  (* block 1: norm below float32 *)
+  done;
+  Numeric_check.half_blocks ~block:24 v
+
+let all =
+  [
+    {
+      name = "dag-cycle";
+      defect = "campaign with a 3-task dependency cycle";
+      expect = "CAMP003";
+      run = dag_cycle;
+    };
+    {
+      name = "oversubscribed";
+      defect = "64-node task on a 32-node allocation";
+      expect = "CAMP005";
+      run = oversubscribed;
+    };
+    {
+      name = "stale-ghost";
+      defect = "full stencil after exchanging only the x/y faces";
+      expect = "HALO003";
+      run = stale_ghost;
+    };
+    {
+      name = "nan-solve";
+      defect = "mixed solve against a NaN-producing operator";
+      expect = "NUM001";
+      run = nan_solve;
+    };
+    {
+      name = "bad-half-block";
+      defect = "half codec blocks with unrepresentable dynamic range";
+      expect = "NUM003";
+      run = bad_half_block;
+    };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all

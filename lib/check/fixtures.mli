@@ -1,0 +1,19 @@
+(** Seeded defect fixtures — one artifact per pass, each carrying
+    exactly the bug class that pass detects. The CLI [--selftest] and
+    the test suite assert every fixture yields at least one error. *)
+
+type t = {
+  name : string;
+  defect : string;
+  expect : string;  (** rule id expected to fire *)
+  run : unit -> Diagnostic.t list;
+}
+
+val dag_cycle : unit -> Diagnostic.t list
+val oversubscribed : unit -> Diagnostic.t list
+val stale_ghost : unit -> Diagnostic.t list
+val nan_solve : unit -> Diagnostic.t list
+val bad_half_block : unit -> Diagnostic.t list
+
+val all : t list
+val find : string -> t option

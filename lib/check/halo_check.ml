@@ -1,0 +1,180 @@
+(* Halo-exchange race detector. The paper's overlapped stencil (pack /
+   exchange / interior / boundary) is only correct when every ghost
+   zone a stencil reads was refreshed after the last write to the
+   sites it mirrors. This pass verifies a communication schedule
+   statically — replaying write/ghost epochs over a Lattice.Domain
+   without touching field data — and can also audit a live Vrank.Comm
+   for the same property via its epoch counters. *)
+
+module D = Lattice.Domain
+
+type stencil = Full | Interior | Boundary
+
+type op =
+  | Scatter  (* distribute a global field: every rank's sites rewritten *)
+  | Write of int list  (* local-site writes on these ranks ([] = all) *)
+  | Exchange of int array option  (* halo_exchange ?faces *)
+  | Stencil of stencil  (* Full/Boundary read ghosts; Interior does not *)
+
+let rules =
+  [
+    ("HALO001", "stencil reads a stale ghost zone");
+    ("HALO002", "unmatched send/recv: a face exchanged without its opposite");
+    ("HALO003", "ghost face not covered by the ?faces subset");
+    ("HALO004", "face id outside 0..7");
+    ("HALO005", "duplicate face id in an exchange");
+    ("HALO006", "exchange before any write: refreshes zero-initialized data");
+  ]
+
+let face_name fid =
+  let mu = fid / 2 and dir = fid mod 2 in
+  Printf.sprintf "%c%c" "xyzt".[mu] (if dir = 0 then '+' else '-')
+
+let op_name = function
+  | Scatter -> "scatter"
+  | Write _ -> "write"
+  | Exchange None -> "exchange(all)"
+  | Exchange (Some fs) ->
+    Printf.sprintf "exchange(%s)"
+      (String.concat "," (Array.to_list (Array.map face_name fs)))
+  | Stencil Full -> "stencil(full)"
+  | Stencil Interior -> "stencil(interior)"
+  | Stencil Boundary -> "stencil(boundary)"
+
+let all_faces = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+
+let verify_schedule dom (ops : op list) =
+  let n = D.n_ranks dom in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let write_epoch = Array.make n 0 in
+  let ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1)) in
+  let last_subset = ref None in  (* faces of the most recent exchange *)
+  let filler rank face =
+    (D.rank_geometry dom rank).D.faces.(face).D.neighbor
+  in
+  let fresh rank face =
+    write_epoch.(filler rank face) = 0
+    || ghost_epoch.(rank).(face) >= write_epoch.(filler rank face)
+  in
+  List.iteri
+    (fun i op ->
+      let loc = Printf.sprintf "op#%d %s" i (op_name op) in
+      match op with
+      | Scatter -> Array.iteri (fun r e -> write_epoch.(r) <- e + 1) write_epoch
+      | Write [] -> Array.iteri (fun r e -> write_epoch.(r) <- e + 1) write_epoch
+      | Write ranks ->
+        List.iter
+          (fun r ->
+            if r < 0 || r >= n then
+              add
+                (Diagnostic.error ~rule:"HALO004" ~loc
+                   (Printf.sprintf "rank %d outside 0..%d" r (n - 1)))
+            else write_epoch.(r) <- write_epoch.(r) + 1)
+          ranks
+      | Exchange faces ->
+        let fids =
+          match faces with
+          | None -> all_faces
+          | Some fs ->
+            (* validate the subset itself *)
+            let seen = Hashtbl.create 8 in
+            Array.iter
+              (fun f ->
+                if f < 0 || f > 7 then
+                  add
+                    (Diagnostic.error ~rule:"HALO004" ~loc
+                       (Printf.sprintf "face id %d outside 0..7" f))
+                else begin
+                  if Hashtbl.mem seen f then
+                    add
+                      (Diagnostic.warning ~rule:"HALO005" ~loc
+                         (Printf.sprintf "face %s exchanged twice" (face_name f)))
+                  else Hashtbl.add seen f ();
+                  let opposite = (2 * (f / 2)) + (1 - (f mod 2)) in
+                  if not (Array.exists (( = ) opposite) fs) then
+                    add
+                      (Diagnostic.warning ~rule:"HALO002" ~loc
+                         (Printf.sprintf
+                            "face %s exchanged without its opposite %s"
+                            (face_name f) (face_name opposite))
+                         ~hint:
+                           "one direction's ghosts stay stale; exchange both \
+                            faces of the dimension")
+                end)
+              fs;
+            Array.of_list
+              (List.filter (fun f -> f >= 0 && f <= 7) (Array.to_list fs))
+        in
+        if Array.for_all (( = ) 0) write_epoch then
+          add
+            (Diagnostic.info ~rule:"HALO006" ~loc
+               "exchange before any scatter/write: ghosts refresh zero data");
+        for r = 0 to n - 1 do
+          let rg = D.rank_geometry dom r in
+          Array.iter
+            (fun fid ->
+              let face = rg.D.faces.(fid) in
+              let nb = face.D.neighbor in
+              ghost_epoch.(nb).((2 * face.D.mu) + (1 - face.D.dir)) <-
+                write_epoch.(r))
+            fids
+        done;
+        last_subset :=
+          Some (match faces with None -> Array.to_list all_faces | Some fs -> Array.to_list fs)
+      | Stencil Interior -> ()  (* interior sites never touch ghosts *)
+      | Stencil (Full | Boundary) ->
+        (* every rank reads all 8 ghost faces; aggregate per face id *)
+        for fid = 0 to 7 do
+          let stale = ref 0 in
+          for r = 0 to n - 1 do
+            if not (fresh r fid) then incr stale
+          done;
+          if !stale > 0 then
+            let covered_by_last =
+              match !last_subset with
+              | Some fs -> List.mem fid fs
+              | None -> false
+            in
+            if (not covered_by_last) && !last_subset <> None then
+              add
+                (Diagnostic.error ~rule:"HALO003"
+                   ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+                   (Printf.sprintf
+                      "stale ghost read on %d/%d ranks: face missing from \
+                       the ?faces subset"
+                      !stale n)
+                   ~hint:"add the face to the subset or exchange all faces")
+            else
+              add
+                (Diagnostic.error ~rule:"HALO001"
+                   ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+                   (Printf.sprintf
+                      "stale ghost read on %d/%d ranks: sites were written \
+                       after the last exchange"
+                      !stale n)
+                   ~hint:"insert a halo exchange between the write and the read")
+        done)
+    ops;
+  Diagnostic.sort (List.rev !ds)
+
+(* Runtime audit of a live Comm: flag every currently-stale ghost face
+   (same freshness rule, read from the epoch counters the instrumented
+   Comm maintains). *)
+let audit (c : Vrank.Comm.t) =
+  let n = Vrank.Comm.n_ranks c in
+  let ds = ref [] in
+  for fid = 0 to 7 do
+    let stale = ref 0 in
+    for r = 0 to n - 1 do
+      if not (Vrank.Comm.ghost_fresh c ~rank:r ~face:fid) then incr stale
+    done;
+    if !stale > 0 then
+      ds :=
+        Diagnostic.error ~rule:"HALO001"
+          ~loc:(Printf.sprintf "comm face %s" (face_name fid))
+          (Printf.sprintf "ghosts stale on %d/%d ranks" !stale n)
+          ~hint:"a halo exchange is required before the next ghost read"
+        :: !ds
+  done;
+  Diagnostic.sort (List.rev !ds)

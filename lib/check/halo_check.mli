@@ -1,0 +1,26 @@
+(** Halo-exchange race detector: replays a communication schedule's
+    write/ghost epochs over a [Lattice.Domain] and flags stencil reads
+    of stale ghost zones, unmatched send/recv face pairs, and
+    incomplete [?faces] coverage — without touching field data. Rule
+    ids [HALO001]–[HALO006]. *)
+
+type stencil = Full | Interior | Boundary
+
+type op =
+  | Scatter  (** distribute a global field: every rank's sites rewritten *)
+  | Write of int list  (** local-site writes on these ranks ([[]] = all) *)
+  | Exchange of int array option  (** [Comm.halo_exchange ?faces] *)
+  | Stencil of stencil  (** [Full]/[Boundary] read ghosts; [Interior] never *)
+
+val rules : (string * string) list
+
+val face_name : int -> string
+(** Face id 0–7 → ["x+"], ["x-"], …, ["t-"]. *)
+
+val op_name : op -> string
+
+val verify_schedule : Lattice.Domain.t -> op list -> Diagnostic.t list
+
+val audit : Vrank.Comm.t -> Diagnostic.t list
+(** Flag every currently-stale ghost face of a live instrumented
+    [Vrank.Comm] (its epoch counters are the evidence). *)

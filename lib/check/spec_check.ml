@@ -1,0 +1,175 @@
+(* Spec validator: static analysis of Core.Workflow specs and solver
+   configurations before any cycles are spent. Hard structural errors
+   overlap with Workflow.validate_spec (which gates run) but are
+   reported here with stable rule ids, locations and hints; advisory
+   rules (parity, thermalization, tolerance ordering against the
+   half-precision noise floor) only the checker knows about. *)
+
+module W = Core.Workflow
+
+let rules =
+  [
+    ("SPEC001", "dims arity/extent/volume invalid");
+    ("SPEC002", "odd lattice extent or odd L5 (checkerboard/parity hazard)");
+    ("SPEC003", "physics parameter out of range");
+    ("SPEC004", "run counts invalid or ensemble unthermalized");
+    ("SPEC005", "tolerance out of the double-precision trust region");
+    ("SPEC006", "mixed-precision configuration invalid");
+    ("SPEC007", "tolerance below the half fixed-point noise floor");
+    ("SPEC008", "I/O path invalid");
+  ]
+
+(* Relative resolution of the int16 mantissa: one part in 32767 — the
+   per-element noise floor of the half codec. *)
+let half_noise_floor = 1. /. 32767.
+
+let double_noise_floor = 1e-14
+
+let mixed_config ~n (c : Solver.Mixed.config) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let loc = "mixed config" in
+  (match Solver.Mixed.validate_config ~n c with
+  | Ok () -> ()
+  | Error msg ->
+    add
+      (Diagnostic.error ~rule:"SPEC006" ~loc msg
+         ~hint:"Mixed.solve raises Invalid_argument on this configuration"));
+  if c.Solver.Mixed.block > 0 && c.Solver.Mixed.block mod 24 <> 0 then
+    add
+      (Diagnostic.warning ~rule:"SPEC006" ~loc
+         (Printf.sprintf
+            "block %d is not a multiple of 24 (one site); blocks straddle \
+             site boundaries"
+            c.Solver.Mixed.block));
+  if c.Solver.Mixed.delta > 0. && c.Solver.Mixed.delta < 0.01 then
+    add
+      (Diagnostic.warning ~rule:"SPEC006" ~loc
+         (Printf.sprintf
+            "delta %g leaves very long inner cycles between reliable \
+             updates; the iterated residual can drift far from the truth"
+            c.Solver.Mixed.delta));
+  if c.Solver.Mixed.tol > 0. && c.Solver.Mixed.tol < half_noise_floor /. 100. then
+    add
+      (Diagnostic.info ~rule:"SPEC007" ~loc
+         (Printf.sprintf
+            "tol %g is far below the half-precision noise floor (~%.1e); \
+             convergence relies on reliable updates and the double polish"
+            c.Solver.Mixed.tol half_noise_floor));
+  Diagnostic.sort (List.rev !ds)
+
+let workflow_spec (s : W.spec) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let loc = "workflow spec" in
+  (* SPEC001: geometry structure *)
+  if Array.length s.W.dims <> 4 then
+    add
+      (Diagnostic.error ~rule:"SPEC001" ~loc
+         (Printf.sprintf "dims must have 4 extents (got %d)"
+            (Array.length s.W.dims)))
+  else begin
+    Array.iteri
+      (fun mu d ->
+        if d < 2 then
+          add
+            (Diagnostic.error ~rule:"SPEC001" ~loc
+               (Printf.sprintf "dims.(%d) = %d below the minimum extent 2" mu d))
+        else if d mod 2 <> 0 then
+          add
+            (Diagnostic.warning ~rule:"SPEC002" ~loc
+               (Printf.sprintf
+                  "odd extent %d in direction %c breaks even/odd \
+                   checkerboard symmetry"
+                  d "xyzt".[mu])))
+      s.W.dims;
+    let volume = Array.fold_left ( * ) 1 s.W.dims in
+    if volume mod 2 <> 0 then
+      add
+        (Diagnostic.error ~rule:"SPEC001" ~loc
+           (Printf.sprintf "volume %d must be even for checkerboarding" volume))
+  end;
+  (* SPEC001/SPEC002: fifth dimension *)
+  if s.W.l5 < 1 then
+    add
+      (Diagnostic.error ~rule:"SPEC001" ~loc
+         (Printf.sprintf "l5 = %d must be >= 1" s.W.l5))
+  else if s.W.l5 mod 2 <> 0 then
+    add
+      (Diagnostic.warning ~rule:"SPEC002" ~loc
+         (Printf.sprintf "odd l5 = %d; domain-wall spectra prefer even walls"
+            s.W.l5));
+  (* SPEC003: physics parameters *)
+  if not (s.W.mass > 0.) then
+    add
+      (Diagnostic.error ~rule:"SPEC003" ~loc
+         (Printf.sprintf "quark mass %g must be positive" s.W.mass));
+  if not (s.W.beta > 0.) then
+    add
+      (Diagnostic.error ~rule:"SPEC003" ~loc
+         (Printf.sprintf "beta %g must be positive" s.W.beta));
+  if not (s.W.m5 > 0.) then
+    add
+      (Diagnostic.error ~rule:"SPEC003" ~loc
+         (Printf.sprintf "domain-wall height m5 = %g must be positive" s.W.m5))
+  else if s.W.m5 >= 2. then
+    add
+      (Diagnostic.warning ~rule:"SPEC003" ~loc
+         (Printf.sprintf
+            "m5 = %g outside (0,2): no single-particle domain-wall mode" s.W.m5));
+  if not (s.W.alpha > 0.) then
+    add
+      (Diagnostic.error ~rule:"SPEC003" ~loc
+         (Printf.sprintf "Mobius alpha = %g must be positive" s.W.alpha))
+  else if s.W.alpha < 1. then
+    add
+      (Diagnostic.warning ~rule:"SPEC003" ~loc
+         (Printf.sprintf "Mobius alpha = %g < 1 (Shamir limit is 1)" s.W.alpha));
+  (* SPEC004: run counts *)
+  if s.W.n_configs < 1 then
+    add
+      (Diagnostic.error ~rule:"SPEC004" ~loc
+         (Printf.sprintf "n_configs = %d must be >= 1" s.W.n_configs));
+  if s.W.n_thermalize < 0 then
+    add (Diagnostic.error ~rule:"SPEC004" ~loc "n_thermalize must be >= 0")
+  else if s.W.n_thermalize = 0 then
+    add
+      (Diagnostic.warning ~rule:"SPEC004" ~loc
+         "n_thermalize = 0: measurements start from a cold, unthermalized \
+          ensemble");
+  if s.W.n_decorrelate < 0 then
+    add (Diagnostic.error ~rule:"SPEC004" ~loc "n_decorrelate must be >= 0");
+  (* SPEC005: tolerance trust region *)
+  if not (s.W.tol > 0. && Float.is_finite s.W.tol) then
+    add
+      (Diagnostic.error ~rule:"SPEC005" ~loc
+         (Printf.sprintf "tol = %g must be positive and finite" s.W.tol))
+  else begin
+    if s.W.tol < double_noise_floor then
+      add
+        (Diagnostic.warning ~rule:"SPEC005" ~loc
+           (Printf.sprintf
+              "tol = %g is below the double-precision noise floor (~%g); \
+               the solver cannot certify it"
+              s.W.tol double_noise_floor));
+    if s.W.tol >= 1e-2 then
+      add
+        (Diagnostic.warning ~rule:"SPEC005" ~loc
+           (Printf.sprintf "tol = %g is too loose for propagator physics" s.W.tol))
+  end;
+  (* SPEC006/SPEC007: mixed-precision configuration, against the
+     half-checkerboard 5D field length the inner solve actually sees *)
+  (match s.W.precision with
+  | Solver.Dwf_solve.Double -> ()
+  | Solver.Dwf_solve.Mixed c ->
+    if Array.length s.W.dims = 4 && s.W.l5 >= 1 then begin
+      let n = Array.fold_left ( * ) 1 s.W.dims / 2 * s.W.l5 * 24 in
+      List.iter add (mixed_config ~n c)
+    end);
+  (* SPEC008: io path *)
+  (match s.W.io_path with
+  | Some "" ->
+    add
+      (Diagnostic.error ~rule:"SPEC008" ~loc "io_path is the empty string")
+  | _ -> ());
+  Diagnostic.sort (List.rev !ds)

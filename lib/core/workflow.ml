@@ -7,7 +7,6 @@
    Every stage is timed so the bench can reproduce the paper's budget
    (propagators ~96.5%, contractions ~3%, I/O ~0.5% — Sec. VI/VII). *)
 
-module Field = Linalg.Field
 module Geometry = Lattice.Geometry
 module Gauge = Lattice.Gauge
 module Mobius = Dirac.Mobius
@@ -71,6 +70,49 @@ type result = {
   ocaml_flops_per_s : float;
 }
 
+(* Basic structural validity of a spec — the invariants the stages
+   below assume (Geometry.create, Heatbath.generate, the mixed-solver
+   codec). Returns human-readable problems, empty when the spec is
+   runnable; [run] refuses invalid specs. Richer, advisory checking
+   (parity warnings, tolerance ordering) lives in [Check.Spec_check]. *)
+let validate_spec s =
+  let problems = ref [] in
+  let add m = problems := m :: !problems in
+  if Array.length s.dims <> 4 then
+    add (Printf.sprintf "dims must have 4 extents (got %d)" (Array.length s.dims))
+  else begin
+    Array.iteri
+      (fun mu d -> if d < 2 then add (Printf.sprintf "dims.(%d) = %d < 2" mu d))
+      s.dims;
+    let volume = Array.fold_left ( * ) 1 s.dims in
+    if volume mod 2 <> 0 then
+      add (Printf.sprintf "lattice volume %d must be even (checkerboarding)" volume)
+  end;
+  if s.l5 < 1 then add (Printf.sprintf "l5 = %d must be >= 1" s.l5);
+  if not (s.m5 > 0.) then add (Printf.sprintf "m5 = %g must be positive" s.m5);
+  if not (s.alpha > 0.) then add (Printf.sprintf "alpha = %g must be positive" s.alpha);
+  if not (s.mass > 0.) then add (Printf.sprintf "mass = %g must be positive" s.mass);
+  if not (s.beta > 0.) then add (Printf.sprintf "beta = %g must be positive" s.beta);
+  if s.n_configs < 1 then add (Printf.sprintf "n_configs = %d must be >= 1" s.n_configs);
+  if s.n_thermalize < 0 then add "n_thermalize must be >= 0";
+  if s.n_decorrelate < 0 then add "n_decorrelate must be >= 0";
+  if not (s.tol > 0. && Float.is_finite s.tol) then
+    add (Printf.sprintf "tol = %g must be positive and finite" s.tol);
+  (match s.io_path with
+  | Some "" -> add "io_path must not be empty"
+  | _ -> ());
+  (match s.precision with
+  | Solver.Dwf_solve.Double -> ()
+  | Solver.Dwf_solve.Mixed c ->
+    if Array.length s.dims = 4 then begin
+      (* the mixed inner solve runs on half-checkerboard 5D fields *)
+      let n = Array.fold_left ( * ) 1 s.dims / 2 * s.l5 * 24 in
+      match Solver.Mixed.validate_config ~n c with
+      | Ok () -> ()
+      | Error m -> add ("mixed-precision config: " ^ m)
+    end);
+  List.rev !problems
+
 let time_into acc f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
@@ -117,6 +159,9 @@ let measure_config spec ~timing gauge =
   }
 
 let run ?(spec = default_spec) () =
+  (match validate_spec spec with
+  | [] -> ()
+  | ps -> invalid_arg ("Workflow.run: invalid spec: " ^ String.concat "; " ps));
   let rng = Util.Rng.create spec.seed in
   let geom = Geometry.create spec.dims in
   let timing = { gauge_s = 0.; propagator_s = 0.; contraction_s = 0.; io_s = 0. } in

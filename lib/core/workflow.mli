@@ -21,6 +21,12 @@ type spec = {
 
 val default_spec : spec
 
+val validate_spec : spec -> string list
+(** Structural problems making the spec unrunnable (empty = valid):
+    dims arity/extents/even volume, positive physics parameters, run
+    counts, tolerance, mixed-precision block divisibility. [run]
+    raises [Invalid_argument] listing them when non-empty. *)
+
 type timing = {
   mutable gauge_s : float;
   mutable propagator_s : float;

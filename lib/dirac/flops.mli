@@ -1,0 +1,23 @@
+(** Floating-point operation accounting: [actual_*]/structural counts
+    of the OCaml kernels per (5D) site, and the paper's conventional
+    LQCD counts ([paper_*]) the performance model reports against. *)
+
+val matvec : int
+val wilson_hop_per_site : int
+val wilson_apply_per_site : int
+val m5_per_5d_site : int
+val m5inv_per_5d_site : int
+val combine_per_5d_site : int
+val hop5_per_5d_site : int
+val schur_per_5d_site : int
+val schur_normal_per_5d_site : int
+val cg_blas1_per_5d_site : int
+val cg_iteration_per_5d_site : int
+
+val paper_stencil_per_5d_site : float
+(** "10,000–12,000 flops per five-dimensional lattice point". *)
+
+val paper_arithmetic_intensity : float
+val paper_peak_scaling : float
+val paper_bytes_per_5d_site : float
+val actual_bytes_per_5d_site_double : float

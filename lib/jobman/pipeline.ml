@@ -53,6 +53,7 @@ type outcome = {
   billed : float;  (* node-seconds of allocation actually consumed *)
   contraction_overhead : float;  (* extra allocation attributable to contractions *)
   completed : int;
+  stuck : int;  (* tasks that never started: cycle, dangling dep, or too wide *)
 }
 
 let run ~mode ~n_nodes ~tasks =
@@ -106,6 +107,7 @@ let run ~mode ~n_nodes ~tasks =
     billed = !billed;
     contraction_overhead = !billed -. !gpu_work;
     completed = !completed;
+    stuck = List.length tasks - !completed;
   }
 
 (* Paired comparison: the co-scheduled mode consumes no allocation for

@@ -23,6 +23,9 @@ type outcome = {
   billed : float;  (** node-seconds of allocation consumed *)
   contraction_overhead : float;  (** billed − gpu_work *)
   completed : int;
+  stuck : int;
+      (** tasks that never started — a dependency cycle, dangling dep,
+          or a task wider than the allocation (deadlock indicator). *)
 }
 
 val run :

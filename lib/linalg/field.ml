@@ -34,13 +34,66 @@ let to_array (v : t) = Array.init (length v) (Array1.unsafe_get v)
 let check2 name a b =
   if length a <> length b then invalid_arg (name ^ ": length mismatch")
 
+(* ---- opt-in numeric sanitizer ----
+   When [enabled], every BLAS-1 kernel scans its output (vectors) or
+   checks its result (reductions) for NaN/Inf the moment it is
+   produced, so the first kernel that manufactures a non-finite value
+   is named — instead of a NaN surfacing iterations later in a
+   residual norm. Off by default: the only cost then is one ref read
+   per kernel call. *)
+
+module Sanitize = struct
+  exception Non_finite of string * int * float
+
+  let enabled = ref false
+  let raising = ref true
+  let trap_count = ref 0
+  let max_recorded = 64
+  let recorded : (string * int * float) list ref = ref []
+
+  let reset () =
+    trap_count := 0;
+    recorded := []
+
+  let trap kernel index value =
+    incr trap_count;
+    if List.length !recorded < max_recorded then
+      recorded := (kernel, index, value) :: !recorded;
+    if !raising then raise (Non_finite (kernel, index, value))
+
+  let check_scalar kernel x =
+    if !enabled && not (Float.is_finite x) then trap kernel (-1) x;
+    x
+
+  let check_vec kernel (v : t) =
+    if !enabled then
+      for i = 0 to length v - 1 do
+        let x = Array1.unsafe_get v i in
+        if not (Float.is_finite x) then trap kernel i x
+      done
+
+  (* Run [f] with the sanitizer on (trap log cleared first), restoring
+     the previous sanitizer state afterwards. *)
+  let scoped ?(raise_on_trap = true) f =
+    let e = !enabled and r = !raising in
+    enabled := true;
+    raising := raise_on_trap;
+    reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        enabled := e;
+        raising := r)
+      f
+end
+
 (* y <- y + alpha x *)
 let axpy alpha (x : t) (y : t) =
   check2 "Field.axpy" x y;
   for i = 0 to length x - 1 do
     Array1.unsafe_set y i
       (Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i))
-  done
+  done;
+  Sanitize.check_vec "Field.axpy" y
 
 (* y <- x + alpha y *)
 let xpay (x : t) alpha (y : t) =
@@ -48,12 +101,14 @@ let xpay (x : t) alpha (y : t) =
   for i = 0 to length x - 1 do
     Array1.unsafe_set y i
       (Array1.unsafe_get x i +. (alpha *. Array1.unsafe_get y i))
-  done
+  done;
+  Sanitize.check_vec "Field.xpay" y
 
 let scale alpha (v : t) =
   for i = 0 to length v - 1 do
     Array1.unsafe_set v i (alpha *. Array1.unsafe_get v i)
-  done
+  done;
+  Sanitize.check_vec "Field.scale" v
 
 (* z <- x - y *)
 let sub (x : t) (y : t) (z : t) =
@@ -61,7 +116,8 @@ let sub (x : t) (y : t) (z : t) =
   check2 "Field.sub" x z;
   for i = 0 to length x - 1 do
     Array1.unsafe_set z i (Array1.unsafe_get x i -. Array1.unsafe_get y i)
-  done
+  done;
+  Sanitize.check_vec "Field.sub" z
 
 (* y <- y + alpha x with complex alpha; vectors are interleaved re/im. *)
 let caxpy (ar, ai) (x : t) (y : t) =
@@ -73,7 +129,8 @@ let caxpy (ar, ai) (x : t) (y : t) =
       (Array1.unsafe_get y (2 * k) +. ((ar *. xr) -. (ai *. xi)));
     Array1.unsafe_set y ((2 * k) + 1)
       (Array1.unsafe_get y ((2 * k) + 1) +. ((ar *. xi) +. (ai *. xr)))
-  done
+  done;
+  Sanitize.check_vec "Field.caxpy" y
 
 let norm2 (v : t) =
   let acc = ref 0. in
@@ -81,7 +138,7 @@ let norm2 (v : t) =
     let x = Array1.unsafe_get v i in
     acc := !acc +. (x *. x)
   done;
-  !acc
+  Sanitize.check_scalar "Field.norm2" !acc
 
 let norm v = sqrt (norm2 v)
 
@@ -93,7 +150,7 @@ let dot_re (x : t) (y : t) =
   for i = 0 to length x - 1 do
     acc := !acc +. (Array1.unsafe_get x i *. Array1.unsafe_get y i)
   done;
-  !acc
+  Sanitize.check_scalar "Field.dot_re" !acc
 
 (* Full complex <x|y> = sum conj(x_k) y_k over interleaved pairs. *)
 let cdot (x : t) (y : t) =
@@ -106,7 +163,7 @@ let cdot (x : t) (y : t) =
     re := !re +. ((xr *. yr) +. (xi *. yi));
     im := !im +. ((xr *. yi) -. (xi *. yr))
   done;
-  Cplx.make !re !im
+  Cplx.make (Sanitize.check_scalar "Field.cdot" !re) (Sanitize.check_scalar "Field.cdot" !im)
 
 let gaussian rng (v : t) =
   for i = 0 to length v - 1 do
@@ -155,6 +212,9 @@ module Half = struct
 
   let encode (v : t) (h : h) =
     if length h <> Array1.dim v then invalid_arg "Field.Half.encode: length";
+    (* the codec silently launders NaN/Inf into 0 (comparisons against
+       a NaN norm are all false) — trap at the boundary instead *)
+    Sanitize.check_vec "Field.Half.encode" v;
     let n_blocks = Array1.dim h.norms in
     for b = 0 to n_blocks - 1 do
       let base = b * h.block in

@@ -41,6 +41,38 @@ val cdot : t -> t -> Cplx.t
 val gaussian : Util.Rng.t -> t -> unit
 (** Fill with unit-variance Gaussian noise. *)
 
+(** Opt-in NaN/Inf sanitizer for the BLAS-1 hot paths. When [enabled],
+    [axpy]/[xpay]/[scale]/[sub]/[caxpy] scan their output vector and
+    [norm2]/[dot_re]/[cdot] check their result, naming the first kernel
+    that produces a non-finite value. Off by default (one ref read per
+    kernel call). *)
+module Sanitize : sig
+  exception Non_finite of string * int * float
+  (** [(kernel, index, value)]; [index] is [-1] for reduction results. *)
+
+  val enabled : bool ref
+
+  val raising : bool ref
+  (** [true] (default): raise [Non_finite] at the first trap.
+      [false]: record traps and keep going. *)
+
+  val trap_count : int ref
+  val max_recorded : int
+
+  val recorded : (string * int * float) list ref
+  (** Most recent first; capped at [max_recorded] entries. *)
+
+  val reset : unit -> unit
+
+  val check_scalar : string -> float -> float
+  val check_vec : string -> t -> unit
+
+  val scoped : ?raise_on_trap:bool -> (unit -> 'a) -> 'a
+  (** Run with the sanitizer on (trap log cleared), restoring the
+      previous sanitizer state afterwards. The trap log survives the
+      call for inspection. *)
+end
+
 val map2 : (float -> float -> float) -> t -> t -> t -> unit
 val max_abs_diff : t -> t -> float
 

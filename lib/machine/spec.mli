@@ -1,0 +1,50 @@
+(** Machine descriptions for the systems of Table II (Titan, Ray,
+    Sierra, Summit) plus the solver calibration constants the
+    performance model needs. The achieved solver bandwidths are the
+    paper's own Sec. VII measurements, used as calibration inputs. *)
+
+type gpu = {
+  gpu_name : string;
+  fp32_tflops : float;  (** per GPU *)
+  mem_bw_gbs : float;  (** per GPU, STREAM-like peak *)
+  solver_bw_gbs : float;  (** achieved CG bandwidth at large local volume *)
+  sat_sites : float;  (** 5D sites/GPU at which the solver bandwidth halves *)
+}
+
+type t = {
+  name : string;
+  nodes : int;
+  gpus_per_node : int;
+  gpu : gpu;
+  cpu : string;
+  cpu_gpu_gbs : float;  (** host link bandwidth per node *)
+  nic_gbs : float;  (** injection bandwidth per node *)
+  nvlink_gbs : float;  (** GPU–GPU intra-node, per GPU (0 = via PCIe) *)
+  interconnect : string;
+  has_gdr : bool;  (** GPU Direct RDMA usable *)
+  launch_overhead_s : float;  (** fixed kernel-launch cost per stencil call *)
+  msg_latency_s : float;  (** per halo message *)
+  allreduce_base_s : float;  (** reduction latency per tree level *)
+  contention_nodes : float;  (** nodes at which internode bw halves *)
+  node_jitter : float;  (** relative sigma of per-node speed *)
+}
+
+val k20x : gpu
+val p100 : gpu
+val v100 : gpu
+
+val titan : t
+val ray : t
+val sierra : t
+val summit : t
+val all : t list
+
+val total_gpus : t -> int
+val fp32_tflops_per_node : t -> float
+val gpu_bw_per_node : t -> float
+val nic_gbs_per_gpu : t -> float
+
+val table_ii : unit -> string list list
+(** Table II rows for the bench harness. *)
+
+val table_ii_header : string list

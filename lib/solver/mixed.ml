@@ -18,6 +18,23 @@ type config = {
 
 let default_config = { tol = 1e-8; max_iter = 2000; delta = 0.1; block = 24 }
 
+(* Structural validity of a configuration against a vector length —
+   the invariants the half codec and the reliable-update loop assume.
+   Checked here at solve entry and statically by Check.Spec_check. *)
+let validate_config ~n (c : config) =
+  if c.block <= 0 then Error (Printf.sprintf "block must be positive (got %d)" c.block)
+  else if n > 0 && n mod c.block <> 0 then
+    Error
+      (Printf.sprintf "block %d does not divide the vector length %d" c.block n)
+  else if not (c.tol > 0. && Float.is_finite c.tol) then
+    Error (Printf.sprintf "tol must be positive and finite (got %g)" c.tol)
+  else if c.max_iter <= 0 then
+    Error (Printf.sprintf "max_iter must be positive (got %d)" c.max_iter)
+  else if not (c.delta > 0. && c.delta < 1.) then
+    Error
+      (Printf.sprintf "delta must lie strictly inside (0,1) (got %g)" c.delta)
+  else Ok ()
+
 (* Quantize a vector in place through the half codec: this is the
    storage-precision loss the inner solve sees. *)
 let quantize ~block v =
@@ -27,6 +44,9 @@ let quantize ~block v =
 
 let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
   let n = Field.length b in
+  (match validate_config ~n config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Mixed.solve: " ^ msg));
   let t_start = Unix.gettimeofday () in
   let block = config.block in
   let x = Field.create n in

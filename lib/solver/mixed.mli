@@ -13,6 +13,12 @@ type config = {
 
 val default_config : config
 
+val validate_config : n:int -> config -> (unit, string) result
+(** Structural validity against a vector of [n] floats: positive
+    [block] dividing [n], finite positive [tol], positive [max_iter],
+    [delta] strictly inside (0,1). [solve] checks this at entry and
+    raises [Invalid_argument] on failure. *)
+
 val quantize : block:int -> Linalg.Field.t -> unit
 (** Round-trip a vector through the half codec in place — the storage
     precision the inner solve sees. *)

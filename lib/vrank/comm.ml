@@ -21,13 +21,56 @@ type t = {
   dom : Domain.t;
   dof : int;  (* floats per site *)
   stats : stats;
+  write_epoch : int array;  (* per rank: bumped when local sites change *)
+  ghost_epoch : int array array;  (* rank × face: filler's epoch at exchange *)
 }
 
-let create dom ~dof = { dom; dof; stats = { exchanges = 0; messages = 0; bytes = 0. } }
+(* A ghost region is fresh when it was filled from the current data of
+   the rank that owns those sites. [write_epoch] counts local-site
+   mutations per rank (scatter, or an explicit [mark_written]);
+   [ghost_epoch.(r).(f)] remembers the filler's write epoch at the
+   moment face [f] of rank [r] was last exchanged. Stale ghosts are
+   exactly ghost_epoch < filler's write_epoch — the data race the halo
+   checker hunts. *)
+
+let strict = ref false
+
+let create dom ~dof =
+  let n = Domain.n_ranks dom in
+  {
+    dom;
+    dof;
+    stats = { exchanges = 0; messages = 0; bytes = 0. };
+    write_epoch = Array.make n 0;
+    ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1));
+  }
 
 let stats t = t.stats
 
 let n_ranks t = Domain.n_ranks t.dom
+
+let mark_written t r = t.write_epoch.(r) <- t.write_epoch.(r) + 1
+
+let write_epoch t r = t.write_epoch.(r)
+
+let ghost_epoch t ~rank ~face = t.ghost_epoch.(rank).(face)
+
+(* The rank whose boundary sites fill ghost face [face] of [rank] is
+   that face's exchange partner (symmetric on the periodic grid). *)
+let ghost_filler t ~rank ~face =
+  let rg = Domain.rank_geometry t.dom rank in
+  rg.Domain.faces.(face).Domain.neighbor
+
+let ghost_fresh t ~rank ~face =
+  let filler = ghost_filler t ~rank ~face in
+  (* nothing was ever written: zero-initialized ghosts match zero data *)
+  t.write_epoch.(filler) = 0
+  || t.ghost_epoch.(rank).(face) >= t.write_epoch.(filler)
+
+let stale_faces t rank =
+  List.filter
+    (fun face -> not (ghost_fresh t ~rank ~face))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
 
 (* Rank-local extended field (local + ghosts), zero ghosts. *)
 let create_fields t : Field.t array =
@@ -47,7 +90,8 @@ let scatter t (global : Field.t) (fields : Field.t array) =
           Bigarray.Array1.unsafe_set local ((s * t.dof) + d)
             (Bigarray.Array1.unsafe_get global ((g * t.dof) + d))
         done
-      done)
+      done;
+      mark_written t r)
     fields
 
 let gather t (fields : Field.t array) : Field.t =
@@ -102,6 +146,8 @@ let halo_exchange ?faces t (fields : Field.t array) =
           nrg.Domain.faces.((2 * face.Domain.mu) + (1 - face.Domain.dir))
         in
         copy_face t fields.(r) face fields.(nb) mirror;
+        t.ghost_epoch.(nb).((2 * face.Domain.mu) + (1 - face.Domain.dir)) <-
+          t.write_epoch.(r);
         t.stats.messages <- t.stats.messages + 1;
         t.stats.bytes <-
           t.stats.bytes

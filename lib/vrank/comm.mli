@@ -28,4 +28,28 @@ val halo_exchange : ?faces:int array -> t -> Linalg.Field.t array -> unit
 (** Fill every rank's ghost slots from its neighbors' boundary sites
     (all 8 faces by default). *)
 
+(** {2 Ghost-freshness (epoch) tracking}
+
+    [scatter] and [mark_written] bump a per-rank write epoch;
+    [halo_exchange] stamps each refreshed ghost face with its filler's
+    epoch. A ghost face whose stamp lags the filler's epoch is stale —
+    reading it is the halo data race [Check.Halo_check] detects. *)
+
+val strict : bool ref
+(** When set, ghost consumers ([Dd_wilson] stencils) raise
+    [Invalid_argument] on a stale ghost read instead of computing with
+    outdated data. Off by default. *)
+
+val mark_written : t -> int -> unit
+(** Declare that rank's local sites changed (its neighbors' ghosts of
+    it are now stale until the next exchange). *)
+
+val write_epoch : t -> int -> int
+val ghost_epoch : t -> rank:int -> face:int -> int
+(** [-1] until the face is first exchanged. *)
+
+val ghost_fresh : t -> rank:int -> face:int -> bool
+val stale_faces : t -> int -> int list
+(** Face ids (0–7) of this rank whose ghosts lag their filler. *)
+
 val halo_bytes_per_rank : t -> int -> float

@@ -35,11 +35,26 @@ let create dom gauge =
 
 let comm t = t.comm
 
+(* Strict-mode gate: a stencil about to read ghost zones refuses to
+   run on stale ones (Comm.strict), naming rank and faces — the
+   runtime arm of the halo race detector. *)
+let assert_ghosts_fresh t ~what =
+  if !Comm.strict then
+    for r = 0 to Domain.n_ranks t.dom - 1 do
+      match Comm.stale_faces t.comm r with
+      | [] -> ()
+      | fs ->
+        invalid_arg
+          (Printf.sprintf "%s: stale ghost faces on rank %d: %s" what r
+             (String.concat "," (List.map string_of_int fs)))
+    done
+
 (* Simple application: exchange halos, then run the full stencil on
    every rank. [fields] are extended source fields; [dsts] receive
    local_volume sites each. *)
 let hop t ~(fields : Field.t array) ~(dsts : Field.t array) =
   Comm.halo_exchange t.comm fields;
+  assert_ghosts_fresh t ~what:"Dd_wilson.hop";
   Array.iteri
     (fun r kernel -> Wilson.hop kernel ~src:fields.(r) ~dst:dsts.(r))
     t.kernels
@@ -57,6 +72,7 @@ let hop_overlapped t ~(fields : Field.t array) ~(dsts : Field.t array) =
         ~dst:dsts.(r) ())
     t.kernels;
   Comm.halo_exchange t.comm fields;
+  assert_ghosts_fresh t ~what:"Dd_wilson.hop_overlapped";
   Array.iteri
     (fun r kernel ->
       let rg = Domain.rank_geometry t.dom r in

@@ -13,5 +13,6 @@ let () =
       ("qio", Test_qio.suite);
       ("physics", Test_physics.suite);
       ("core", Test_core.suite);
+      ("check", Test_check.suite);
       ("properties", Test_properties.suite);
     ]
