@@ -30,29 +30,38 @@ let study machine dims l5 gpus =
     machine.Spec.name machine.Spec.nodes machine.Spec.gpus_per_node
     (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
     l5;
-  (* strong scaling of a single solve *)
+  (* strong scaling of a single solve; the coarse/fine columns show the
+     halo-completion granularity axis the autotuner searches (per-face
+     completion pipelined against boundary sub-stencils vs one update
+     after all faces) *)
   print_endline "single-solve strong scaling (autotuned policy per point):";
   let ct = Autotune.Comm_tune.create () in
   let counts =
     List.filter (fun n -> n <= gpus)
       [ 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
   in
+  let tf = function
+    | None -> "-"
+    | Some t -> Printf.sprintf "%.1f" t
+  in
   Util.Ascii.print_table
-    ~header:[ "GPUs"; "TFlops"; "TF/GPU"; "% peak"; "policy" ]
-    (List.filter_map
-       (fun n ->
-         match Autotune.Comm_tune.pick ct machine p ~n_gpus:n with
-         | None -> None
-         | Some (pol, r) ->
-           Some
-             [
-               string_of_int n;
-               Printf.sprintf "%.1f" r.PM.tflops_total;
-               Printf.sprintf "%.3f" r.PM.tflops_per_gpu;
-               Printf.sprintf "%.1f" r.PM.percent_peak;
-               Machine.Policy.name pol;
-             ])
-       counts);
+    ~header:[ "GPUs"; "TFlops"; "coarse"; "fine"; "% peak"; "policy" ]
+    (List.map
+       (fun (row : Autotune.Comm_tune.survey_row) ->
+         [
+           string_of_int row.Autotune.Comm_tune.n_gpus;
+           Printf.sprintf "%.1f" row.Autotune.Comm_tune.tflops;
+           tf row.Autotune.Comm_tune.coarse_tflops;
+           tf row.Autotune.Comm_tune.fine_tflops;
+           (match
+              Autotune.Comm_tune.pick ct machine p
+                ~n_gpus:row.Autotune.Comm_tune.n_gpus
+            with
+           | Some (_, r) -> Printf.sprintf "%.1f" r.PM.percent_peak
+           | None -> "-");
+           Machine.Policy.name row.Autotune.Comm_tune.winner;
+         ])
+       (Autotune.Comm_tune.survey ct machine p ~gpu_counts:counts));
   (* best group size: maximize whole-machine throughput = per-GPU
      efficiency at the group size (groups are independent) *)
   print_endline "\nper-GPU efficiency by group size (pick the knee for production):";

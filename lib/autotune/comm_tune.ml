@@ -2,16 +2,20 @@
    include the concept of communication-policy tuning to pick the
    optimum communication approach for a given problem, at a given node
    count on a given target machine". The policy space is
-   Machine.Policy.all; the measurement is the machine model's
-   per-application time; winners are cached per
-   (machine, problem, n_gpus) exactly like kernel launch parameters. *)
+   Machine.Policy.all — transfer path x halo-completion granularity
+   (coarse: wait for all faces, one update kernel; fine: per-face
+   completion pipelined against boundary sub-stencils). The measurement
+   is the machine model's per-application time; outcomes are cached per
+   (machine, problem, n_gpus) exactly like kernel launch parameters —
+   including the negative outcome that a GPU count admits no process
+   grid, so an infeasible configuration is only surveyed once. *)
 
 module Spec = Machine.Spec
 module Policy = Machine.Policy
 module Perf_model = Machine.Perf_model
 
 type t = {
-  cache : (string, Policy.t * Perf_model.result) Hashtbl.t;
+  cache : (string, (Policy.t * Perf_model.result) option) Hashtbl.t;
   mutable tune_count : int;
   mutable hit_count : int;
 }
@@ -23,15 +27,18 @@ let key (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
     (String.concat "x" (Array.to_list (Array.map string_of_int p.Perf_model.dims)))
     p.Perf_model.l5 n_gpus
 
-(* Best policy for a configuration; cached. Returns None if the GPU
-   count admits no process grid. *)
+(* Best policy for a configuration; cached, [None] included. Returns
+   None if the GPU count admits no process grid — and caches that, so
+   repeated picks of an infeasible configuration cost one tune, not
+   one per call. *)
 let pick t (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
   let k = key m p ~n_gpus in
   match Hashtbl.find_opt t.cache k with
-  | Some (pol, r) ->
+  | Some outcome ->
     t.hit_count <- t.hit_count + 1;
-    Some (pol, r)
+    outcome
   | None ->
+    t.tune_count <- t.tune_count + 1;
     let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
     let results =
       List.filter_map
@@ -39,26 +46,71 @@ let pick t (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
           Option.map (fun r -> (pol, r)) (Perf_model.solver_performance m pol p ~n_gpus))
         candidates
     in
-    (match results with
-    | [] -> None
-    | first :: rest ->
-      t.tune_count <- t.tune_count + 1;
-      let best =
-        List.fold_left
-          (fun ((_, br) as b) ((_, r) as c) ->
-            if r.Perf_model.tflops_total > br.Perf_model.tflops_total then c else b)
-          first rest
-      in
-      Hashtbl.replace t.cache k best;
-      Some best)
+    let outcome =
+      match results with
+      | [] -> None
+      | first :: rest ->
+        Some
+          (List.fold_left
+             (fun ((_, br) as b) ((_, r) as c) ->
+               if r.Perf_model.tflops_total > br.Perf_model.tflops_total then c else b)
+             first rest)
+    in
+    Hashtbl.replace t.cache k outcome;
+    outcome
 
-(* Survey: winning policy for each (machine, gpu count) — shows the
-   optimum strategy is machine- and scale-dependent, the reason the
-   paper tunes it at runtime. *)
+(* Best policy restricted to one halo-completion granularity — the
+   fine-vs-coarse axis of the survey, isolated. Uncached (it reuses the
+   model directly); the winning granularity overall comes from [pick]. *)
+let pick_granularity (m : Spec.t) (p : Perf_model.problem) ~n_gpus gran =
+  let candidates =
+    List.filter
+      (fun pol -> pol.Policy.granularity = gran && Policy.available pol m)
+      Policy.all
+  in
+  let results =
+    List.filter_map (fun pol -> Perf_model.solver_performance m pol p ~n_gpus) candidates
+  in
+  match results with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun b r ->
+           if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r else b)
+         first rest)
+
+type survey_row = {
+  n_gpus : int;
+  winner : Policy.t;
+  tflops : float;
+  coarse_tflops : float option;  (* best coarse-granularity policy *)
+  fine_tflops : float option;  (* best fine-granularity policy *)
+}
+
+(* Survey: winning policy for each (machine, gpu count), with the best
+   coarse- and fine-grained completions shown side by side — the halo
+   granularity is an explicit tuning dimension, not a footnote of the
+   winner's name. Infeasible GPU counts are skipped (and negatively
+   cached by [pick]). *)
 let survey t (m : Spec.t) (p : Perf_model.problem) ~gpu_counts =
   List.filter_map
     (fun n ->
-      Option.map (fun (pol, r) -> (n, pol, r.Perf_model.tflops_total)) (pick t m p ~n_gpus:n))
+      Option.map
+        (fun (pol, r) ->
+          let gt g =
+            Option.map
+              (fun (gr : Perf_model.result) -> gr.Perf_model.tflops_total)
+              (pick_granularity m p ~n_gpus:n g)
+          in
+          {
+            n_gpus = n;
+            winner = pol;
+            tflops = r.Perf_model.tflops_total;
+            coarse_tflops = gt Policy.Coarse;
+            fine_tflops = gt Policy.Fine;
+          })
+        (pick t m p ~n_gpus:n))
     gpu_counts
 
 let tune_count t = t.tune_count

@@ -1,7 +1,9 @@
 (** Communication-policy autotuning (Sec. V): pick the optimum
-    communication approach for a problem at a node count on a machine,
-    measured through the performance model and cached per
-    (machine, problem, GPU count) like kernel launch parameters. *)
+    communication approach — transfer path x halo-completion
+    granularity — for a problem at a node count on a machine, measured
+    through the performance model and cached per
+    (machine, problem, GPU count) like kernel launch parameters.
+    Negative outcomes (no valid process grid) are cached too. *)
 
 type t
 
@@ -16,15 +18,39 @@ val pick :
   n_gpus:int ->
   (Machine.Policy.t * Machine.Perf_model.result) option
 (** Best policy for a configuration; cached. [None] when the GPU count
-    admits no process grid. *)
+    admits no process grid — that outcome is cached as well, so a
+    repeated infeasible pick is a cache hit, not a re-tune. *)
+
+val pick_granularity :
+  Machine.Spec.t ->
+  Machine.Perf_model.problem ->
+  n_gpus:int ->
+  Machine.Policy.granularity ->
+  Machine.Perf_model.result option
+(** Best policy restricted to one halo-completion granularity
+    (uncached); isolates the fine-vs-coarse axis of the survey. *)
+
+type survey_row = {
+  n_gpus : int;
+  winner : Machine.Policy.t;
+  tflops : float;
+  coarse_tflops : float option;
+      (** best policy forced to coarse halo completion *)
+  fine_tflops : float option;
+      (** best policy forced to fine (per-face) completion *)
+}
 
 val survey :
   t ->
   Machine.Spec.t ->
   Machine.Perf_model.problem ->
   gpu_counts:int list ->
-  (int * Machine.Policy.t * float) list
-(** Winning policy and TFlops for each GPU count. *)
+  survey_row list
+(** Winning policy per GPU count, with best-coarse and best-fine
+    completion times side by side. *)
 
 val tune_count : t -> int
+(** Configurations actually tuned (cache misses, feasible or not). *)
+
 val hit_count : t -> int
+(** Picks served from cache, including cached [None] outcomes. *)

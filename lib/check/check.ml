@@ -62,6 +62,22 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
           Halo_check.Exchange None;
           Halo_check.Stencil Halo_check.Boundary;
         ]
+    @ (* the fine-grained interleaving Dd_wilson.hop_overlapped runs:
+         post all, interior while in flight, then per-face complete +
+         boundary sub-stencils reading only completed faces *)
+    Halo_check.verify_schedule dom
+      [
+        Halo_check.Scatter;
+        Halo_check.Post None;
+        Halo_check.Stencil Halo_check.Interior;
+        Halo_check.Complete (Some [| 0 |]);
+        Halo_check.Complete (Some [| 1 |]);
+        Halo_check.Stencil_faces [| 0; 1 |];
+        Halo_check.Complete (Some [| 2; 3 |]);
+        Halo_check.Stencil_faces [| 0; 1; 2; 3 |];
+        Halo_check.Complete (Some [| 4; 5; 6; 7 |]);
+        Halo_check.Stencil Halo_check.Boundary;
+      ]
   in
   (* a live Comm run through scatter + exchange must audit clean *)
   let audit_ds =

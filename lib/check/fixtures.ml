@@ -1,5 +1,7 @@
-(* Seeded defect fixtures: five artifacts, each carrying exactly the
-   class of bug its pass exists to catch. The CLI's --selftest and the
+(* Seeded defect fixtures: eight artifacts, each carrying exactly the
+   class of bug its pass exists to catch (three of them the
+   nonblocking-halo interleaving defects: early boundary read,
+   send-buffer race, lost completion). The CLI's --selftest and the
    test suite assert every one is detected (≥1 error), which keeps the
    checker honest — a pass that silently stops firing fails CI. *)
 
@@ -35,14 +37,54 @@ let oversubscribed () =
 
 (* 3. An overlapped stencil schedule that only exchanges the x and y
    faces before a full stencil read: z/t ghosts are read stale. *)
-let stale_ghost () =
+let halo_domain () =
   let geom = Lattice.Geometry.create [| 4; 4; 4; 4 |] in
-  let dom = Lattice.Domain.create geom [| 2; 2; 1; 1 |] in
-  Halo_check.verify_schedule dom
+  Lattice.Domain.create geom [| 2; 2; 1; 1 |]
+
+let stale_ghost () =
+  Halo_check.verify_schedule (halo_domain ())
     [
       Halo_check.Scatter;
       Halo_check.Exchange (Some [| 0; 1; 2; 3 |]);
       Halo_check.Stencil Halo_check.Full;
+    ]
+
+(* 3a. A fine-grained overlapped schedule whose boundary sub-stencil
+   for the x faces runs before those faces completed: the classic
+   "forgot the wait" interleaving bug. *)
+let early_boundary_read () =
+  Halo_check.verify_schedule (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Post None;
+      Halo_check.Stencil Halo_check.Interior;
+      Halo_check.Stencil_faces [| 0; 1 |];  (* x faces still in flight *)
+      Halo_check.Complete None;
+      Halo_check.Stencil Halo_check.Boundary;
+    ]
+
+(* 3b. A rank rewrites its local sites while its posted messages are
+   still in flight: the nonblocking send-buffer race. *)
+let send_buffer_race () =
+  Halo_check.verify_schedule (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Post None;
+      Halo_check.Write [ 0 ];
+      Halo_check.Complete None;
+      Halo_check.Stencil Halo_check.Full;
+    ]
+
+(* 3c. A post whose z/t completions never happen: the receivers' ghosts
+   wait forever (an MPI_Wait that was never issued). *)
+let lost_completion () =
+  Halo_check.verify_schedule (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Post None;
+      Halo_check.Stencil Halo_check.Interior;
+      Halo_check.Complete (Some [| 0; 1; 2; 3 |]);
+      Halo_check.Stencil_faces [| 0; 1; 2; 3 |];
     ]
 
 (* 4. A mixed-precision solve whose operator manufactures a NaN — the
@@ -91,6 +133,24 @@ let all =
       defect = "full stencil after exchanging only the x/y faces";
       expect = "HALO003";
       run = stale_ghost;
+    };
+    {
+      name = "early-boundary-read";
+      defect = "boundary sub-stencil runs before its faces completed";
+      expect = "HALO007";
+      run = early_boundary_read;
+    };
+    {
+      name = "send-buffer-race";
+      defect = "rank 0 writes local sites between post and complete";
+      expect = "HALO008";
+      run = send_buffer_race;
+    };
+    {
+      name = "lost-completion";
+      defect = "posted z/t faces never completed";
+      expect = "HALO009";
+      run = lost_completion;
     };
     {
       name = "nan-solve";

@@ -12,6 +12,9 @@ type t = {
 val dag_cycle : unit -> Diagnostic.t list
 val oversubscribed : unit -> Diagnostic.t list
 val stale_ghost : unit -> Diagnostic.t list
+val early_boundary_read : unit -> Diagnostic.t list
+val send_buffer_race : unit -> Diagnostic.t list
+val lost_completion : unit -> Diagnostic.t list
 val nan_solve : unit -> Diagnostic.t list
 val bad_half_block : unit -> Diagnostic.t list
 

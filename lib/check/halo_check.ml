@@ -1,10 +1,12 @@
 (* Halo-exchange race detector. The paper's overlapped stencil (pack /
-   exchange / interior / boundary) is only correct when every ghost
-   zone a stencil reads was refreshed after the last write to the
-   sites it mirrors. This pass verifies a communication schedule
-   statically — replaying write/ghost epochs over a Lattice.Domain
-   without touching field data — and can also audit a live Vrank.Comm
-   for the same property via its epoch counters. *)
+   post / interior / per-face complete + boundary) is only correct when
+   every ghost zone a stencil reads was refreshed after the last write
+   to the sites it mirrors — and, for the nonblocking protocol, only
+   after the face actually completed. This pass verifies a
+   communication schedule statically — replaying write/ghost epochs and
+   the in-flight message set over a Lattice.Domain without touching
+   field data — and can also audit a live Vrank.Comm for the freshness
+   property via its epoch counters. *)
 
 module D = Lattice.Domain
 
@@ -13,8 +15,14 @@ type stencil = Full | Interior | Boundary
 type op =
   | Scatter  (* distribute a global field: every rank's sites rewritten *)
   | Write of int list  (* local-site writes on these ranks ([] = all) *)
-  | Exchange of int array option  (* halo_exchange ?faces *)
+  | Exchange of int array option  (* blocking halo_exchange ?faces *)
+  | Post of int array option  (* nonblocking pack + send (Comm.post) *)
+  | Complete of int array option
+      (* deliver posted recv faces (Comm.complete); None = all pending *)
   | Stencil of stencil  (* Full/Boundary read ghosts; Interior does not *)
+  | Stencil_faces of int array
+      (* boundary sub-stencil reading only these ghost faces — the
+         fine-grained groups Dd_wilson runs between completions *)
 
 let rules =
   [
@@ -24,24 +32,38 @@ let rules =
     ("HALO004", "face id outside 0..7");
     ("HALO005", "duplicate face id in an exchange");
     ("HALO006", "exchange before any write: refreshes zero-initialized data");
+    ("HALO007", "stencil reads a ghost face still in flight (posted, not completed)");
+    ("HALO008", "local write between post and complete: the in-flight send buffer races");
+    ("HALO009", "posted face never completed");
+    ("HALO010", "complete without a matching post");
   ]
 
 let face_name fid =
   let mu = fid / 2 and dir = fid mod 2 in
   Printf.sprintf "%c%c" "xyzt".[mu] (if dir = 0 then '+' else '-')
 
+let faces_name fs =
+  String.concat "," (Array.to_list (Array.map face_name fs))
+
 let op_name = function
   | Scatter -> "scatter"
   | Write _ -> "write"
   | Exchange None -> "exchange(all)"
-  | Exchange (Some fs) ->
-    Printf.sprintf "exchange(%s)"
-      (String.concat "," (Array.to_list (Array.map face_name fs)))
+  | Exchange (Some fs) -> Printf.sprintf "exchange(%s)" (faces_name fs)
+  | Post None -> "post(all)"
+  | Post (Some fs) -> Printf.sprintf "post(%s)" (faces_name fs)
+  | Complete None -> "complete(pending)"
+  | Complete (Some fs) -> Printf.sprintf "complete(%s)" (faces_name fs)
   | Stencil Full -> "stencil(full)"
   | Stencil Interior -> "stencil(interior)"
   | Stencil Boundary -> "stencil(boundary)"
+  | Stencil_faces fs -> Printf.sprintf "stencil(faces %s)" (faces_name fs)
 
 let all_faces = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+
+(* One in-flight message in the replay: who posted it and at which
+   write epoch (the epoch of the data the staging buffer carries). *)
+type in_flight = { src : int; epoch : int }
 
 let verify_schedule dom (ops : op list) =
   let n = D.n_ranks dom in
@@ -49,7 +71,10 @@ let verify_schedule dom (ops : op list) =
   let add d = ds := d :: !ds in
   let write_epoch = Array.make n 0 in
   let ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1)) in
-  let last_subset = ref None in  (* faces of the most recent exchange *)
+  let pending : in_flight option array array =
+    Array.init n (fun _ -> Array.make 8 None)
+  in
+  let last_subset = ref None in  (* faces of the most recent delivery *)
   let filler rank face =
     (D.rank_geometry dom rank).D.faces.(face).D.neighbor
   in
@@ -57,105 +82,247 @@ let verify_schedule dom (ops : op list) =
     write_epoch.(filler rank face) = 0
     || ghost_epoch.(rank).(face) >= write_epoch.(filler rank face)
   in
+  (* Validate a ?faces subset: ids in range, duplicates, and (for
+     exchange/post subsets — not per-face completions or sub-stencils,
+     where singletons are the point) unmatched send/recv pairs.
+     Returns the in-range ids. *)
+  let validate_subset ?(pairs = true) loc fs =
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun f ->
+        if f < 0 || f > 7 then
+          add
+            (Diagnostic.error ~rule:"HALO004" ~loc
+               (Printf.sprintf "face id %d outside 0..7" f))
+        else begin
+          if Hashtbl.mem seen f then
+            add
+              (Diagnostic.warning ~rule:"HALO005" ~loc
+                 (Printf.sprintf "face %s listed twice" (face_name f)))
+          else Hashtbl.add seen f ();
+          let opposite = (2 * (f / 2)) + (1 - (f mod 2)) in
+          if pairs && not (Array.exists (( = ) opposite) fs) then
+            add
+              (Diagnostic.warning ~rule:"HALO002" ~loc
+                 (Printf.sprintf "face %s exchanged without its opposite %s"
+                    (face_name f) (face_name opposite))
+                 ~hint:
+                   "one direction's ghosts stay stale; exchange both faces \
+                    of the dimension")
+        end)
+      fs;
+    Array.of_list (List.filter (fun f -> f >= 0 && f <= 7) (Array.to_list fs))
+  in
+  (* A write on [r] races every message r posted that is still in
+     flight: a zero-copy transport would ship the new data, a staged
+     one the old — either way the schedule is nondeterministic. *)
+  let check_send_buffer_race loc ranks =
+    let racing = ref [] in
+    for rank = 0 to n - 1 do
+      for fid = 0 to 7 do
+        match pending.(rank).(fid) with
+        | Some m when List.mem m.src ranks ->
+          racing := (m.src, fid) :: !racing
+        | _ -> ()
+      done
+    done;
+    if !racing <> [] then
+      add
+        (Diagnostic.error ~rule:"HALO008" ~loc
+           (Printf.sprintf
+              "%d in-flight message(s) posted by the written rank(s): the \
+               send buffer races with the write"
+              (List.length !racing))
+           ~hint:
+             "complete the posted faces before writing local sites, or \
+              double-buffer the sends")
+  in
+  let bump_writes loc ranks =
+    check_send_buffer_race loc ranks;
+    List.iter (fun r -> write_epoch.(r) <- write_epoch.(r) + 1) ranks
+  in
+  let all_ranks = List.init n Fun.id in
+  (* Ghost-face reads shared by Full/Boundary stencils (all 8 faces)
+     and fine-grained sub-stencils (a subset). In-flight faces get the
+     crisper HALO007; otherwise the stale logic of HALO001/HALO003. *)
+  let check_ghost_reads loc fids =
+    Array.iter
+      (fun fid ->
+        let in_flight = ref 0 and stale = ref 0 in
+        for r = 0 to n - 1 do
+          if pending.(r).(fid) <> None then incr in_flight
+          else if not (fresh r fid) then incr stale
+        done;
+        if !in_flight > 0 then
+          add
+            (Diagnostic.error ~rule:"HALO007"
+               ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+               (Printf.sprintf
+                  "ghost face read on %d/%d ranks while still in flight \
+                   (posted, not completed)"
+                  !in_flight n)
+               ~hint:"complete the face before its boundary sub-stencil runs")
+        else if !stale > 0 then
+          let covered_by_last =
+            match !last_subset with
+            | Some fs -> List.mem fid fs
+            | None -> false
+          in
+          if (not covered_by_last) && !last_subset <> None then
+            add
+              (Diagnostic.error ~rule:"HALO003"
+                 ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+                 (Printf.sprintf
+                    "stale ghost read on %d/%d ranks: face missing from the \
+                     ?faces subset"
+                    !stale n)
+                 ~hint:"add the face to the subset or exchange all faces")
+          else
+            add
+              (Diagnostic.error ~rule:"HALO001"
+                 ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+                 (Printf.sprintf
+                    "stale ghost read on %d/%d ranks: sites were written \
+                     after the last exchange"
+                    !stale n)
+                 ~hint:"insert a halo exchange between the write and the read"))
+      fids
+  in
+  (* Deliver ghost face [fid] on every rank where it is in flight;
+     returns how many ranks had nothing pending. Stamps ghost_epoch
+     with the posting epoch — completion time, posted data. *)
+  let deliver fid =
+    let missing = ref 0 in
+    for r = 0 to n - 1 do
+      match pending.(r).(fid) with
+      | Some m ->
+        ghost_epoch.(r).(fid) <- m.epoch;
+        pending.(r).(fid) <- None
+      | None -> incr missing
+    done;
+    !missing
+  in
+  let post_faces fids =
+    Array.iter
+      (fun fid ->
+        for r = 0 to n - 1 do
+          let face = (D.rank_geometry dom r).D.faces.(fid) in
+          let nb = face.D.neighbor in
+          let recv = (2 * face.D.mu) + (1 - face.D.dir) in
+          pending.(nb).(recv) <- Some { src = r; epoch = write_epoch.(r) }
+        done)
+      fids
+  in
   List.iteri
     (fun i op ->
       let loc = Printf.sprintf "op#%d %s" i (op_name op) in
       match op with
-      | Scatter -> Array.iteri (fun r e -> write_epoch.(r) <- e + 1) write_epoch
-      | Write [] -> Array.iteri (fun r e -> write_epoch.(r) <- e + 1) write_epoch
+      | Scatter -> bump_writes loc all_ranks
+      | Write [] -> bump_writes loc all_ranks
       | Write ranks ->
-        List.iter
-          (fun r ->
-            if r < 0 || r >= n then
-              add
-                (Diagnostic.error ~rule:"HALO004" ~loc
-                   (Printf.sprintf "rank %d outside 0..%d" r (n - 1)))
-            else write_epoch.(r) <- write_epoch.(r) + 1)
-          ranks
+        let valid =
+          List.filter
+            (fun r ->
+              if r < 0 || r >= n then begin
+                add
+                  (Diagnostic.error ~rule:"HALO004" ~loc
+                     (Printf.sprintf "rank %d outside 0..%d" r (n - 1)));
+                false
+              end
+              else true)
+            ranks
+        in
+        bump_writes loc valid
       | Exchange faces ->
         let fids =
-          match faces with
-          | None -> all_faces
-          | Some fs ->
-            (* validate the subset itself *)
-            let seen = Hashtbl.create 8 in
-            Array.iter
-              (fun f ->
-                if f < 0 || f > 7 then
-                  add
-                    (Diagnostic.error ~rule:"HALO004" ~loc
-                       (Printf.sprintf "face id %d outside 0..7" f))
-                else begin
-                  if Hashtbl.mem seen f then
-                    add
-                      (Diagnostic.warning ~rule:"HALO005" ~loc
-                         (Printf.sprintf "face %s exchanged twice" (face_name f)))
-                  else Hashtbl.add seen f ();
-                  let opposite = (2 * (f / 2)) + (1 - (f mod 2)) in
-                  if not (Array.exists (( = ) opposite) fs) then
-                    add
-                      (Diagnostic.warning ~rule:"HALO002" ~loc
-                         (Printf.sprintf
-                            "face %s exchanged without its opposite %s"
-                            (face_name f) (face_name opposite))
-                         ~hint:
-                           "one direction's ghosts stay stale; exchange both \
-                            faces of the dimension")
-                end)
-              fs;
-            Array.of_list
-              (List.filter (fun f -> f >= 0 && f <= 7) (Array.to_list fs))
+          match faces with None -> all_faces | Some fs -> validate_subset loc fs
         in
         if Array.for_all (( = ) 0) write_epoch then
           add
             (Diagnostic.info ~rule:"HALO006" ~loc
                "exchange before any scatter/write: ghosts refresh zero data");
-        for r = 0 to n - 1 do
-          let rg = D.rank_geometry dom r in
-          Array.iter
-            (fun fid ->
-              let face = rg.D.faces.(fid) in
-              let nb = face.D.neighbor in
-              ghost_epoch.(nb).((2 * face.D.mu) + (1 - face.D.dir)) <-
-                write_epoch.(r))
-            fids
-        done;
+        (* blocking = post + complete fused *)
+        post_faces fids;
+        let recv_fids =
+          Array.map (fun f -> (2 * (f / 2)) + (1 - (f mod 2))) fids
+        in
+        Array.iter (fun fid -> ignore (deliver fid)) recv_fids;
         last_subset :=
-          Some (match faces with None -> Array.to_list all_faces | Some fs -> Array.to_list fs)
+          Some
+            (match faces with
+            | None -> Array.to_list all_faces
+            | Some fs -> Array.to_list fs)
+      | Post faces ->
+        let fids =
+          match faces with None -> all_faces | Some fs -> validate_subset loc fs
+        in
+        if Array.for_all (( = ) 0) write_epoch then
+          add
+            (Diagnostic.info ~rule:"HALO006" ~loc
+               "post before any scatter/write: ghosts will refresh zero data");
+        Array.iter
+          (fun fid ->
+            let recv = (2 * (fid / 2)) + (1 - (fid mod 2)) in
+            if Array.exists (fun row -> row.(recv) <> None) pending then
+              add
+                (Diagnostic.warning ~rule:"HALO005" ~loc
+                   (Printf.sprintf
+                      "face %s re-posted while the previous post is in flight"
+                      (face_name fid))))
+          fids;
+        post_faces fids;
+        (* a new round began: completions accumulate from scratch *)
+        last_subset := None
+      | Complete faces ->
+        let fids =
+          match faces with
+          | Some fs -> validate_subset ~pairs:false loc fs
+          | None ->
+            (* every face any rank still has in flight *)
+            Array.of_list
+              (List.filter
+                 (fun fid ->
+                   Array.exists (fun row -> row.(fid) <> None) pending)
+                 (Array.to_list all_faces))
+        in
+        Array.iter
+          (fun fid ->
+            let missing = deliver fid in
+            if missing = n && faces <> None then
+              add
+                (Diagnostic.warning ~rule:"HALO010"
+                   ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
+                   "complete of a face that was never posted"
+                   ~hint:"post the face first, or drop the completion"))
+          fids;
+        if Array.length fids > 0 then
+          last_subset :=
+            (match !last_subset with
+            | Some prev when faces <> None ->
+              (* accumulate per-face completions of one post *)
+              Some
+                (List.sort_uniq compare (prev @ Array.to_list fids))
+            | _ -> Some (Array.to_list fids))
       | Stencil Interior -> ()  (* interior sites never touch ghosts *)
-      | Stencil (Full | Boundary) ->
-        (* every rank reads all 8 ghost faces; aggregate per face id *)
-        for fid = 0 to 7 do
-          let stale = ref 0 in
-          for r = 0 to n - 1 do
-            if not (fresh r fid) then incr stale
-          done;
-          if !stale > 0 then
-            let covered_by_last =
-              match !last_subset with
-              | Some fs -> List.mem fid fs
-              | None -> false
-            in
-            if (not covered_by_last) && !last_subset <> None then
-              add
-                (Diagnostic.error ~rule:"HALO003"
-                   ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
-                   (Printf.sprintf
-                      "stale ghost read on %d/%d ranks: face missing from \
-                       the ?faces subset"
-                      !stale n)
-                   ~hint:"add the face to the subset or exchange all faces")
-            else
-              add
-                (Diagnostic.error ~rule:"HALO001"
-                   ~loc:(Printf.sprintf "%s face %s" loc (face_name fid))
-                   (Printf.sprintf
-                      "stale ghost read on %d/%d ranks: sites were written \
-                       after the last exchange"
-                      !stale n)
-                   ~hint:"insert a halo exchange between the write and the read")
-        done)
+      | Stencil (Full | Boundary) -> check_ghost_reads loc all_faces
+      | Stencil_faces fs ->
+        check_ghost_reads loc (validate_subset ~pairs:false loc fs))
     ops;
+  (* a message still in flight at the end of the schedule was lost:
+     its receiver's ghosts never got the posted data *)
+  Array.iter
+    (fun fid ->
+      let lost = ref 0 in
+      for r = 0 to n - 1 do
+        if pending.(r).(fid) <> None then incr lost
+      done;
+      if !lost > 0 then
+        add
+          (Diagnostic.error ~rule:"HALO009"
+             ~loc:(Printf.sprintf "end of schedule, face %s" (face_name fid))
+             (Printf.sprintf "posted face never completed on %d/%d ranks" !lost n)
+             ~hint:"complete every posted face (or don't post it)"))
+    all_faces;
   Diagnostic.sort (List.rev !ds)
 
 (* Runtime audit of a live Comm: flag every currently-stale ghost face

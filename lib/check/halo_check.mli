@@ -1,16 +1,26 @@
 (** Halo-exchange race detector: replays a communication schedule's
-    write/ghost epochs over a [Lattice.Domain] and flags stencil reads
-    of stale ghost zones, unmatched send/recv face pairs, and
-    incomplete [?faces] coverage — without touching field data. Rule
-    ids [HALO001]–[HALO006]. *)
+    write/ghost epochs and in-flight message set over a
+    [Lattice.Domain] and flags stencil reads of stale or still-in-flight
+    ghost zones, send-buffer races between post and complete, lost
+    completions, unmatched send/recv face pairs, and incomplete
+    [?faces] coverage — without touching field data. Rule ids
+    [HALO001]–[HALO010]. *)
 
 type stencil = Full | Interior | Boundary
 
 type op =
   | Scatter  (** distribute a global field: every rank's sites rewritten *)
   | Write of int list  (** local-site writes on these ranks ([[]] = all) *)
-  | Exchange of int array option  (** [Comm.halo_exchange ?faces] *)
+  | Exchange of int array option
+      (** blocking [Comm.halo_exchange ?faces] (post + complete fused) *)
+  | Post of int array option  (** nonblocking [Comm.post ?faces] *)
+  | Complete of int array option
+      (** [Comm.complete] of these recv-side faces; [None] = all pending *)
   | Stencil of stencil  (** [Full]/[Boundary] read ghosts; [Interior] never *)
+  | Stencil_faces of int array
+      (** fine-grained boundary sub-stencil reading only these ghost
+          faces — what [Vrank.Dd_wilson.hop_overlapped] runs between
+          completions *)
 
 val rules : (string * string) list
 

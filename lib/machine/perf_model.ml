@@ -134,6 +134,10 @@ type breakdown = {
   t_total : float;  (* per stencil application *)
   halo_bytes_intra : float;
   halo_bytes_inter : float;
+  face_times : (int * float) list;
+      (* per posted face (id 0–7, decomposed dims only): message time
+         incl. per-message latency — the completion schedule the
+         fine-grained policy pipelines against *)
 }
 
 type result = {
@@ -184,6 +188,27 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
     let t_comm_intra = if !bytes_intra > 0. then !bytes_intra /. bw_intra else 0. in
     let n_msgs = if !decomposed > 0 then Policy.messages policy ~decomposed_dims:!decomposed else 0 in
     let t_latency = float_of_int n_msgs *. m.Spec.msg_latency_s in
+    (* Per-face message time for the nonblocking protocol: each
+       decomposed dimension sends two faces, each carrying half the
+       dimension's bytes (same intra/inter split) plus one message
+       latency. Sums back to t_comm_inter + t_comm_intra + 2d·latency —
+       the fine-grained aggregate. *)
+    let face_times =
+      List.concat
+        (List.init 4 (fun mu ->
+             if grid.(mu) <= 1 then []
+             else begin
+               let face_sites = float_of_int (v4 / local.(mu) * p.l5) in
+               let bytes = face_sites *. halo_bytes_per_face_site in
+               let inter_frac = 1. /. float_of_int nsub.(mu) in
+               let tf =
+                 (bytes *. inter_frac /. bw_inter)
+                 +. (bytes *. (1. -. inter_frac) /. bw_intra)
+                 +. m.Spec.msg_latency_s
+               in
+               [ (2 * mu, tf); ((2 * mu) + 1, tf) ]
+             end))
+    in
     let launches =
       1 + (if !decomposed > 0 then Policy.halo_kernel_launches policy ~decomposed_dims:!decomposed else 0)
     in
@@ -197,13 +222,23 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
     let t_comm = t_comm_inter +. t_comm_intra +. t_latency in
     let t_total =
       if Policy.overlaps policy && !decomposed > 0 then begin
-        (* interior compute hides communication; boundary fraction of
-           the stencil must wait for the halo *)
+        (* fine-grained: interior compute hides communication, and each
+           face's boundary sub-stencil runs as soon as that face lands.
+           Messages serialize on the NIC (arrivals are the running sum
+           of face times); boundary work per face is its share of the
+           surface. *)
         let surf = float_of_int (surface_sites p grid) in
         let boundary_frac = Float.min 0.9 (surf /. float_of_int v4) in
         let t_interior = t_stencil *. (1. -. boundary_frac) in
         let t_boundary = t_stencil *. boundary_frac in
-        Float.max t_interior t_comm +. t_boundary +. t_overhead
+        let busy = ref t_interior and arrival = ref 0. in
+        List.iter
+          (fun (fid, tf) ->
+            arrival := !arrival +. tf;
+            let share = float_of_int (v4 / local.(fid / 2)) /. surf in
+            busy := Float.max !busy !arrival +. (t_boundary *. share))
+          face_times;
+        !busy +. t_overhead
       end
       else t_stencil +. t_comm +. t_overhead
     in
@@ -219,6 +254,7 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
         t_total;
         halo_bytes_intra = !bytes_intra;
         halo_bytes_inter = !bytes_inter;
+        face_times;
       }
 
 let solver_performance (m : Spec.t) (policy : Policy.t) p ~n_gpus =

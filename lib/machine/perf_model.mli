@@ -41,6 +41,13 @@ type breakdown = {
   t_total : float;
   halo_bytes_intra : float;
   halo_bytes_inter : float;
+  face_times : (int * float) list;
+      (** Per posted face [(id, seconds)], ids 0–7 for decomposed dims
+          only: message time including per-message latency. This is the
+          completion schedule the fine-grained policy pipelines its
+          boundary sub-stencils against; the times sum to
+          [t_comm_intra + t_comm_inter + t_latency] under a fine
+          policy. *)
 }
 
 type result = {

@@ -29,7 +29,11 @@ let covariance a b =
   done;
   !acc /. float_of_int (n - 1)
 
-let correlation a b = covariance a b /. (std a *. std b)
+let correlation a b =
+  let sa = std a and sb = std b in
+  if sa = 0. || sb = 0. then
+    invalid_arg "Stats.correlation: zero variance (undefined, would be NaN)";
+  covariance a b /. (sa *. sb)
 
 let min_max a =
   if Array.length a = 0 then invalid_arg "Stats.min_max: empty";

@@ -8,6 +8,10 @@ val std : ?ddof:int -> float array -> float
 val standard_error : float array -> float
 val covariance : float array -> float array -> float
 val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. Raises [Invalid_argument] when
+    either input has zero variance — the coefficient is undefined there
+    and would otherwise propagate as a silent NaN. *)
+
 val min_max : float array -> float * float
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0,100], linear interpolation. *)

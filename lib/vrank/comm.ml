@@ -1,20 +1,26 @@
 (* Virtual-rank message passing: N ranks executed sequentially with
-   real buffers. This runs the same pack / exchange / unpack pattern an
-   MPI halo exchange performs — message counts and byte volumes are
-   recorded so the machine model can cost them — while staying
-   deterministic and testable in one process.
+   real buffers. This runs the same pack / post / complete / unpack
+   pattern an MPI nonblocking halo exchange performs — message counts
+   and byte volumes are recorded so the machine model can cost them —
+   while staying deterministic and testable in one process.
 
    A rank's field covers the extended volume (local sites then ghost
    slots). The exchange fills every rank's ghost slots from its
-   neighbors' boundary sites. *)
+   neighbors' boundary sites. The nonblocking protocol splits that
+   into [post] (pack + send each face, leaving the messages in flight)
+   and [complete] (deliver one ghost face on every rank), so overlapped
+   stencils can interleave interior compute and per-face boundary
+   compute with the communication schedule. *)
 
 module Domain = Lattice.Domain
 module Field = Linalg.Field
 
 type stats = {
-  mutable exchanges : int;  (* halo exchanges performed *)
+  mutable full_exchanges : int;  (* all-8-face halo exchanges posted *)
+  mutable partial_exchanges : int;  (* ?faces-subset exchanges posted *)
   mutable messages : int;  (* per-face sends *)
   mutable bytes : float;  (* total payload *)
+  mutable send_buffer_races : int;  (* local writes seen between post and complete *)
 }
 
 type t = {
@@ -22,14 +28,14 @@ type t = {
   dof : int;  (* floats per site *)
   stats : stats;
   write_epoch : int array;  (* per rank: bumped when local sites change *)
-  ghost_epoch : int array array;  (* rank × face: filler's epoch at exchange *)
+  ghost_epoch : int array array;  (* rank × face: filler's epoch at completion *)
 }
 
 (* A ghost region is fresh when it was filled from the current data of
    the rank that owns those sites. [write_epoch] counts local-site
    mutations per rank (scatter, or an explicit [mark_written]);
    [ghost_epoch.(r).(f)] remembers the filler's write epoch at the
-   moment face [f] of rank [r] was last exchanged. Stale ghosts are
+   moment face [f] of rank [r] was last completed. Stale ghosts are
    exactly ghost_epoch < filler's write_epoch — the data race the halo
    checker hunts. *)
 
@@ -40,7 +46,14 @@ let create dom ~dof =
   {
     dom;
     dof;
-    stats = { exchanges = 0; messages = 0; bytes = 0. };
+    stats =
+      {
+        full_exchanges = 0;
+        partial_exchanges = 0;
+        messages = 0;
+        bytes = 0.;
+        send_buffer_races = 0;
+      };
     write_epoch = Array.make n 0;
     ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1));
   }
@@ -109,51 +122,120 @@ let gather t (fields : Field.t array) : Field.t =
     fields;
   global
 
-(* Fill the ghost region of face [recv_face] on [dst] from the
-   boundary sites of [src_face] on [src]. The two faces agree on the
-   transverse ordering by construction. *)
-let copy_face t (src : Field.t) (src_face : Domain.face) (dst : Field.t)
-    (recv_face : Domain.face) =
-  let dof = t.dof in
-  Array.iteri
-    (fun i s ->
-      let sb = s * dof in
-      let db = (recv_face.Domain.ghost_base + i) * dof in
-      for d = 0 to dof - 1 do
-        Bigarray.Array1.unsafe_set dst (db + d)
-          (Bigarray.Array1.unsafe_get src (sb + d))
-      done)
-    src_face.Domain.send_sites
+(* ---- nonblocking per-face protocol ---- *)
 
-(* Exchange the halos of [faces] (default: all 8). Sequential loop over
-   ranks; sends read local sites and writes land in ghost slots, so the
-   order is immaterial. *)
-let halo_exchange ?faces t (fields : Field.t array) =
-  t.stats.exchanges <- t.stats.exchanges + 1;
+(* One in-flight message: the payload was packed from the sender's
+   boundary sites at post time, exactly like an MPI staging buffer.
+   [post_epoch] is the sender's write epoch at that moment — it is the
+   epoch of the data actually carried, so a ghost face completed from
+   this message is stamped with it (at completion time, not post
+   time). *)
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_face : int;  (* recv-side ghost face id on [msg_dst] *)
+  payload : Field.t;
+  post_epoch : int;
+}
+
+type handle = {
+  owner : t;
+  target : Field.t array;
+  mutable in_flight : message list;
+}
+
+let all_face_ids = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+
+let face_label fid =
+  Printf.sprintf "%c%c" "xyzt".[fid / 2] (if fid mod 2 = 0 then '+' else '-')
+
+(* Pack and "send" every listed face of every rank. Ghost slots are
+   untouched until the matching [complete]. *)
+let post ?faces t (fields : Field.t array) : handle =
+  let face_ids = match faces with None -> all_face_ids | Some f -> f in
+  let distinct = List.sort_uniq compare (Array.to_list face_ids) in
+  if List.length distinct = 8 then
+    t.stats.full_exchanges <- t.stats.full_exchanges + 1
+  else t.stats.partial_exchanges <- t.stats.partial_exchanges + 1;
+  let in_flight = ref [] in
   for r = 0 to n_ranks t - 1 do
     let rg = Domain.rank_geometry t.dom r in
-    let face_ids =
-      match faces with None -> Array.init 8 Fun.id | Some f -> f
-    in
     Array.iter
       (fun fid ->
         let face = rg.Domain.faces.(fid) in
+        let n_sites = Array.length face.Domain.send_sites in
+        let payload = Field.create (n_sites * t.dof) in
+        Array.iteri
+          (fun i s ->
+            let sb = s * t.dof in
+            let pb = i * t.dof in
+            for d = 0 to t.dof - 1 do
+              Bigarray.Array1.unsafe_set payload (pb + d)
+                (Bigarray.Array1.unsafe_get fields.(r) (sb + d))
+            done)
+          face.Domain.send_sites;
         (* data leaving face (mu, dir) lands in the neighbor's ghost
            region of the opposite face (mu, 1-dir) *)
-        let nb = face.Domain.neighbor in
-        let nrg = Domain.rank_geometry t.dom nb in
-        let mirror =
-          nrg.Domain.faces.((2 * face.Domain.mu) + (1 - face.Domain.dir))
-        in
-        copy_face t fields.(r) face fields.(nb) mirror;
-        t.ghost_epoch.(nb).((2 * face.Domain.mu) + (1 - face.Domain.dir)) <-
-          t.write_epoch.(r);
+        in_flight :=
+          {
+            msg_src = r;
+            msg_dst = face.Domain.neighbor;
+            msg_face = (2 * face.Domain.mu) + (1 - face.Domain.dir);
+            payload;
+            post_epoch = t.write_epoch.(r);
+          }
+          :: !in_flight;
         t.stats.messages <- t.stats.messages + 1;
-        t.stats.bytes <-
-          t.stats.bytes
-          +. float_of_int (Array.length face.Domain.send_sites * t.dof * 8))
+        t.stats.bytes <- t.stats.bytes +. float_of_int (n_sites * t.dof * 8))
       face_ids
-  done
+  done;
+  { owner = t; target = fields; in_flight = List.rev !in_flight }
+
+let pending_faces h =
+  List.sort_uniq compare (List.map (fun m -> m.msg_face) h.in_flight)
+
+let finished h = h.in_flight = []
+
+(* Deliver every in-flight message landing in ghost face [face]: unpack
+   into the receivers' ghost slots and stamp [ghost_epoch] with the
+   epoch of the data carried. Detects the classic nonblocking-send race
+   — the sender's local sites changed while the message was in flight,
+   which a zero-copy transport would have shipped corrupted. *)
+let complete h ~face =
+  let t = h.owner in
+  let mine, rest = List.partition (fun m -> m.msg_face = face) h.in_flight in
+  if mine = [] then
+    invalid_arg
+      (Printf.sprintf "Comm.complete: face %s is not in flight" (face_label face));
+  h.in_flight <- rest;
+  List.iter
+    (fun m ->
+      if t.write_epoch.(m.msg_src) > m.post_epoch then begin
+        t.stats.send_buffer_races <- t.stats.send_buffer_races + 1;
+        if !strict then
+          invalid_arg
+            (Printf.sprintf
+               "Comm.complete: rank %d wrote its local sites while face %s was \
+                in flight (send-buffer race)"
+               m.msg_src (face_label face))
+      end;
+      let rg = Domain.rank_geometry t.dom m.msg_dst in
+      let ghost_base = rg.Domain.faces.(face).Domain.ghost_base in
+      let n = Field.length m.payload in
+      let db = ghost_base * t.dof in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set h.target.(m.msg_dst) (db + i)
+          (Bigarray.Array1.unsafe_get m.payload i)
+      done;
+      t.ghost_epoch.(m.msg_dst).(face) <- m.post_epoch)
+    mine
+
+let complete_all h = List.iter (fun face -> complete h ~face) (pending_faces h)
+
+(* Blocking exchange of [faces] (default: all 8): post then complete
+   everything before returning. *)
+let halo_exchange ?faces t (fields : Field.t array) =
+  complete_all (post ?faces t fields)
 
 (* Bytes one full halo exchange moves for a single rank (both
    directions, all four dimensions), for the performance model. *)

@@ -1,11 +1,16 @@
 (** Virtual-rank message passing: N ranks executed sequentially with
-    real buffers, running the pack/exchange/unpack pattern of an MPI
-    halo exchange with message and byte accounting. *)
+    real buffers, running the pack/post/complete/unpack pattern of an
+    MPI nonblocking halo exchange with message and byte accounting. *)
 
 type stats = {
-  mutable exchanges : int;
+  mutable full_exchanges : int;
+      (** all-8-face exchanges posted — the unit [halo_bytes_per_rank]
+          estimates *)
+  mutable partial_exchanges : int;  (** [?faces]-subset exchanges posted *)
   mutable messages : int;
   mutable bytes : float;
+  mutable send_buffer_races : int;
+      (** completions that observed a local write after the post *)
 }
 
 type t
@@ -24,29 +29,63 @@ val scatter : t -> Linalg.Field.t -> Linalg.Field.t array -> unit
 
 val gather : t -> Linalg.Field.t array -> Linalg.Field.t
 
+(** {2 Nonblocking per-face protocol}
+
+    [post] packs each listed face of every rank into a staging buffer
+    and records the message as in flight; ghost slots are untouched.
+    [complete ~face] delivers every in-flight message landing in that
+    ghost face and stamps [ghost_epoch] {e at completion time} with the
+    epoch of the data actually carried. Overlapped stencils interleave
+    interior/boundary compute between the two. *)
+
+type handle
+
+val post : ?faces:int array -> t -> Linalg.Field.t array -> handle
+(** Pack + send the listed faces (default all 8) on every rank. Counts
+    one full (8 distinct faces) or partial exchange. *)
+
+val complete : handle -> face:int -> unit
+(** Deliver ghost face [face] (recv-side id) on every rank. Raises
+    [Invalid_argument] if the face is not in flight (never posted, or
+    completed twice). In strict mode also raises when the sender wrote
+    its local sites between post and complete — the classic
+    send-buffer race; otherwise the race is only counted in stats. *)
+
+val complete_all : handle -> unit
+(** Complete every pending face, in ascending face id. *)
+
+val pending_faces : handle -> int list
+(** Recv-side face ids still in flight, sorted. *)
+
+val finished : handle -> bool
+
 val halo_exchange : ?faces:int array -> t -> Linalg.Field.t array -> unit
-(** Fill every rank's ghost slots from its neighbors' boundary sites
-    (all 8 faces by default). *)
+(** Blocking convenience: [post] then [complete_all]. *)
+
+val face_label : int -> string
+(** Face id 0–7 → ["x+"], ["x-"], …, ["t-"]. *)
 
 (** {2 Ghost-freshness (epoch) tracking}
 
     [scatter] and [mark_written] bump a per-rank write epoch;
-    [halo_exchange] stamps each refreshed ghost face with its filler's
-    epoch. A ghost face whose stamp lags the filler's epoch is stale —
-    reading it is the halo data race [Check.Halo_check] detects. *)
+    completing a face stamps it with its filler's epoch as of the post.
+    A ghost face whose stamp lags the filler's epoch is stale — reading
+    it is the halo data race [Check.Halo_check] detects. *)
 
 val strict : bool ref
 (** When set, ghost consumers ([Dd_wilson] stencils) raise
     [Invalid_argument] on a stale ghost read instead of computing with
-    outdated data. Off by default. *)
+    outdated data, and [complete] raises on a send-buffer race. Off by
+    default. *)
 
 val mark_written : t -> int -> unit
 (** Declare that rank's local sites changed (its neighbors' ghosts of
-    it are now stale until the next exchange). *)
+    it are now stale until the next exchange; any in-flight message it
+    posted is now racing). *)
 
 val write_epoch : t -> int -> int
 val ghost_epoch : t -> rank:int -> face:int -> int
-(** [-1] until the face is first exchanged. *)
+(** [-1] until the face is first completed. *)
 
 val ghost_fresh : t -> rank:int -> face:int -> bool
 val stale_faces : t -> int -> int list

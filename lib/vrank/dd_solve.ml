@@ -18,10 +18,14 @@ type t = {
   dd : Dd_wilson.t;
   dom : Domain.t;
   mass : float;
+  granularity : Machine.Policy.granularity;
+      (* fine: per-face boundary compute as halos land; coarse: one
+         boundary sweep after all faces complete (Sec. V policy axis) *)
   mutable allreduces : int;
 }
 
-let create dd ~mass = { dd; dom = dd.Dd_wilson.dom; mass; allreduces = 0 }
+let create ?(granularity = Machine.Policy.Fine) dd ~mass =
+  { dd; dom = dd.Dd_wilson.dom; mass; granularity; allreduces = 0 }
 
 let n_ranks t = Domain.n_ranks t.dom
 
@@ -93,7 +97,8 @@ let apply_gamma5_local t (v : fields) =
    holds the exchanged extended copy. M = (4+m) - H/2. *)
 let apply_wilson t ~(scratch_ext : fields) (src : fields) (dst : fields) =
   copy_local_into_ext t src scratch_ext;
-  Dd_wilson.hop_overlapped t.dd ~fields:scratch_ext ~dsts:dst;
+  Dd_wilson.hop_overlapped ~granularity:t.granularity t.dd ~fields:scratch_ext
+    ~dsts:dst;
   let d = 4. +. t.mass in
   for r = 0 to n_ranks t - 1 do
     let n = local_len t r in
@@ -159,7 +164,10 @@ let solve_normal ?(tol = 1e-10) ?(max_iter = 5000) t ~(b_global : Field.t) =
     xpay t r beta p
   done;
   let x_global = Domain.gather_field t.dom ~dof:fps x in
-  let exchanges = (Comm.stats comm).Comm.exchanges in
+  (* full-halo exchanges only: the count that is comparable with
+     [Comm.halo_bytes_per_rank]-based byte estimates (partial-face
+     exchanges are tallied separately in [Comm.stats]) *)
+  let exchanges = (Comm.stats comm).Comm.full_exchanges in
   ( x_global,
     {
       Solver.Cg.iterations = !iters;

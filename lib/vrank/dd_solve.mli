@@ -5,7 +5,12 @@
 
 type t
 
-val create : Dd_wilson.t -> mass:float -> t
+val create :
+  ?granularity:Machine.Policy.granularity -> Dd_wilson.t -> mass:float -> t
+(** [granularity] selects fine-grained (default; per-face boundary
+    compute as each halo lands) or coarse-grained (one boundary sweep
+    after all faces complete) halo completion inside every operator
+    application — the axis [Autotune.Comm_tune] tunes. *)
 
 val solve_normal :
   ?tol:float ->
@@ -17,4 +22,6 @@ val solve_normal :
   * [ `Exchanges of int ]
   * [ `Allreduces of int ]
 (** Solve M†M x = M†b with b given in global layout; returns the
-    gathered global solution plus communication counts. *)
+    gathered global solution plus communication counts. [`Exchanges]
+    counts full-halo exchanges only, so it is comparable with
+    [Comm.halo_bytes_per_rank] estimates. *)

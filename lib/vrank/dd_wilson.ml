@@ -2,25 +2,59 @@
    communication pattern of the paper executed functionally. The
    overlapped application follows the canonical recipe from Sec. IV:
 
-     1. pack the halo into contiguous buffers (inside halo_exchange)
-     2. communicate halos to neighbors
-     3. compute the interior stencil
-     4. complete the boundary stencil once halos have arrived
+     1. pack the halo and post every face (Comm.post)
+     2. compute the interior stencil while messages are in flight
+     3. complete faces and run boundary compute — per face as each
+        halo lands (fine-grained), or all at once after every face
+        completed (coarse-grained), per Machine.Policy.granularity
 
    Ranks run sequentially, so "overlap" here is exercised structurally
-   (interior computed from pre-exchange data is verified identical);
-   the timing benefit is what Machine.Perf_model costs out. *)
+   (interior computed from pre-exchange data, boundary sub-stencils
+   gated on the exact faces they read — verified identical to the
+   blocking path); the timing benefit is what Machine.Perf_model costs
+   out. *)
 
 module Domain = Lattice.Domain
 module Field = Linalg.Field
 module Wilson = Dirac.Wilson
+module Policy = Machine.Policy
 
 type t = {
   dom : Domain.t;
   comm : Comm.t;
   kernels : Wilson.t array;  (* one per rank *)
   gauges : Field.t array;  (* extended-volume gauge copies *)
+  face_needs : (int * int) array array;
+      (* per rank: (boundary site, bitmask of ghost faces its stencil
+         reads) — the gating data for fine-grained completion *)
 }
+
+(* Which ghost faces does the stencil at a boundary site read? A hop
+   landing at ext index >= local_volume lands in exactly one face's
+   ghost region; collect the face ids as a bitmask. *)
+let site_face_needs (rg : Domain.rank_geometry) =
+  let ghost_len = rg.Domain.ext_volume - rg.Domain.local_volume in
+  let face_of_ghost = Array.make ghost_len (-1) in
+  Array.iteri
+    (fun fid (face : Domain.face) ->
+      Array.iteri
+        (fun i _ ->
+          face_of_ghost.(face.Domain.ghost_base + i - rg.Domain.local_volume) <-
+            fid)
+        face.Domain.send_sites)
+    rg.Domain.faces;
+  let need s =
+    let mask = ref 0 in
+    for mu = 0 to 3 do
+      let f = Domain.fwd rg s mu and b = Domain.bwd rg s mu in
+      if f >= rg.Domain.local_volume then
+        mask := !mask lor (1 lsl face_of_ghost.(f - rg.Domain.local_volume));
+      if b >= rg.Domain.local_volume then
+        mask := !mask lor (1 lsl face_of_ghost.(b - rg.Domain.local_volume))
+    done;
+    !mask
+  in
+  Array.map (fun s -> (s, need s)) rg.Domain.boundary_sites
 
 let create dom gauge =
   let comm = Comm.create dom ~dof:Wilson.floats_per_site in
@@ -31,7 +65,11 @@ let create dom gauge =
     Array.init (Domain.n_ranks dom) (fun r ->
         Wilson.of_domain_rank (Domain.rank_geometry dom r) gauges.(r))
   in
-  { dom; comm; kernels; gauges }
+  let face_needs =
+    Array.init (Domain.n_ranks dom) (fun r ->
+        site_face_needs (Domain.rank_geometry dom r))
+  in
+  { dom; comm; kernels; gauges; face_needs }
 
 let comm t = t.comm
 
@@ -46,7 +84,22 @@ let assert_ghosts_fresh t ~what =
       | fs ->
         invalid_arg
           (Printf.sprintf "%s: stale ghost faces on rank %d: %s" what r
-             (String.concat "," (List.map string_of_int fs)))
+             (String.concat "," (List.map Comm.face_label fs)))
+    done
+
+(* Per-face form of the same gate, applied at the point a boundary
+   sub-stencil reads its ghosts: only the faces in [mask] matter for
+   the sites about to run. *)
+let assert_faces_fresh t ~what ~rank ~mask =
+  if !Comm.strict then
+    for f = 0 to 7 do
+      if
+        mask land (1 lsl f) <> 0
+        && not (Comm.ghost_fresh t.comm ~rank ~face:f)
+      then
+        invalid_arg
+          (Printf.sprintf "%s: rank %d boundary stencil reads stale ghost face %s"
+             what rank (Comm.face_label f))
     done
 
 (* Simple application: exchange halos, then run the full stencil on
@@ -59,30 +112,81 @@ let hop t ~(fields : Field.t array) ~(dsts : Field.t array) =
     (fun r kernel -> Wilson.hop kernel ~src:fields.(r) ~dst:dsts.(r))
     t.kernels
 
-(* Overlapped application: interior stencil runs between the exchange
-   "post" and "wait" (sequentially the exchange completes first, but
-   the interior uses no ghost data — asserted by construction of
-   interior_sites — so the split is faithful). *)
-let hop_overlapped t ~(fields : Field.t array) ~(dsts : Field.t array) =
-  (* interior first, from pre-exchange data *)
+let default_order = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+
+let check_order order =
+  if Array.length order <> 8 then
+    invalid_arg "Dd_wilson.hop_overlapped: order must list all 8 faces";
+  let seen = Array.make 8 false in
+  Array.iter
+    (fun f ->
+      if f < 0 || f > 7 || seen.(f) then
+        invalid_arg "Dd_wilson.hop_overlapped: order must permute 0..7";
+      seen.(f) <- true)
+    order
+
+(* Overlapped application: post every face, run the interior stencil on
+   pre-exchange data while the messages are in flight, then complete
+   faces in [order]. Fine-grained runs each boundary site's sub-stencil
+   as soon as the last ghost face it reads has landed; coarse-grained
+   completes every face first and runs the whole boundary in one
+   sweep. The freshness assertion runs at the point each sub-stencil
+   reads its ghosts — not after a fused exchange, where it could never
+   fire. *)
+let hop_overlapped ?(granularity = Policy.Fine) ?(order = default_order) t
+    ~(fields : Field.t array) ~(dsts : Field.t array) =
+  check_order order;
+  let h = Comm.post t.comm fields in
+  (* interior first, from pre-exchange data: no ghost slot is read *)
   Array.iteri
     (fun r kernel ->
       let rg = Domain.rank_geometry t.dom r in
       Wilson.hop_sites kernel ~sites:rg.Domain.interior_sites ~src:fields.(r)
         ~dst:dsts.(r) ())
     t.kernels;
-  Comm.halo_exchange t.comm fields;
-  assert_ghosts_fresh t ~what:"Dd_wilson.hop_overlapped";
-  Array.iteri
-    (fun r kernel ->
-      let rg = Domain.rank_geometry t.dom r in
-      Wilson.hop_sites kernel ~sites:rg.Domain.boundary_sites ~src:fields.(r)
-        ~dst:dsts.(r) ())
-    t.kernels
+  match granularity with
+  | Policy.Coarse ->
+    Array.iter (fun face -> Comm.complete h ~face) order;
+    Array.iteri
+      (fun r kernel ->
+        let rg = Domain.rank_geometry t.dom r in
+        assert_faces_fresh t ~what:"Dd_wilson.hop_overlapped(coarse)" ~rank:r
+          ~mask:(Array.fold_left (fun m (_, mask) -> m lor mask) 0 t.face_needs.(r));
+        Wilson.hop_sites kernel ~sites:rg.Domain.boundary_sites ~src:fields.(r)
+          ~dst:dsts.(r) ())
+      t.kernels
+  | Policy.Fine ->
+    let completed = ref 0 in
+    Array.iter
+      (fun face ->
+        Comm.complete h ~face;
+        completed := !completed lor (1 lsl face);
+        let now = !completed in
+        Array.iteri
+          (fun r kernel ->
+            (* boundary sites whose last missing face just landed *)
+            let ready = ref [] and group_mask = ref 0 in
+            Array.iter
+              (fun (s, mask) ->
+                if mask land (1 lsl face) <> 0 && mask land now = mask then begin
+                  ready := s :: !ready;
+                  group_mask := !group_mask lor mask
+                end)
+              t.face_needs.(r);
+            if !ready <> [] then begin
+              assert_faces_fresh t ~what:"Dd_wilson.hop_overlapped(fine)"
+                ~rank:r ~mask:!group_mask;
+              Wilson.hop_sites kernel
+                ~sites:(Array.of_list (List.rev !ready))
+                ~src:fields.(r) ~dst:dsts.(r) ()
+            end)
+          t.kernels)
+      order
 
 (* Global-field convenience interface (tests, small workloads):
    dst = H src computed across all ranks. *)
-let hop_global ?(overlapped = false) t (src : Field.t) : Field.t =
+let hop_global ?(overlapped = false) ?granularity ?order t (src : Field.t) :
+    Field.t =
   let fields = Comm.create_fields t.comm in
   Comm.scatter t.comm src fields;
   let dsts =
@@ -90,7 +194,8 @@ let hop_global ?(overlapped = false) t (src : Field.t) : Field.t =
         let rg = Domain.rank_geometry t.dom r in
         Field.create (rg.Domain.local_volume * Wilson.floats_per_site))
   in
-  if overlapped then hop_overlapped t ~fields ~dsts else hop t ~fields ~dsts;
+  if overlapped then hop_overlapped ?granularity ?order t ~fields ~dsts
+  else hop t ~fields ~dsts;
   Domain.gather_field t.dom ~dof:Wilson.floats_per_site dsts
 
 let apply_global ?(overlapped = false) t ~mass (src : Field.t) : Field.t =

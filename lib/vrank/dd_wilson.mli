@@ -1,26 +1,49 @@
 (** Domain-decomposed Wilson operator over virtual ranks: the paper's
-    stencil communication recipe (pack → communicate → interior →
-    boundary), verified against the single-domain oracle. *)
+    stencil communication recipe (pack → post → interior → per-face
+    complete + boundary), verified against the single-domain oracle. *)
 
 type t = {
   dom : Lattice.Domain.t;
   comm : Comm.t;
   kernels : Dirac.Wilson.t array;
   gauges : Linalg.Field.t array;
+  face_needs : (int * int) array array;
+      (** per rank: (boundary site, bitmask of ghost faces its stencil
+          reads) *)
 }
 
 val create : Lattice.Domain.t -> Lattice.Gauge.t -> t
 val comm : t -> Comm.t
 
 val hop : t -> fields:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
-(** Exchange halos, then the full stencil on every rank. *)
+(** Blocking exchange, then the full stencil on every rank. *)
+
+val default_order : int array
+(** Face completion order 0..7. *)
 
 val hop_overlapped :
-  t -> fields:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
-(** Interior stencil from pre-exchange data, then exchange, then the
-    boundary stencil — the overlap structure of Sec. IV. *)
+  ?granularity:Machine.Policy.granularity ->
+  ?order:int array ->
+  t ->
+  fields:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  unit
+(** Post every face, run the interior stencil while the messages are in
+    flight, then complete faces in [order] (default 0..7). [Fine]
+    (default) runs each boundary site's sub-stencil as soon as the last
+    ghost face it reads lands; [Coarse] completes everything first and
+    runs one boundary sweep — the two halves of the paper's
+    communication-granularity policy axis. In strict mode every
+    sub-stencil asserts the freshness of exactly the faces it reads, at
+    the point it reads them. *)
 
-val hop_global : ?overlapped:bool -> t -> Linalg.Field.t -> Linalg.Field.t
+val hop_global :
+  ?overlapped:bool ->
+  ?granularity:Machine.Policy.granularity ->
+  ?order:int array ->
+  t ->
+  Linalg.Field.t ->
+  Linalg.Field.t
 (** Convenience: scatter a global field, apply, gather. *)
 
 val apply_global : ?overlapped:bool -> t -> mass:float -> Linalg.Field.t -> Linalg.Field.t

@@ -158,7 +158,38 @@ let test_comm_tune_survey () =
   let p = Machine.Perf_model.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20 in
   let rows = Comm_tune.survey ct Machine.Spec.ray p ~gpu_counts:[ 4; 16; 64 ] in
   Alcotest.(check int) "3 rows" 3 (List.length rows);
-  List.iter (fun (_, _, tf) -> Alcotest.(check bool) "positive" true (tf > 0.)) rows
+  List.iter
+    (fun (r : Comm_tune.survey_row) ->
+      Alcotest.(check bool) "positive" true (r.Comm_tune.tflops > 0.);
+      (* the halo-completion granularity axis is explicit: every row
+         carries both the best-coarse and best-fine outcome, and the
+         winner matches the better of the two *)
+      match (r.Comm_tune.coarse_tflops, r.Comm_tune.fine_tflops) with
+      | Some c, Some f ->
+        let best = Float.max c f in
+        Alcotest.(check (float 1e-9)) "winner = max(coarse, fine)" best
+          r.Comm_tune.tflops;
+        let expect_gran =
+          if f >= c then Machine.Policy.Fine else Machine.Policy.Coarse
+        in
+        Alcotest.(check bool) "winner granularity consistent" true
+          (r.Comm_tune.winner.Machine.Policy.granularity = expect_gran
+          || Float.abs (c -. f) < 1e-9 *. best)
+      | _ -> Alcotest.fail "granularity column missing")
+    rows
+
+let test_comm_tune_caches_negative () =
+  (* an infeasible GPU count (no 4-factor grid divides the dims) must be
+     tuned once and then served from cache — the regression for the
+     None-not-cached bug *)
+  let ct = Comm_tune.create () in
+  let p = Machine.Perf_model.problem ~dims:[| 48; 48; 48; 64 |] ~l5:20 in
+  Alcotest.(check bool) "infeasible" true
+    (Comm_tune.pick ct Machine.Spec.sierra p ~n_gpus:7 = None);
+  Alcotest.(check bool) "still infeasible" true
+    (Comm_tune.pick ct Machine.Spec.sierra p ~n_gpus:7 = None);
+  Alcotest.(check int) "one tune" 1 (Comm_tune.tune_count ct);
+  Alcotest.(check int) "one hit" 1 (Comm_tune.hit_count ct)
 
 let suite =
   [
@@ -174,4 +205,5 @@ let suite =
     Alcotest.test_case "comm_tune caches" `Quick test_comm_tune_caches;
     Alcotest.test_case "comm_tune availability" `Quick test_comm_tune_respects_availability;
     Alcotest.test_case "comm_tune survey" `Quick test_comm_tune_survey;
+    Alcotest.test_case "comm_tune caches None" `Quick test_comm_tune_caches_negative;
   ]

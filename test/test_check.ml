@@ -152,6 +152,75 @@ let test_halo_rewrite_invalidates () =
   Alcotest.(check bool) "write after exchange goes stale" true
     (D.has_errors ds)
 
+let test_halo_interleaved_clean () =
+  (* a correct fine-grained post/interior/per-face-complete schedule has
+     no diagnostics to give *)
+  let ds =
+    Halo.verify_schedule (domain ())
+      [
+        Halo.Scatter;
+        Halo.Post None;
+        Halo.Stencil Halo.Interior;
+        Halo.Complete (Some [| 0 |]);
+        Halo.Complete (Some [| 1 |]);
+        Halo.Stencil_faces [| 0; 1 |];
+        Halo.Complete (Some [| 2; 3; 4; 5; 6; 7 |]);
+        Halo.Stencil Halo.Boundary;
+      ]
+  in
+  Alcotest.(check int) "clean interleaving has no errors" 0 (D.count_errors ds)
+
+let test_halo_early_boundary_read () =
+  (* reading a ghost face that was posted but not yet completed is the
+     "forgot the wait" bug: HALO007, distinct from plain staleness *)
+  let ds =
+    Halo.verify_schedule (domain ())
+      [
+        Halo.Scatter;
+        Halo.Post None;
+        Halo.Stencil_faces [| 0; 1 |];
+        Halo.Complete None;
+        Halo.Stencil Halo.Boundary;
+      ]
+  in
+  Alcotest.(check bool) "HALO007 in-flight read" true (fires_error "HALO007" ds);
+  Alcotest.(check bool) "not blamed as plain staleness" false
+    (fires_error "HALO001" ds)
+
+let test_halo_send_buffer_race () =
+  let ds =
+    Halo.verify_schedule (domain ())
+      [
+        Halo.Scatter;
+        Halo.Post None;
+        Halo.Write [ 0 ];
+        Halo.Complete None;
+        Halo.Stencil Halo.Full;
+      ]
+  in
+  Alcotest.(check bool) "HALO008 write between post and complete" true
+    (fires_error "HALO008" ds)
+
+let test_halo_lost_completion () =
+  let ds =
+    Halo.verify_schedule (domain ())
+      [
+        Halo.Scatter;
+        Halo.Post None;
+        Halo.Complete (Some [| 0; 1; 2; 3 |]);
+        Halo.Stencil_faces [| 0; 1; 2; 3 |];
+      ]
+  in
+  Alcotest.(check bool) "HALO009 never-completed faces" true
+    (fires_error "HALO009" ds)
+
+let test_halo_complete_without_post () =
+  let ds =
+    Halo.verify_schedule (domain ())
+      [ Halo.Scatter; Halo.Complete (Some [| 0 |]); Halo.Stencil Halo.Interior ]
+  in
+  Alcotest.(check bool) "HALO010 complete without post" true (fires "HALO010" ds)
+
 let test_halo_live_audit () =
   let dom = domain () in
   let comm = Vrank.Comm.create dom ~dof:2 in
@@ -304,6 +373,14 @@ let suite =
     Alcotest.test_case "halo: partial faces" `Quick test_halo_partial_faces;
     Alcotest.test_case "halo: rewrite invalidates ghosts" `Quick
       test_halo_rewrite_invalidates;
+    Alcotest.test_case "halo: clean interleaving" `Quick
+      test_halo_interleaved_clean;
+    Alcotest.test_case "halo: early boundary read" `Quick
+      test_halo_early_boundary_read;
+    Alcotest.test_case "halo: send-buffer race" `Quick test_halo_send_buffer_race;
+    Alcotest.test_case "halo: lost completion" `Quick test_halo_lost_completion;
+    Alcotest.test_case "halo: complete without post" `Quick
+      test_halo_complete_without_post;
     Alcotest.test_case "halo: live comm audit" `Quick test_halo_live_audit;
     Alcotest.test_case "numeric: finite checks" `Quick test_finite_checks;
     Alcotest.test_case "numeric: sanitizer traps axpy" `Quick

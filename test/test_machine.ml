@@ -92,6 +92,64 @@ let test_gdr_beats_staging_when_available () =
   Alcotest.(check bool) "gdr >= staged" true
     (perf (fine Policy.Gdr) >= perf (fine Policy.Staged_mpi))
 
+let test_face_times_sum_to_comm () =
+  (* the per-face message schedule must account for exactly the
+     aggregate communication time under a fine-grained policy: two
+     faces per decomposed dim, summing to intra + inter + latency *)
+  let fine = { Policy.transfer = Policy.Staged_mpi; granularity = Policy.Fine } in
+  match PM.stencil_breakdown Spec.sierra fine p48 ~n_gpus:16 with
+  | None -> Alcotest.fail "no grid"
+  | Some b ->
+    let decomposed =
+      Array.to_list b.PM.grid |> List.filter (fun g -> g > 1) |> List.length
+    in
+    Alcotest.(check int) "two faces per decomposed dim" (2 * decomposed)
+      (List.length b.PM.face_times);
+    List.iter
+      (fun (fid, tf) ->
+        Alcotest.(check bool) "face id in range" true (fid >= 0 && fid < 8);
+        Alcotest.(check bool) "face grid decomposed" true (b.PM.grid.(fid / 2) > 1);
+        Alcotest.(check bool) "positive time" true (tf > 0.))
+      b.PM.face_times;
+    let sum = List.fold_left (fun a (_, tf) -> a +. tf) 0. b.PM.face_times in
+    let t_comm = b.PM.t_comm_intra +. b.PM.t_comm_inter +. b.PM.t_latency in
+    Alcotest.(check bool)
+      (Printf.sprintf "face times sum %g ~ t_comm %g" sum t_comm)
+      true
+      (abs_float (sum -. t_comm) <= 1e-12 +. (1e-9 *. t_comm))
+
+let test_fine_never_slower_than_coarse_model () =
+  (* the pipelined per-face completion model must not make overlap look
+     worse than waiting for everything (same transfer path) *)
+  List.iter
+    (fun n_gpus ->
+      let t gran =
+        Option.map
+          (fun b -> b.PM.t_total)
+          (PM.stencil_breakdown Spec.sierra
+             { Policy.transfer = Policy.Staged_mpi; granularity = gran }
+             p48 ~n_gpus)
+      in
+      match (t Policy.Fine, t Policy.Coarse) with
+      | Some tf, Some tc ->
+        (* fine pays more launches/messages in overhead, so compare the
+           comm+compute part: strip each policy's own overhead *)
+        let strip gran tt =
+          let b =
+            Option.get
+              (PM.stencil_breakdown Spec.sierra
+                 { Policy.transfer = Policy.Staged_mpi; granularity = gran }
+                 p48 ~n_gpus)
+          in
+          tt -. b.PM.t_overhead
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "overlap body <= blocking body at %d" n_gpus)
+          true
+          (strip Policy.Fine tf <= strip Policy.Coarse tc +. 1e-15)
+      | _ -> ())
+    [ 16; 64; 256 ]
+
 let test_best_grid_divides () =
   match PM.best_grid p48 12 with
   | None -> Alcotest.fail "no grid for 12"
@@ -152,6 +210,9 @@ let suite =
     Alcotest.test_case "generation ordering" `Quick test_machine_ordering_matches_generations;
     Alcotest.test_case "GDR availability" `Quick test_gdr_availability;
     Alcotest.test_case "GDR beats staging" `Quick test_gdr_beats_staging_when_available;
+    Alcotest.test_case "face times sum to t_comm" `Quick test_face_times_sum_to_comm;
+    Alcotest.test_case "fine body <= coarse body" `Quick
+      test_fine_never_slower_than_coarse_model;
     Alcotest.test_case "grid divides dims" `Quick test_best_grid_divides;
     Alcotest.test_case "grid minimizes surface" `Quick test_grid_prefers_low_surface;
     Alcotest.test_case "weak scaling linear" `Quick test_weak_scaling_linear;

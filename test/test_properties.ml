@@ -139,6 +139,55 @@ let prop_su3_exp_unitary =
       let u = Lattice.Smear.exp_i_herm (Linalg.Su3.scale 0.3 q) in
       Linalg.Su3.is_special_unitary ~eps:1e-8 u)
 
+(* Random decompositions, sources, and face-completion orders: the
+   fine-grained overlapped hop (interior while in flight, per-face
+   boundary sub-stencils as completions land) must be bit-for-bit equal
+   to the blocking exchange + full stencil, with the per-face strict
+   freshness asserts armed. *)
+let prop_overlapped_hop_matches_blocking =
+  QCheck.Test.make
+    ~name:"fine-grained overlapped hop = blocking hop, any completion order"
+    ~count:25
+    QCheck.(pair (int_range 0 5) int)
+    (fun (config, seed) ->
+      let dims, grid =
+        match config with
+        | 0 -> ([| 4; 4; 2; 2 |], [| 2; 1; 1; 1 |])
+        | 1 -> ([| 4; 4; 2; 2 |], [| 2; 2; 1; 1 |])
+        | 2 -> ([| 2; 2; 4; 4 |], [| 1; 1; 2; 2 |])
+        | 3 -> ([| 4; 4; 4; 4 |], [| 2; 2; 2; 1 |])
+        | 4 -> ([| 4; 2; 2; 4 |], [| 2; 1; 1; 2 |])
+        | _ -> ([| 4; 4; 4; 4 |], [| 2; 2; 2; 2 |])
+      in
+      let rng = Util.Rng.create seed in
+      let geom = Lattice.Geometry.create dims in
+      let gauge = Lattice.Gauge.random geom rng in
+      let dom = Lattice.Domain.create geom grid in
+      let dd = Vrank.Dd_wilson.create dom gauge in
+      let src = Field.create (Lattice.Geometry.volume geom * 24) in
+      Field.gaussian rng src;
+      (* Fisher–Yates shuffle of the face-completion order *)
+      let order = Array.copy Vrank.Dd_wilson.default_order in
+      for i = 7 downto 1 do
+        let j = Util.Rng.int rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      let blocking = Vrank.Dd_wilson.hop_global ~overlapped:false dd src in
+      Vrank.Comm.strict := true;
+      let finish () = Vrank.Comm.strict := false in
+      let overlapped =
+        try
+          Vrank.Dd_wilson.hop_global ~overlapped:true
+            ~granularity:Machine.Policy.Fine ~order dd src
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      Field.max_abs_diff blocking overlapped = 0.)
+
 let prop_crc_sensitive =
   QCheck.Test.make ~name:"crc32 differs for single-char changes" ~count:50
     QCheck.(pair (string_gen_of_size (Gen.int_range 1 64) Gen.printable) (int_range 0 255))
@@ -164,5 +213,6 @@ let suite =
       prop_placement_capacity_respected;
       prop_des_monotone_time;
       prop_su3_exp_unitary;
+      prop_overlapped_hop_matches_blocking;
       prop_crc_sensitive;
     ]

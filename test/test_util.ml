@@ -72,7 +72,16 @@ let test_stats_covariance () =
   let a = [| 1.; 2.; 3.; 4. |] in
   let b = [| 2.; 4.; 6.; 8. |] in
   check_float "cov(a, 2a)" (2. *. Stats.variance a) (Stats.covariance a b);
-  check_float "corr = 1" 1. (Stats.correlation a b)
+  check_float "corr = 1" 1. (Stats.correlation a b);
+  (* zero-variance input: the coefficient is undefined; it must raise,
+     not silently return NaN *)
+  let flat = [| 3.; 3.; 3.; 3. |] in
+  Alcotest.check_raises "corr of constant raises"
+    (Invalid_argument "Stats.correlation: zero variance (undefined, would be NaN)")
+    (fun () -> ignore (Stats.correlation flat b));
+  Alcotest.check_raises "corr against constant raises"
+    (Invalid_argument "Stats.correlation: zero variance (undefined, would be NaN)")
+    (fun () -> ignore (Stats.correlation a flat))
 
 let test_stats_percentile () =
   let a = [| 5.; 1.; 3.; 2.; 4. |] in

@@ -39,7 +39,8 @@ let test_exchange_byte_accounting () =
   let fields = Comm.create_fields comm in
   Comm.halo_exchange comm fields;
   let stats = Comm.stats comm in
-  Alcotest.(check int) "one exchange" 1 stats.Comm.exchanges;
+  Alcotest.(check int) "one full exchange" 1 stats.Comm.full_exchanges;
+  Alcotest.(check int) "no partial exchange" 0 stats.Comm.partial_exchanges;
   Alcotest.(check int) "8 faces x 4 ranks" 32 stats.Comm.messages;
   (* total bytes = sum over ranks of halo bytes *)
   let expect = ref 0. in
@@ -181,7 +182,148 @@ let test_comm_stats_accumulate () =
   let fields = Comm.create_fields comm in
   Comm.halo_exchange comm fields;
   Comm.halo_exchange comm fields;
-  Alcotest.(check int) "2 exchanges" 2 (Comm.stats comm).Comm.exchanges
+  Alcotest.(check int) "2 full exchanges" 2 (Comm.stats comm).Comm.full_exchanges
+
+let test_partial_exchange_counted_separately () =
+  (* a ?faces-subset exchange must not inflate the full-exchange count
+     that halo_bytes_per_rank estimates are compared against *)
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let comm = Comm.create dom ~dof:2 in
+  let fields = Comm.create_fields comm in
+  Comm.halo_exchange ~faces:[| 0; 1 |] comm fields;
+  Comm.halo_exchange comm fields;
+  let st = Comm.stats comm in
+  Alcotest.(check int) "1 full" 1 st.Comm.full_exchanges;
+  Alcotest.(check int) "1 partial" 1 st.Comm.partial_exchanges
+
+let test_post_stages_complete_delivers () =
+  (* between post and complete the ghosts must still hold the OLD data;
+     completing a face delivers exactly that face's ghosts *)
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let comm = Comm.create dom ~dof:1 in
+  let global = Field.of_array (Array.init (Geometry.volume geom) float_of_int) in
+  let fields = Comm.create_fields comm in
+  Comm.scatter comm global fields;
+  let h = Comm.post comm fields in
+  Alcotest.(check bool) "not finished" false (Comm.finished h);
+  Alcotest.(check (list int)) "all faces pending" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Comm.pending_faces h);
+  (* ghosts still zero: post stages into message payloads, not ghosts *)
+  for r = 0 to Domain.n_ranks dom - 1 do
+    let rg = Domain.rank_geometry dom r in
+    for e = rg.Domain.local_volume to rg.Domain.ext_volume - 1 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "rank %d ghost %d untouched" r e)
+        0.
+        (Bigarray.Array1.get fields.(r) e)
+    done
+  done;
+  (* complete face by face in a scrambled order; each completion makes
+     exactly that face fresh *)
+  Array.iter
+    (fun face ->
+      Comm.complete h ~face;
+      for r = 0 to Domain.n_ranks dom - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "rank %d face %s fresh" r (Comm.face_label face))
+          true
+          (Comm.ghost_fresh comm ~rank:r ~face)
+      done)
+    [| 5; 0; 3; 7; 1; 6; 2; 4 |];
+  Alcotest.(check bool) "finished" true (Comm.finished h);
+  (* and the delivered values are the global sites *)
+  for r = 0 to Domain.n_ranks dom - 1 do
+    let rg = Domain.rank_geometry dom r in
+    for e = 0 to rg.Domain.ext_volume - 1 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "rank %d ext %d" r e)
+        (float_of_int rg.Domain.local_to_global.(e))
+        (Bigarray.Array1.get fields.(r) e)
+    done
+  done
+
+let test_double_complete_raises () =
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 1; 1; 1 |] in
+  let comm = Comm.create dom ~dof:1 in
+  let fields = Comm.create_fields comm in
+  let h = Comm.post comm fields in
+  Comm.complete h ~face:0;
+  Alcotest.check_raises "double complete"
+    (Invalid_argument "Comm.complete: face x+ is not in flight") (fun () ->
+      Comm.complete h ~face:0);
+  Comm.complete_all h
+
+let test_send_buffer_race_detected () =
+  (* writing local sites between post and complete is the nonblocking
+     send-buffer race: counted always, fatal in strict mode *)
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let dom = Domain.create geom [| 2; 1; 1; 1 |] in
+  let comm = Comm.create dom ~dof:1 in
+  let fields = Comm.create_fields comm in
+  let h = Comm.post comm fields in
+  Comm.mark_written comm 0;
+  Comm.complete_all h;
+  Alcotest.(check bool) "races counted" true
+    ((Comm.stats comm).Comm.send_buffer_races > 0);
+  (* ghosts filled from rank 0's in-flight data are stale against its
+     new epoch *)
+  Alcotest.(check bool) "stale faces exist" true
+    (List.exists (fun r -> Comm.stale_faces comm r <> []) [ 0; 1 ]);
+  let h2 = Comm.post comm fields in
+  Comm.mark_written comm 0;
+  Comm.strict := true;
+  let raised =
+    try
+      Comm.complete_all h2;
+      false
+    with Invalid_argument _ -> true
+  in
+  Comm.strict := false;
+  Alcotest.(check bool) "strict mode raises" true raised
+
+let test_overlapped_orders_and_granularities () =
+  (* fine and coarse completion, in default and scrambled face orders,
+     all bit-for-bit equal to the blocking path *)
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let gauge = Gauge.random geom (rng ()) in
+  let dom = Domain.create geom [| 2; 2; 2; 1 |] in
+  let dd = Dd.create dom gauge in
+  let src = Field.create (Geometry.volume geom * 24) in
+  Field.gaussian (rng ()) src;
+  let simple = Dd.hop_global ~overlapped:false dd src in
+  List.iter
+    (fun (label, granularity, order) ->
+      let got = Dd.hop_global ~overlapped:true ~granularity ~order dd src in
+      Alcotest.(check (float 0.)) label 0. (Field.max_abs_diff simple got))
+    [
+      ("fine default order", Machine.Policy.Fine, Dd.default_order);
+      ("fine reversed", Machine.Policy.Fine, [| 7; 6; 5; 4; 3; 2; 1; 0 |]);
+      ("fine scrambled", Machine.Policy.Fine, [| 3; 6; 0; 5; 2; 7; 1; 4 |]);
+      ("coarse default order", Machine.Policy.Coarse, Dd.default_order);
+      ("coarse scrambled", Machine.Policy.Coarse, [| 4; 1; 7; 2; 0; 5; 3; 6 |]);
+    ]
+
+let test_overlapped_strict_mode_clean () =
+  (* satellite check: the per-face freshness asserts in hop_overlapped
+     must NOT fire on a correct schedule, in strict mode *)
+  let geom = Geometry.create [| 4; 4; 2; 2 |] in
+  let gauge = Gauge.random geom (rng ()) in
+  let dom = Domain.create geom [| 2; 2; 1; 1 |] in
+  let dd = Dd.create dom gauge in
+  let src = Field.create (Geometry.volume geom * 24) in
+  Field.gaussian (rng ()) src;
+  Comm.strict := true;
+  let finish () = Comm.strict := false in
+  (try
+     ignore (Dd.hop_global ~overlapped:true ~granularity:Machine.Policy.Fine dd src);
+     ignore (Dd.hop_global ~overlapped:true ~granularity:Machine.Policy.Coarse dd src)
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 let suite =
   [
@@ -193,4 +335,14 @@ let suite =
     Alcotest.test_case "dd CG = single-domain" `Quick test_dd_solve_matches_single_domain;
     Alcotest.test_case "dd CG trivial grid" `Quick test_dd_solve_trivial_grid;
     Alcotest.test_case "stats accumulate" `Quick test_comm_stats_accumulate;
+    Alcotest.test_case "partial vs full exchanges" `Quick
+      test_partial_exchange_counted_separately;
+    Alcotest.test_case "post stages, complete delivers" `Quick
+      test_post_stages_complete_delivers;
+    Alcotest.test_case "double complete raises" `Quick test_double_complete_raises;
+    Alcotest.test_case "send-buffer race" `Quick test_send_buffer_race_detected;
+    Alcotest.test_case "orders x granularities = blocking" `Quick
+      test_overlapped_orders_and_granularities;
+    Alcotest.test_case "strict mode clean overlap" `Quick
+      test_overlapped_strict_mode_clean;
   ]
