@@ -68,8 +68,17 @@ let run_fixture name =
     print_diags ds;
     Printf.printf "%d error(s), %d warning(s)\n" (Check.Diagnostic.count_errors ds)
       (Check.Diagnostic.count_warnings ds);
-    (* finding the seeded defect is the point: errors → exit 1 *)
-    exit (if Check.Diagnostic.has_errors ds then 1 else 0)
+    (* finding the seeded defect is the point: the expected rule firing
+       (as error or warning — some defect classes, like HALO012's
+       wasted copies, are warnings by design) → exit 1 *)
+    let fired =
+      List.exists
+        (fun (d : Check.Diagnostic.t) ->
+          d.Check.Diagnostic.rule = f.Check.Fixtures.expect
+          && d.Check.Diagnostic.severity <> Check.Diagnostic.Info)
+        ds
+    in
+    exit (if fired then 1 else 0)
 
 let run_selftest () =
   let rows = Check.selftest () in

@@ -30,10 +30,12 @@ let study machine dims l5 gpus =
     machine.Spec.name machine.Spec.nodes machine.Spec.gpus_per_node
     (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
     l5;
-  (* strong scaling of a single solve; the coarse/fine columns show the
-     halo-completion granularity axis the autotuner searches (per-face
-     completion pipelined against boundary sub-stencils vs one update
-     after all faces) *)
+  (* strong scaling of a single solve; the coarse/fine columns show
+     the halo-completion granularity axis the autotuner searches
+     (per-face completion pipelined against boundary sub-stencils vs
+     one update after all faces), the safe column the best race-free
+     transport (no zero-copy aliasing), and the transport column which
+     halo buffer management the winner uses *)
   print_endline "single-solve strong scaling (autotuned policy per point):";
   let ct = Autotune.Comm_tune.create () in
   let counts =
@@ -45,7 +47,7 @@ let study machine dims l5 gpus =
     | Some t -> Printf.sprintf "%.1f" t
   in
   Util.Ascii.print_table
-    ~header:[ "GPUs"; "TFlops"; "coarse"; "fine"; "% peak"; "policy" ]
+    ~header:[ "GPUs"; "TFlops"; "coarse"; "fine"; "safe"; "% peak"; "policy"; "transport" ]
     (List.map
        (fun (row : Autotune.Comm_tune.survey_row) ->
          [
@@ -53,6 +55,7 @@ let study machine dims l5 gpus =
            Printf.sprintf "%.1f" row.Autotune.Comm_tune.tflops;
            tf row.Autotune.Comm_tune.coarse_tflops;
            tf row.Autotune.Comm_tune.fine_tflops;
+           tf row.Autotune.Comm_tune.safe_tflops;
            (match
               Autotune.Comm_tune.pick ct machine p
                 ~n_gpus:row.Autotune.Comm_tune.n_gpus
@@ -60,6 +63,7 @@ let study machine dims l5 gpus =
            | Some (_, r) -> Printf.sprintf "%.1f" r.PM.percent_peak
            | None -> "-");
            Machine.Policy.name row.Autotune.Comm_tune.winner;
+           Machine.Transport.name row.Autotune.Comm_tune.transport;
          ])
        (Autotune.Comm_tune.survey ct machine p ~gpu_counts:counts));
   (* best group size: maximize whole-machine throughput = per-GPU

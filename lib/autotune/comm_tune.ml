@@ -1,49 +1,76 @@
 (* Communication-policy autotuning (Sec. V): extend the autotuner "to
    include the concept of communication-policy tuning to pick the
    optimum communication approach for a given problem, at a given node
-   count on a given target machine". The policy space is
-   Machine.Policy.all — transfer path x halo-completion granularity
-   (coarse: wait for all faces, one update kernel; fine: per-face
-   completion pipelined against boundary sub-stencils). The measurement
-   is the machine model's per-application time; outcomes are cached per
-   (machine, problem, n_gpus) exactly like kernel launch parameters —
-   including the negative outcome that a GPU count admits no process
-   grid, so an infeasible configuration is only surveyed once. *)
+   count on a given target machine". The search space is
+   Machine.Policy.all x Machine.Transport.all — transfer path x
+   halo-completion granularity x halo buffer transport (staged /
+   zero-copy / double-buffered), restricted to honest pairings
+   (Policy.transport_ok). The measurement is the machine model's
+   per-application time; outcomes are cached per
+   (machine, problem, n_gpus) — and per transport x granularity combo —
+   exactly like kernel launch parameters, including the negative
+   outcome that a GPU count admits no process grid, so an infeasible
+   configuration is only surveyed once. *)
 
 module Spec = Machine.Spec
 module Policy = Machine.Policy
+module Transport = Machine.Transport
 module Perf_model = Machine.Perf_model
 
 type t = {
   cache : (string, (Policy.t * Perf_model.result) option) Hashtbl.t;
+  combo_cache : (string, Perf_model.result option) Hashtbl.t;
+      (* per transport x granularity cell of the survey *)
   mutable tune_count : int;
   mutable hit_count : int;
+  mutable combo_tune_count : int;
+  mutable combo_hit_count : int;
 }
 
-let create () = { cache = Hashtbl.create 32; tune_count = 0; hit_count = 0 }
+let create () =
+  {
+    cache = Hashtbl.create 32;
+    combo_cache = Hashtbl.create 64;
+    tune_count = 0;
+    hit_count = 0;
+    combo_tune_count = 0;
+    combo_hit_count = 0;
+  }
 
 let key (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
   Printf.sprintf "%s|%s|l5=%d|g=%d" m.Spec.name
     (String.concat "x" (Array.to_list (Array.map string_of_int p.Perf_model.dims)))
     p.Perf_model.l5 n_gpus
 
-(* Best policy for a configuration; cached, [None] included. Returns
-   None if the GPU count admits no process grid — and caches that, so
-   repeated picks of an infeasible configuration cost one tune, not
-   one per call. *)
-let pick t (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
-  let k = key m p ~n_gpus in
-  match Hashtbl.find_opt t.cache k with
+(* Best policy for one cell of the transport x granularity grid:
+   among the policies with that granularity, available on the machine,
+   and honestly modeled by that transport, priced with the transport's
+   extra copy. Cached, [None] (no honest policy, or no process grid)
+   included. *)
+let pick_combo t (m : Spec.t) (p : Perf_model.problem) ~n_gpus ~transport
+    ~granularity =
+  let k =
+    Printf.sprintf "%s|tr=%s|gran=%s" (key m p ~n_gpus)
+      (Transport.name transport)
+      (Policy.granularity_name granularity)
+  in
+  match Hashtbl.find_opt t.combo_cache k with
   | Some outcome ->
-    t.hit_count <- t.hit_count + 1;
+    t.combo_hit_count <- t.combo_hit_count + 1;
     outcome
   | None ->
-    t.tune_count <- t.tune_count + 1;
-    let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
+    t.combo_tune_count <- t.combo_tune_count + 1;
+    let candidates =
+      List.filter
+        (fun pol ->
+          pol.Policy.granularity = granularity
+          && Policy.available pol m
+          && Policy.transport_ok pol transport)
+        Policy.all
+    in
     let results =
       List.filter_map
-        (fun pol ->
-          Option.map (fun r -> (pol, r)) (Perf_model.solver_performance m pol p ~n_gpus))
+        (fun pol -> Perf_model.solver_performance ~transport m pol p ~n_gpus)
         candidates
     in
     let outcome =
@@ -52,16 +79,67 @@ let pick t (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
       | first :: rest ->
         Some
           (List.fold_left
-             (fun ((_, br) as b) ((_, r) as c) ->
-               if r.Perf_model.tflops_total > br.Perf_model.tflops_total then c else b)
+             (fun b (r : Perf_model.result) ->
+               if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r
+               else b)
              first rest)
+    in
+    Hashtbl.replace t.combo_cache k outcome;
+    outcome
+
+(* Best configuration over the whole honest grid; cached, [None]
+   included. [require_safe] restricts to transports where a
+   write-after-post can never corrupt delivered ghosts (drops
+   Zero_copy) — the race-freedom-vs-extra-copy trade the survey
+   surfaces. Returns None if the GPU count admits no process grid —
+   and caches that, so repeated picks of an infeasible configuration
+   cost one tune, not one per call. *)
+let pick ?(require_safe = false) t (m : Spec.t) (p : Perf_model.problem)
+    ~n_gpus =
+  let k = key m p ~n_gpus ^ if require_safe then "|safe" else "" in
+  match Hashtbl.find_opt t.cache k with
+  | Some outcome ->
+    t.hit_count <- t.hit_count + 1;
+    outcome
+  | None ->
+    t.tune_count <- t.tune_count + 1;
+    (* zero-copy first: its combos carry the direct-wire policies
+       (gdr, zero-copy transfers), so performance ties keep resolving
+       toward the more direct path, as before the transport axis *)
+    let transports =
+      List.filter
+        (fun tr -> (not require_safe) || Transport.write_after_post_safe tr)
+        [ Transport.Zero_copy; Transport.Staged; Transport.Double_buffered ]
+    in
+    let results =
+      List.concat_map
+        (fun transport ->
+          List.filter_map
+            (fun granularity ->
+              pick_combo t m p ~n_gpus ~transport ~granularity)
+            Policy.all_granularities)
+        transports
+    in
+    let outcome =
+      match results with
+      | [] -> None
+      | first :: rest ->
+        let best =
+          List.fold_left
+            (fun (b : Perf_model.result) (r : Perf_model.result) ->
+              if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r
+              else b)
+            first rest
+        in
+        Some (best.Perf_model.policy, best)
     in
     Hashtbl.replace t.cache k outcome;
     outcome
 
-(* Best policy restricted to one halo-completion granularity — the
-   fine-vs-coarse axis of the survey, isolated. Uncached (it reuses the
-   model directly); the winning granularity overall comes from [pick]. *)
+(* Best configuration restricted to one halo-completion granularity —
+   the fine-vs-coarse axis of the survey, isolated. Uncached (it reuses
+   the model directly); the winning granularity overall comes from
+   [pick]. *)
 let pick_granularity (m : Spec.t) (p : Perf_model.problem) ~n_gpus gran =
   let candidates =
     List.filter
@@ -69,35 +147,48 @@ let pick_granularity (m : Spec.t) (p : Perf_model.problem) ~n_gpus gran =
       Policy.all
   in
   let results =
-    List.filter_map (fun pol -> Perf_model.solver_performance m pol p ~n_gpus) candidates
+    List.concat_map
+      (fun pol ->
+        List.filter_map
+          (fun tr ->
+            if Policy.transport_ok pol tr then
+              Perf_model.solver_performance ~transport:tr m pol p ~n_gpus
+            else None)
+          Transport.all)
+      candidates
   in
   match results with
   | [] -> None
   | first :: rest ->
     Some
       (List.fold_left
-         (fun b r ->
+         (fun b (r : Perf_model.result) ->
            if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r else b)
          first rest)
 
 type survey_row = {
   n_gpus : int;
   winner : Policy.t;
+  transport : Transport.t;  (* the winner's halo transport *)
   tflops : float;
-  coarse_tflops : float option;  (* best coarse-granularity policy *)
-  fine_tflops : float option;  (* best fine-granularity policy *)
+  coarse_tflops : float option;  (* best coarse-granularity configuration *)
+  fine_tflops : float option;  (* best fine-granularity configuration *)
+  safe_tflops : float option;
+      (* best write-after-post-safe configuration (no Zero_copy): what
+         race-freedom costs at this point *)
 }
 
-(* Survey: winning policy for each (machine, gpu count), with the best
-   coarse- and fine-grained completions shown side by side — the halo
-   granularity is an explicit tuning dimension, not a footnote of the
-   winner's name. Infeasible GPU counts are skipped (and negatively
-   cached by [pick]). *)
+(* Survey: winning configuration for each (machine, gpu count), with
+   the best coarse- and fine-grained completions and the best race-free
+   transport shown side by side — halo granularity and transport are
+   explicit tuning dimensions, not footnotes of the winner's name.
+   Infeasible GPU counts are skipped (and negatively cached by
+   [pick]). *)
 let survey t (m : Spec.t) (p : Perf_model.problem) ~gpu_counts =
   List.filter_map
     (fun n ->
       Option.map
-        (fun (pol, r) ->
+        (fun (pol, (r : Perf_model.result)) ->
           let gt g =
             Option.map
               (fun (gr : Perf_model.result) -> gr.Perf_model.tflops_total)
@@ -106,12 +197,20 @@ let survey t (m : Spec.t) (p : Perf_model.problem) ~gpu_counts =
           {
             n_gpus = n;
             winner = pol;
+            transport = r.Perf_model.transport;
             tflops = r.Perf_model.tflops_total;
             coarse_tflops = gt Policy.Coarse;
             fine_tflops = gt Policy.Fine;
+            safe_tflops =
+              Option.map
+                (fun ((_ : Policy.t), (sr : Perf_model.result)) ->
+                  sr.Perf_model.tflops_total)
+                (pick ~require_safe:true t m p ~n_gpus:n);
           })
         (pick t m p ~n_gpus:n))
     gpu_counts
 
 let tune_count t = t.tune_count
 let hit_count t = t.hit_count
+let combo_tune_count t = t.combo_tune_count
+let combo_hit_count t = t.combo_hit_count

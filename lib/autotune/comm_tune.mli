@@ -1,9 +1,12 @@
 (** Communication-policy autotuning (Sec. V): pick the optimum
     communication approach — transfer path x halo-completion
-    granularity — for a problem at a node count on a machine, measured
-    through the performance model and cached per
+    granularity x halo buffer transport (staged / zero-copy /
+    double-buffered, restricted to honest pairings per
+    [Machine.Policy.transport_ok]) — for a problem at a node count on a
+    machine, measured through the performance model and cached per
     (machine, problem, GPU count) like kernel launch parameters.
-    Negative outcomes (no valid process grid) are cached too. *)
+    Negative outcomes (no valid process grid, or no honest policy for a
+    combo) are cached too. *)
 
 type t
 
@@ -12,14 +15,31 @@ val create : unit -> t
 val key : Machine.Spec.t -> Machine.Perf_model.problem -> n_gpus:int -> string
 
 val pick :
+  ?require_safe:bool ->
   t ->
   Machine.Spec.t ->
   Machine.Perf_model.problem ->
   n_gpus:int ->
   (Machine.Policy.t * Machine.Perf_model.result) option
-(** Best policy for a configuration; cached. [None] when the GPU count
-    admits no process grid — that outcome is cached as well, so a
-    repeated infeasible pick is a cache hit, not a re-tune. *)
+(** Best configuration over the honest transport x granularity grid;
+    cached. [require_safe] (default false) drops transports where a
+    write-after-post can corrupt delivered ghosts (i.e. [Zero_copy]) —
+    the result's [transport] field then carries the race-free winner.
+    [None] when the GPU count admits no process grid — that outcome is
+    cached as well, so a repeated infeasible pick is a cache hit, not a
+    re-tune. *)
+
+val pick_combo :
+  t ->
+  Machine.Spec.t ->
+  Machine.Perf_model.problem ->
+  n_gpus:int ->
+  transport:Machine.Transport.t ->
+  granularity:Machine.Policy.granularity ->
+  Machine.Perf_model.result option
+(** Best policy for one transport x granularity cell, priced with that
+    transport's extra copy. Cached per cell, [None] (infeasible GPU
+    count, or no honest available policy) included. *)
 
 val pick_granularity :
   Machine.Spec.t ->
@@ -27,17 +47,21 @@ val pick_granularity :
   n_gpus:int ->
   Machine.Policy.granularity ->
   Machine.Perf_model.result option
-(** Best policy restricted to one halo-completion granularity
+(** Best configuration restricted to one halo-completion granularity
     (uncached); isolates the fine-vs-coarse axis of the survey. *)
 
 type survey_row = {
   n_gpus : int;
   winner : Machine.Policy.t;
+  transport : Machine.Transport.t;  (** the winner's halo transport *)
   tflops : float;
   coarse_tflops : float option;
-      (** best policy forced to coarse halo completion *)
+      (** best configuration forced to coarse halo completion *)
   fine_tflops : float option;
-      (** best policy forced to fine (per-face) completion *)
+      (** best configuration forced to fine (per-face) completion *)
+  safe_tflops : float option;
+      (** best write-after-post-safe configuration (no [Zero_copy]):
+          what race-freedom costs at this point *)
 }
 
 val survey :
@@ -46,11 +70,18 @@ val survey :
   Machine.Perf_model.problem ->
   gpu_counts:int list ->
   survey_row list
-(** Winning policy per GPU count, with best-coarse and best-fine
-    completion times side by side. *)
+(** Winning configuration per GPU count, with best-coarse, best-fine
+    and best-race-free shown side by side. *)
 
 val tune_count : t -> int
-(** Configurations actually tuned (cache misses, feasible or not). *)
+(** Whole-grid configurations actually tuned (cache misses, feasible
+    or not). *)
 
 val hit_count : t -> int
 (** Picks served from cache, including cached [None] outcomes. *)
+
+val combo_tune_count : t -> int
+(** Transport x granularity cells actually evaluated. *)
+
+val combo_hit_count : t -> int
+(** Cell lookups served from cache, including cached [None]s. *)

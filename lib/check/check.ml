@@ -78,6 +78,31 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
         Halo_check.Complete (Some [| 4; 5; 6; 7 |]);
         Halo_check.Stencil Halo_check.Boundary;
       ]
+    @ (* the transport dimension, used honestly: a double-buffered
+         schedule whose write really races a post (the copy earns its
+         keep — no HALO008/011/012), and a zero-copy schedule that
+         completes before writing (no corruption window) *)
+    Halo_check.verify_schedule ~transport:Machine.Transport.Double_buffered dom
+      [
+        Halo_check.Scatter;
+        Halo_check.Post None;
+        Halo_check.Write [ 0 ];
+        Halo_check.Complete None;
+        Halo_check.Exchange None;
+        Halo_check.Stencil Halo_check.Full;
+      ]
+    @ Halo_check.verify_schedule ~transport:Machine.Transport.Zero_copy
+        ~policy:
+          { Machine.Policy.transfer = Machine.Policy.Zero_copy;
+            granularity = Machine.Policy.Fine }
+        dom
+        [
+          Halo_check.Scatter;
+          Halo_check.Post None;
+          Halo_check.Stencil Halo_check.Interior;
+          Halo_check.Complete None;
+          Halo_check.Stencil Halo_check.Boundary;
+        ]
   in
   (* a live Comm run through scatter + exchange must audit clean *)
   let audit_ds =
@@ -126,7 +151,9 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
   ]
 
 (* Selftest: every seeded defect fixture must be detected. Returns
-   (fixture, fired rule ids, detected?) rows. *)
+   (fixture, fired rule ids, detected?) rows. Warnings count as fired:
+   some defect classes (wasted double-buffer copies, HALO012) are
+   warnings by design, and a fixture must still prove they trigger. *)
 let selftest () =
   List.map
     (fun (f : Fixtures.t) ->
@@ -134,8 +161,10 @@ let selftest () =
       let fired =
         List.sort_uniq compare
           (List.filter_map
-             (fun d ->
-               if Diagnostic.is_error d then Some d.Diagnostic.rule else None)
+             (fun (d : Diagnostic.t) ->
+               match d.Diagnostic.severity with
+               | Diagnostic.Error | Diagnostic.Warning -> Some d.Diagnostic.rule
+               | Diagnostic.Info -> None)
              ds)
       in
       (f, fired, List.mem f.Fixtures.expect fired))

@@ -1,9 +1,10 @@
-(* Seeded defect fixtures: eight artifacts, each carrying exactly the
-   class of bug its pass exists to catch (three of them the
-   nonblocking-halo interleaving defects: early boundary read,
-   send-buffer race, lost completion). The CLI's --selftest and the
-   test suite assert every one is detected (≥1 error), which keeps the
-   checker honest — a pass that silently stops firing fails CI. *)
+(* Seeded defect fixtures: eleven artifacts, each carrying exactly the
+   class of bug its pass exists to catch (six of them nonblocking-halo
+   defects: early boundary read, send-buffer race, lost completion,
+   zero-copy corruption, wasted double-buffering, transport/policy
+   mismatch). The CLI's --selftest and the test suite assert every one
+   is detected, which keeps the checker honest — a pass that silently
+   stops firing fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -87,6 +88,53 @@ let lost_completion () =
       Halo_check.Stencil_faces [| 0; 1; 2; 3 |];
     ]
 
+(* 3d. The same write-after-post pattern as 3b, but under the
+   zero-copy transport, where the in-flight payload aliases the
+   writer's field: the delivered ghosts are corrupt for real, and the
+   diagnostic names the first racing site's global coordinate. The
+   trailing exchange refreshes the ghosts so only the corruption
+   fires, not a stale read. *)
+let zero_copy_race () =
+  Halo_check.verify_schedule ~transport:Machine.Transport.Zero_copy
+    (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Post None;
+      Halo_check.Write [ 0 ];
+      Halo_check.Complete None;
+      Halo_check.Exchange None;
+      Halo_check.Stencil Halo_check.Full;
+    ]
+
+(* 3e. A double-buffered schedule where no write ever lands between a
+   post and its completion: every rotation copy was paid for nothing —
+   the staged transport would deliver the same data cheaper. *)
+let wasted_double_buffer () =
+  Halo_check.verify_schedule ~transport:Machine.Transport.Double_buffered
+    (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Post None;
+      Halo_check.Stencil Halo_check.Interior;
+      Halo_check.Complete None;
+      Halo_check.Stencil Halo_check.Boundary;
+    ]
+
+(* 3f. A GDR policy modeled with the staged transport: the real wire
+   is zero-copy, so the staging model hides the send-buffer race the
+   hardware path actually has. *)
+let transport_mismatch () =
+  Halo_check.verify_schedule ~transport:Machine.Transport.Staged
+    ~policy:
+      { Machine.Policy.transfer = Machine.Policy.Gdr;
+        granularity = Machine.Policy.Fine }
+    (halo_domain ())
+    [
+      Halo_check.Scatter;
+      Halo_check.Exchange None;
+      Halo_check.Stencil Halo_check.Full;
+    ]
+
 (* 4. A mixed-precision solve whose operator manufactures a NaN — the
    half codec would silently launder it to zero; the instrumented
    kernels trap it at the encode boundary. *)
@@ -151,6 +199,24 @@ let all =
       defect = "posted z/t faces never completed";
       expect = "HALO009";
       run = lost_completion;
+    };
+    {
+      name = "zero-copy-race";
+      defect = "write between post and complete under the zero-copy transport";
+      expect = "HALO011";
+      run = zero_copy_race;
+    };
+    {
+      name = "wasted-double-buffer";
+      defect = "double-buffered schedule where no write ever races a post";
+      expect = "HALO012";
+      run = wasted_double_buffer;
+    };
+    {
+      name = "transport-mismatch";
+      defect = "GDR transfer policy modeled with the staged transport";
+      expect = "HALO013";
+      run = transport_mismatch;
     };
     {
       name = "nan-solve";

@@ -36,6 +36,9 @@ let rules =
     ("HALO008", "local write between post and complete: the in-flight send buffer races");
     ("HALO009", "posted face never completed");
     ("HALO010", "complete without a matching post");
+    ("HALO011", "write under the zero-copy transport corrupts an in-flight payload");
+    ("HALO012", "double-buffered transport pays copies no write ever needed");
+    ("HALO013", "communication policy's transfer path mismatches the halo transport");
   ]
 
 let face_name fid =
@@ -65,10 +68,32 @@ let all_faces = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
    write epoch (the epoch of the data the staging buffer carries). *)
 type in_flight = { src : int; epoch : int }
 
-let verify_schedule dom (ops : op list) =
+let verify_schedule ?(transport = Machine.Transport.Staged) ?policy dom
+    (ops : op list) =
   let n = D.n_ranks dom in
   let ds = ref [] in
   let add d = ds := d :: !ds in
+  (* HALO013: the transport must model the policy's transfer path
+     honestly — staging under a zero-copy/GDR wire hides the real
+     race, zero-copy under the staged-MPI wire invents one. *)
+  (match policy with
+  | Some pol when not (Machine.Policy.transport_ok pol transport) ->
+    add
+      (Diagnostic.error ~rule:"HALO013" ~loc:"schedule"
+         (Printf.sprintf "policy %s modeled with the %s transport: %s"
+            (Machine.Policy.name pol)
+            (Machine.Transport.name transport)
+            (match transport with
+            | Machine.Transport.Staged ->
+              "the zero-copy/GDR wire races for real; the staged model hides it"
+            | Machine.Transport.Zero_copy | Machine.Transport.Double_buffered ->
+              "the staged-MPI wire always copies; this model invents a race \
+               the copy prevents"))
+         ~hint:
+           "pair zero-copy/GDR transfers with the zero-copy or \
+            double-buffered transport, and staged-mpi with staged or \
+            double-buffered")
+  | _ -> ());
   let write_epoch = Array.make n 0 in
   let ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1)) in
   let pending : in_flight option array array =
@@ -113,29 +138,67 @@ let verify_schedule dom (ops : op list) =
       fs;
     Array.of_list (List.filter (fun f -> f >= 0 && f <= 7) (Array.to_list fs))
   in
+  (* Sender-side coordinate of the first racing site: the message
+     landing in recv face [recv_fid] was packed from the opposite face
+     of the sender — name its first send site in global coordinates so
+     the diagnostic points at lattice data, not just a face id. *)
+  let describe_site src recv_fid =
+    let send_fid = (2 * (recv_fid / 2)) + (1 - (recv_fid mod 2)) in
+    let rg = D.rank_geometry dom src in
+    let face = rg.D.faces.(send_fid) in
+    if Array.length face.D.send_sites = 0 then ""
+    else
+      let g = rg.D.local_to_global.(face.D.send_sites.(0)) in
+      let c = Lattice.Geometry.coords (D.global dom) g in
+      Printf.sprintf "; first racing site: rank %d face %s site %d = (%d,%d,%d,%d)"
+        src (face_name send_fid) g c.(0) c.(1) c.(2) c.(3)
+  in
   (* A write on [r] races every message r posted that is still in
-     flight: a zero-copy transport would ship the new data, a staged
-     one the old — either way the schedule is nondeterministic. *)
+     flight. What that means depends on the transport: staged ships
+     the old data but the pattern is still wrong (HALO008); zero-copy
+     ships the new data — the delivered ghosts are corrupt for real
+     (HALO011); double-buffered is immune (counted, so HALO012 can
+     tell a useful buffer from a wasted one). *)
+  let protected_races = ref 0 in
   let check_send_buffer_race loc ranks =
-    let racing = ref [] in
+    let count = ref 0 and first = ref None in
     for rank = 0 to n - 1 do
       for fid = 0 to 7 do
         match pending.(rank).(fid) with
         | Some m when List.mem m.src ranks ->
-          racing := (m.src, fid) :: !racing
+          incr count;
+          if !first = None then first := Some (m.src, fid)
         | _ -> ()
       done
     done;
-    if !racing <> [] then
-      add
-        (Diagnostic.error ~rule:"HALO008" ~loc
-           (Printf.sprintf
-              "%d in-flight message(s) posted by the written rank(s): the \
-               send buffer races with the write"
-              (List.length !racing))
-           ~hint:
-             "complete the posted faces before writing local sites, or \
-              double-buffer the sends")
+    if !count > 0 then begin
+      let site =
+        match !first with None -> "" | Some (src, fid) -> describe_site src fid
+      in
+      match transport with
+      | Machine.Transport.Double_buffered ->
+        protected_races := !protected_races + !count
+      | Machine.Transport.Staged ->
+        add
+          (Diagnostic.error ~rule:"HALO008" ~loc
+             (Printf.sprintf
+                "%d in-flight message(s) posted by the written rank(s): the \
+                 send buffer races with the write%s"
+                !count site)
+             ~hint:
+               "complete the posted faces before writing local sites, or \
+                double-buffer the sends")
+      | Machine.Transport.Zero_copy ->
+        add
+          (Diagnostic.error ~rule:"HALO011" ~loc
+             (Printf.sprintf
+                "%d in-flight zero-copy payload(s) alias the written rank(s)' \
+                 field: the delivered ghosts are corrupt%s"
+                !count site)
+             ~hint:
+               "complete the posted faces before writing, or switch to the \
+                double-buffered transport")
+    end
   in
   let bump_writes loc ranks =
     check_send_buffer_race loc ranks;
@@ -202,6 +265,7 @@ let verify_schedule dom (ops : op list) =
     done;
     !missing
   in
+  let posted_msgs = ref 0 in
   let post_faces fids =
     Array.iter
       (fun fid ->
@@ -209,7 +273,8 @@ let verify_schedule dom (ops : op list) =
           let face = (D.rank_geometry dom r).D.faces.(fid) in
           let nb = face.D.neighbor in
           let recv = (2 * face.D.mu) + (1 - face.D.dir) in
-          pending.(nb).(recv) <- Some { src = r; epoch = write_epoch.(r) }
+          pending.(nb).(recv) <- Some { src = r; epoch = write_epoch.(r) };
+          incr posted_msgs
         done)
       fids
   in
@@ -323,14 +388,44 @@ let verify_schedule dom (ops : op list) =
              (Printf.sprintf "posted face never completed on %d/%d ranks" !lost n)
              ~hint:"complete every posted face (or don't post it)"))
     all_faces;
+  (* HALO012: the double buffer earns its extra copy only if some
+     write actually raced a post somewhere in the schedule. A schedule
+     that never writes between post and complete paid every rotation
+     copy for nothing — the staged transport is strictly cheaper. *)
+  if
+    transport = Machine.Transport.Double_buffered
+    && !posted_msgs > 0
+    && !protected_races = 0
+  then
+    add
+      (Diagnostic.warning ~rule:"HALO012" ~loc:"end of schedule"
+         (Printf.sprintf
+            "double-buffered transport paid %d rotation cop%s but no write \
+             ever raced a post"
+            !posted_msgs
+            (if !posted_msgs = 1 then "y" else "ies"))
+         ~hint:
+           "this schedule is already write-after-post free: the staged \
+            transport delivers the same data without the extra copy");
   Diagnostic.sort (List.rev !ds)
 
 (* Runtime audit of a live Comm: flag every currently-stale ghost face
    (same freshness rule, read from the epoch counters the instrumented
-   Comm maintains). *)
+   Comm maintains), plus any zero-copy corruption its checksum witness
+   already caught. *)
 let audit (c : Vrank.Comm.t) =
   let n = Vrank.Comm.n_ranks c in
   let ds = ref [] in
+  let corruptions = (Vrank.Comm.stats c).Vrank.Comm.corruptions in
+  if corruptions > 0 then
+    ds :=
+      Diagnostic.error ~rule:"HALO011" ~loc:"comm stats"
+        (Printf.sprintf
+           "%d zero-copy payload(s) changed between post and delivery: the \
+            received ghosts are corrupt"
+           corruptions)
+        ~hint:"complete in-flight faces before writing local sites"
+      :: !ds;
   for fid = 0 to 7 do
     let stale = ref 0 in
     for r = 0 to n - 1 do

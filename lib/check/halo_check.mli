@@ -1,10 +1,13 @@
 (** Halo-exchange race detector: replays a communication schedule's
     write/ghost epochs and in-flight message set over a
     [Lattice.Domain] and flags stencil reads of stale or still-in-flight
-    ghost zones, send-buffer races between post and complete, lost
-    completions, unmatched send/recv face pairs, and incomplete
-    [?faces] coverage — without touching field data. Rule ids
-    [HALO001]–[HALO010]. *)
+    ghost zones, send-buffer races between post and complete (staged:
+    HALO008; zero-copy, where the write genuinely corrupts the
+    delivered ghosts: HALO011), lost completions, unmatched send/recv
+    face pairs, incomplete [?faces] coverage, wasted double-buffer
+    copies (HALO012) and transport/policy modeling mismatches
+    (HALO013) — without touching field data. Rule ids
+    [HALO001]–[HALO013]. *)
 
 type stencil = Full | Interior | Boundary
 
@@ -29,7 +32,19 @@ val face_name : int -> string
 
 val op_name : op -> string
 
-val verify_schedule : Lattice.Domain.t -> op list -> Diagnostic.t list
+val verify_schedule :
+  ?transport:Machine.Transport.t ->
+  ?policy:Machine.Policy.t ->
+  Lattice.Domain.t ->
+  op list ->
+  Diagnostic.t list
+(** Replay [ops] under a halo [transport] (default [Staged]).
+    Write-after-post fires HALO008 under [Staged], HALO011 (with the
+    first racing site's global coordinate) under [Zero_copy], and
+    nothing under [Double_buffered] — but a [Double_buffered] schedule
+    where no write ever races a post gets the HALO012 warning (every
+    rotation copy was wasted). When [policy] is given, a transport
+    that models its transfer path dishonestly fires HALO013. *)
 
 val audit : Vrank.Comm.t -> Diagnostic.t list
 (** Flag every currently-stale ghost face of a live instrumented

@@ -131,6 +131,10 @@ type breakdown = {
   t_comm_inter : float;
   t_latency : float;
   t_overhead : float;
+  t_copy : float;
+      (* transport extra-copy time: Double_buffered pays one rotation
+         copy of the halo payload against GPU memory bandwidth; zero
+         for Staged/Zero_copy *)
   t_total : float;  (* per stencil application *)
   halo_bytes_intra : float;
   halo_bytes_inter : float;
@@ -144,6 +148,7 @@ type result = {
   machine : Spec.t;
   n_gpus : int;
   policy : Policy.t;
+  transport : Transport.t;
   tflops_total : float;
   tflops_per_gpu : float;
   percent_peak : float;
@@ -151,8 +156,13 @@ type result = {
   breakdown : breakdown;
 }
 
-(* Time components for one stencil application on [n_gpus]. *)
-let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
+(* Time components for one stencil application on [n_gpus].
+   [transport] prices the halo buffer management: Double_buffered pays
+   one extra copy of the full halo payload against GPU memory
+   bandwidth; Staged (default) and Zero_copy pay none, keeping the
+   calibrated numbers unchanged. *)
+let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
+    (policy : Policy.t) p ~n_gpus =
   match best_grid p n_gpus with
   | None -> None
   | Some grid ->
@@ -219,6 +229,11 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
     let t_overhead =
       (float_of_int launches *. m.Spec.launch_overhead_s) +. t_allreduce
     in
+    let t_copy =
+      float_of_int (Transport.extra_copies transport)
+      *. (!bytes_intra +. !bytes_inter)
+      /. (m.Spec.gpu.Spec.mem_bw_gbs *. 1e9)
+    in
     let t_comm = t_comm_inter +. t_comm_intra +. t_latency in
     let t_total =
       if Policy.overlaps policy && !decomposed > 0 then begin
@@ -238,9 +253,10 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
             let share = float_of_int (v4 / local.(fid / 2)) /. surf in
             busy := Float.max !busy !arrival +. (t_boundary *. share))
           face_times;
-        !busy +. t_overhead
+        (* the rotation copy is pack-side serial work: not hidden *)
+        !busy +. t_copy +. t_overhead
       end
-      else t_stencil +. t_comm +. t_overhead
+      else t_stencil +. t_comm +. t_copy +. t_overhead
     in
     Some
       {
@@ -251,14 +267,16 @@ let stencil_breakdown (m : Spec.t) (policy : Policy.t) p ~n_gpus =
         t_comm_inter;
         t_latency;
         t_overhead;
+        t_copy;
         t_total;
         halo_bytes_intra = !bytes_intra;
         halo_bytes_inter = !bytes_inter;
         face_times;
       }
 
-let solver_performance (m : Spec.t) (policy : Policy.t) p ~n_gpus =
-  match stencil_breakdown m policy p ~n_gpus with
+let solver_performance ?(transport = Transport.Staged) (m : Spec.t)
+    (policy : Policy.t) p ~n_gpus =
+  match stencil_breakdown ~transport m policy p ~n_gpus with
   | None -> None
   | Some b ->
     let flops_app = b.local_sites *. flops_per_site in
@@ -269,6 +287,7 @@ let solver_performance (m : Spec.t) (policy : Policy.t) p ~n_gpus =
         machine = m;
         n_gpus;
         policy;
+        transport;
         tflops_total = total /. 1e12;
         tflops_per_gpu = per_gpu /. 1e12;
         percent_peak = per_gpu *. peak_scaling /. (m.Spec.gpu.Spec.fp32_tflops *. 1e12) *. 100.;
@@ -278,9 +297,11 @@ let solver_performance (m : Spec.t) (policy : Policy.t) p ~n_gpus =
 
 (* Best policy at a configuration — what the communication autotuner
    would pick (Autotune.Comm_tune drives this via its cache). *)
-let best_policy (m : Spec.t) p ~n_gpus =
+let best_policy ?transport (m : Spec.t) p ~n_gpus =
   let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
-  let results = List.filter_map (fun pol -> solver_performance m pol p ~n_gpus) candidates in
+  let results =
+    List.filter_map (fun pol -> solver_performance ?transport m pol p ~n_gpus) candidates
+  in
   match results with
   | [] -> None
   | r :: rest ->

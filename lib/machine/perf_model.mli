@@ -38,6 +38,10 @@ type breakdown = {
   t_comm_inter : float;
   t_latency : float;
   t_overhead : float;
+  t_copy : float;
+      (** transport extra-copy time ([Transport.Double_buffered] pays
+          one rotation copy of the halo payload at GPU memory
+          bandwidth; zero for [Staged]/[Zero_copy]) *)
   t_total : float;
   halo_bytes_intra : float;
   halo_bytes_inter : float;
@@ -54,6 +58,7 @@ type result = {
   machine : Spec.t;
   n_gpus : int;
   policy : Policy.t;
+  transport : Transport.t;
   tflops_total : float;
   tflops_per_gpu : float;
   percent_peak : float;
@@ -62,12 +67,15 @@ type result = {
 }
 
 val stencil_breakdown :
-  Spec.t -> Policy.t -> problem -> n_gpus:int -> breakdown option
+  ?transport:Transport.t -> Spec.t -> Policy.t -> problem -> n_gpus:int -> breakdown option
+(** [transport] (default [Staged]) prices the halo buffer management
+    into [t_copy]; the default leaves the calibrated numbers
+    unchanged. *)
 
 val solver_performance :
-  Spec.t -> Policy.t -> problem -> n_gpus:int -> result option
+  ?transport:Transport.t -> Spec.t -> Policy.t -> problem -> n_gpus:int -> result option
 
-val best_policy : Spec.t -> problem -> n_gpus:int -> result option
+val best_policy : ?transport:Transport.t -> Spec.t -> problem -> n_gpus:int -> result option
 (** What the communication autotuner would pick. *)
 
 type mpi_stack = Spectrum | Open_mpi | Mvapich2 | Metaq_jsrun

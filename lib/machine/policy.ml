@@ -66,3 +66,14 @@ let halo_kernel_launches t ~decomposed_dims =
 (* Can communication overlap the interior stencil? Fine-grained yes;
    coarse waits for all halos then runs one update kernel. *)
 let overlaps t = match t.granularity with Fine -> true | Coarse -> false
+
+(* Is a Comm transport model honest for this policy's transfer path?
+   A staged transport under a zero-copy/GDR wire hides the real
+   send-buffer race (optimistic); a zero-copy transport under the
+   staged-MPI wire invents one that the staging copy prevents
+   (pessimistic). Either mismatch is what HALO013 flags; the tuner
+   only surveys honest combinations. *)
+let transport_ok t (tr : Transport.t) =
+  match t.transfer with
+  | Staged_mpi -> tr <> Transport.Zero_copy
+  | Zero_copy | Gdr -> tr <> Transport.Staged

@@ -27,3 +27,10 @@ val messages : t -> decomposed_dims:int -> int
 val halo_kernel_launches : t -> decomposed_dims:int -> int
 val overlaps : t -> bool
 (** Fine-grained policies overlap communication with interior compute. *)
+
+val transport_ok : t -> Transport.t -> bool
+(** Is a [Vrank.Comm] transport model honest for this policy's transfer
+    path? [Staged_mpi] must not be modeled [Zero_copy] (invents a race
+    the staging copy prevents); [Zero_copy]/[Gdr] must not be modeled
+    [Staged] (hides the race the wire really has). The mismatch is rule
+    HALO013 in [Check.Halo_check]. *)

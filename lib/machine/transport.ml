@@ -1,0 +1,41 @@
+(* Halo transport modes: how the send side of a nonblocking exchange
+   treats the face data between post and complete. This is the
+   buffer-management axis of the communication-policy space — distinct
+   from Policy.transfer (which wire the bytes cross) and from
+   Policy.granularity (when completions are consumed):
+
+   - Staged: pack each face into a fresh staging buffer at post time.
+     A later local write cannot change the bytes in flight, but the
+     classic send-buffer race is still flagged, because a staged model
+     standing in for a real zero-copy path hides the corruption that
+     path would suffer.
+   - Zero_copy: the in-flight message aliases the sender's field; the
+     bytes are only read at completion time. A write between post and
+     complete genuinely corrupts the delivered ghosts — the honest
+     model of Policy.Zero_copy / Policy.Gdr transfers.
+   - Double_buffered: pack into one of two rotating per-face staging
+     buffers. Write-after-post is safe by construction (the writer
+     never touches a buffer still in flight), at the price of one
+     extra copy per message, which Perf_model charges against memory
+     bandwidth. *)
+
+type t = Staged | Zero_copy | Double_buffered
+
+let all = [ Staged; Zero_copy; Double_buffered ]
+
+let name = function
+  | Staged -> "staged"
+  | Zero_copy -> "zero-copy"
+  | Double_buffered -> "double-buffered"
+
+(* Copies per message beyond what every transport pays to move the
+   payload itself. Staged's post-time pack is the baseline the model
+   is calibrated against; zero-copy skips it but reads the live field;
+   double-buffering adds one rotation copy on top of the baseline. *)
+let extra_copies = function Staged | Zero_copy -> 0 | Double_buffered -> 1
+
+(* Can a local write between post and complete corrupt the delivered
+   ghosts? Only under zero-copy, where the payload aliases the field. *)
+let write_after_post_safe = function
+  | Zero_copy -> false
+  | Staged | Double_buffered -> true

@@ -1,0 +1,24 @@
+(** Halo transport modes: how the send side of a nonblocking halo
+    exchange treats face data between post and complete — the
+    buffer-management axis of the communication-policy space,
+    orthogonal to [Policy.transfer] (which wire) and
+    [Policy.granularity] (when completions are consumed). *)
+
+type t =
+  | Staged  (** pack into a fresh staging buffer at post time *)
+  | Zero_copy
+      (** the in-flight payload aliases the sender's field; a write
+          between post and complete corrupts the delivered ghosts *)
+  | Double_buffered
+      (** two rotating staging buffers per face: write-after-post is
+          safe by construction, at one extra copy per message *)
+
+val all : t list
+val name : t -> string
+
+val extra_copies : t -> int
+(** Copies per message beyond the staged baseline (0, 0, 1). *)
+
+val write_after_post_safe : t -> bool
+(** Whether a local write between post and complete can never corrupt
+    the delivered ghosts ([false] only for [Zero_copy]). *)

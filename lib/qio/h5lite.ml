@@ -162,17 +162,27 @@ let load filename =
   let count = read_u32 s 8 in
   let t = create () in
   let pos = ref 12 in
+  (* every field read is bounds-checked so a file cut off mid-record
+     reports Corrupt, not a String.sub Invalid_argument *)
+  let need n =
+    if n < 0 || !pos + n > String.length s then raise (Corrupt "truncated record")
+  in
   for _ = 1 to count do
+    need 2;
     let plen = read_u16 s !pos in
     pos := !pos + 2;
+    need plen;
     let path = String.sub s !pos plen in
     pos := !pos + plen;
+    need 9;
     let tag = Char.code s.[!pos] in
     incr pos;
     let nbytes = Int64.to_int (read_u64 s !pos) in
     pos := !pos + 8;
+    need nbytes;
     let payload = String.sub s !pos nbytes in
     pos := !pos + nbytes;
+    need 4;
     let crc_stored = read_u32 s !pos in
     pos := !pos + 4;
     let crc_actual = Int32.to_int (Int32.logand (crc32 payload) 0xFFFFFFFFl) land 0xFFFFFFFF in

@@ -10,10 +10,29 @@
    into [post] (pack + send each face, leaving the messages in flight)
    and [complete] (deliver one ghost face on every rank), so overlapped
    stencils can interleave interior compute and per-face boundary
-   compute with the communication schedule. *)
+   compute with the communication schedule.
+
+   The [transport] dimension (Machine.Transport) decides what "pack +
+   send" means for the buffer in flight:
+
+   - Staged packs a fresh buffer at post time: a write-after-post is
+     flagged as a race (the pattern is wrong) but the delivered data
+     is the post-time data.
+   - Zero_copy leaves the payload aliasing the sender's field and only
+     reads it at completion time: a write-after-post genuinely
+     corrupts the delivered ghosts, witnessed by an order-sensitive
+     checksum stamped at post and re-taken at delivery
+     ([stats.corruptions]).
+   - Double_buffered packs into one of two rotating per-face staging
+     buffers: write-after-post is safe by construction (at most one
+     buffer per face is ever in flight, and the next post rotates to
+     the other), at one extra copy per message ([stats.extra_copies],
+     priced by Machine.Perf_model). *)
 
 module Domain = Lattice.Domain
 module Field = Linalg.Field
+
+type transport = Machine.Transport.t = Staged | Zero_copy | Double_buffered
 
 type stats = {
   mutable full_exchanges : int;  (* all-8-face halo exchanges posted *)
@@ -21,14 +40,22 @@ type stats = {
   mutable messages : int;  (* per-face sends *)
   mutable bytes : float;  (* total payload *)
   mutable send_buffer_races : int;  (* local writes seen between post and complete *)
+  mutable corruptions : int;
+      (* zero-copy deliveries whose payload changed in flight *)
+  mutable extra_copies : int;  (* double-buffer rotation copies paid *)
 }
 
 type t = {
   dom : Domain.t;
   dof : int;  (* floats per site *)
+  transport : transport;
   stats : stats;
   write_epoch : int array;  (* per rank: bumped when local sites change *)
   ghost_epoch : int array array;  (* rank × face: filler's epoch at completion *)
+  db_pool : Field.t array array array;
+      (* Double_buffered only: rank × face × 2 rotating staging
+         buffers; [||] for the other transports *)
+  db_next : int array array;  (* rank × face: which buffer the next post takes *)
 }
 
 (* A ghost region is fresh when it was filled from the current data of
@@ -41,11 +68,24 @@ type t = {
 
 let strict = ref false
 
-let create dom ~dof =
+let create ?(transport = Staged) dom ~dof =
   let n = Domain.n_ranks dom in
+  let db_pool =
+    match transport with
+    | Double_buffered ->
+      Array.init n (fun r ->
+          let rg = Domain.rank_geometry dom r in
+          Array.init 8 (fun fid ->
+              let n_sites =
+                Array.length rg.Domain.faces.(fid).Domain.send_sites
+              in
+              Array.init 2 (fun _ -> Field.create (n_sites * dof))))
+    | Staged | Zero_copy -> [||]
+  in
   {
     dom;
     dof;
+    transport;
     stats =
       {
         full_exchanges = 0;
@@ -53,12 +93,18 @@ let create dom ~dof =
         messages = 0;
         bytes = 0.;
         send_buffer_races = 0;
+        corruptions = 0;
+        extra_copies = 0;
       };
     write_epoch = Array.make n 0;
     ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1));
+    db_pool;
+    db_next = Array.init n (fun _ -> Array.make 8 0);
   }
 
 let stats t = t.stats
+
+let transport t = t.transport
 
 let n_ranks t = Domain.n_ranks t.dom
 
@@ -124,18 +170,23 @@ let gather t (fields : Field.t array) : Field.t =
 
 (* ---- nonblocking per-face protocol ---- *)
 
-(* One in-flight message: the payload was packed from the sender's
-   boundary sites at post time, exactly like an MPI staging buffer.
-   [post_epoch] is the sender's write epoch at that moment — it is the
-   epoch of the data actually carried, so a ghost face completed from
-   this message is stamped with it (at completion time, not post
-   time). *)
+(* One in-flight message. Under Staged/Double_buffered the payload was
+   packed from the sender's boundary sites at post time, exactly like
+   an MPI staging buffer; under Zero_copy the payload is empty and the
+   bytes are read from the sender's live field at completion time.
+   [post_epoch] is the sender's write epoch at the post — the epoch of
+   the data meant to be carried, so a ghost face completed from this
+   message is stamped with it (at completion time, not post time).
+   [checksum] is only meaningful under Zero_copy: the order-sensitive
+   checksum of the aliased face taken at post, compared against the
+   same sum at delivery to witness in-flight corruption. *)
 type message = {
   msg_src : int;
   msg_dst : int;
   msg_face : int;  (* recv-side ghost face id on [msg_dst] *)
   payload : Field.t;
   post_epoch : int;
+  checksum : float;
 }
 
 type handle = {
@@ -149,8 +200,38 @@ let all_face_ids = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
 let face_label fid =
   Printf.sprintf "%c%c" "xyzt".[fid / 2] (if fid mod 2 = 0 then '+' else '-')
 
-(* Pack and "send" every listed face of every rank. Ghost slots are
-   untouched until the matching [complete]. *)
+(* Order-sensitive weighted checksum of a face's send sites in [field]:
+   a change to any single value moves the sum, and the per-slot weights
+   make value swaps between slots visible too. *)
+let face_checksum (field : Field.t) (face : Domain.face) ~dof =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i s ->
+      let sb = s * dof in
+      for d = 0 to dof - 1 do
+        let w =
+          float_of_int ((((i * dof) + d + 1) * 2654435761) land 0xFFFFF) +. 1.
+        in
+        acc := !acc +. (w *. Bigarray.Array1.unsafe_get field (sb + d))
+      done)
+    face.Domain.send_sites;
+  !acc
+
+let pack_face (src : Field.t) (face : Domain.face) ~dof (payload : Field.t) =
+  Array.iteri
+    (fun i s ->
+      let sb = s * dof in
+      let pb = i * dof in
+      for d = 0 to dof - 1 do
+        Bigarray.Array1.unsafe_set payload (pb + d)
+          (Bigarray.Array1.unsafe_get src (sb + d))
+      done)
+    face.Domain.send_sites
+
+let empty_payload = Field.create 0
+
+(* Pack (transport permitting) and "send" every listed face of every
+   rank. Ghost slots are untouched until the matching [complete]. *)
 let post ?faces t (fields : Field.t array) : handle =
   let face_ids = match faces with None -> all_face_ids | Some f -> f in
   let distinct = List.sort_uniq compare (Array.to_list face_ids) in
@@ -164,16 +245,26 @@ let post ?faces t (fields : Field.t array) : handle =
       (fun fid ->
         let face = rg.Domain.faces.(fid) in
         let n_sites = Array.length face.Domain.send_sites in
-        let payload = Field.create (n_sites * t.dof) in
-        Array.iteri
-          (fun i s ->
-            let sb = s * t.dof in
-            let pb = i * t.dof in
-            for d = 0 to t.dof - 1 do
-              Bigarray.Array1.unsafe_set payload (pb + d)
-                (Bigarray.Array1.unsafe_get fields.(r) (sb + d))
-            done)
-          face.Domain.send_sites;
+        let payload, checksum =
+          match t.transport with
+          | Staged ->
+            let p = Field.create (n_sites * t.dof) in
+            pack_face fields.(r) face ~dof:t.dof p;
+            (p, 0.)
+          | Double_buffered ->
+            (* rotate: the buffer not (possibly) in flight from the
+               previous post of this face *)
+            let slot = t.db_next.(r).(fid) in
+            t.db_next.(r).(fid) <- 1 - slot;
+            let p = t.db_pool.(r).(fid).(slot) in
+            pack_face fields.(r) face ~dof:t.dof p;
+            t.stats.extra_copies <- t.stats.extra_copies + 1;
+            (p, 0.)
+          | Zero_copy ->
+            (* no pack: the message aliases the sender's field; stamp
+               the checksum of what should be delivered *)
+            (empty_payload, face_checksum fields.(r) face ~dof:t.dof)
+        in
         (* data leaving face (mu, dir) lands in the neighbor's ghost
            region of the opposite face (mu, 1-dir) *)
         in_flight :=
@@ -183,6 +274,7 @@ let post ?faces t (fields : Field.t array) : handle =
             msg_face = (2 * face.Domain.mu) + (1 - face.Domain.dir);
             payload;
             post_epoch = t.write_epoch.(r);
+            checksum;
           }
           :: !in_flight;
         t.stats.messages <- t.stats.messages + 1;
@@ -196,11 +288,18 @@ let pending_faces h =
 
 let finished h = h.in_flight = []
 
+(* The send-side face id that produced a message landing in recv face
+   [fid]: the opposite direction of the same dimension. *)
+let send_face_of_recv fid = (2 * (fid / 2)) + (1 - (fid mod 2))
+
 (* Deliver every in-flight message landing in ghost face [face]: unpack
    into the receivers' ghost slots and stamp [ghost_epoch] with the
-   epoch of the data carried. Detects the classic nonblocking-send race
-   — the sender's local sites changed while the message was in flight,
-   which a zero-copy transport would have shipped corrupted. *)
+   epoch of the data meant to be carried. The write-after-post race is
+   transport-dependent: Staged flags it (the pattern is wrong even
+   though the staging copy saved the data); Zero_copy additionally
+   re-checksums the aliased face and counts a corruption when the
+   delivered bytes really differ from the posted ones; Double_buffered
+   is immune — the writer never touches a buffer in flight. *)
 let complete h ~face =
   let t = h.owner in
   let mine, rest = List.partition (fun m -> m.msg_face = face) h.in_flight in
@@ -210,23 +309,49 @@ let complete h ~face =
   h.in_flight <- rest;
   List.iter
     (fun m ->
-      if t.write_epoch.(m.msg_src) > m.post_epoch then begin
-        t.stats.send_buffer_races <- t.stats.send_buffer_races + 1;
-        if !strict then
-          invalid_arg
-            (Printf.sprintf
-               "Comm.complete: rank %d wrote its local sites while face %s was \
-                in flight (send-buffer race)"
-               m.msg_src (face_label face))
-      end;
+      let raced = t.write_epoch.(m.msg_src) > m.post_epoch in
+      (match t.transport with
+      | Double_buffered -> ()
+      | Staged | Zero_copy ->
+        if raced then begin
+          t.stats.send_buffer_races <- t.stats.send_buffer_races + 1;
+          if !strict then
+            invalid_arg
+              (Printf.sprintf
+                 "Comm.complete: rank %d wrote its local sites while face %s \
+                  was in flight (send-buffer race%s)"
+                 m.msg_src (face_label face)
+                 (match t.transport with
+                 | Zero_copy -> ": zero-copy ghosts deliver corrupt"
+                 | _ -> ""))
+        end);
       let rg = Domain.rank_geometry t.dom m.msg_dst in
       let ghost_base = rg.Domain.faces.(face).Domain.ghost_base in
-      let n = Field.length m.payload in
       let db = ghost_base * t.dof in
-      for i = 0 to n - 1 do
-        Bigarray.Array1.unsafe_set h.target.(m.msg_dst) (db + i)
-          (Bigarray.Array1.unsafe_get m.payload i)
-      done;
+      (match t.transport with
+      | Staged | Double_buffered ->
+        let n = Field.length m.payload in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set h.target.(m.msg_dst) (db + i)
+            (Bigarray.Array1.unsafe_get m.payload i)
+        done
+      | Zero_copy ->
+        (* read the sender's field NOW — whatever it holds is what the
+           wire delivers. The post-time checksum witnesses whether that
+           is still the posted data. *)
+        let src_rg = Domain.rank_geometry t.dom m.msg_src in
+        let sface = src_rg.Domain.faces.(send_face_of_recv face) in
+        let now = face_checksum h.target.(m.msg_src) sface ~dof:t.dof in
+        if now <> m.checksum then t.stats.corruptions <- t.stats.corruptions + 1;
+        Array.iteri
+          (fun i s ->
+            let sb = s * t.dof in
+            let pb = db + (i * t.dof) in
+            for d = 0 to t.dof - 1 do
+              Bigarray.Array1.unsafe_set h.target.(m.msg_dst) (pb + d)
+                (Bigarray.Array1.unsafe_get h.target.(m.msg_src) (sb + d))
+            done)
+          sface.Domain.send_sites);
       t.ghost_epoch.(m.msg_dst).(face) <- m.post_epoch)
     mine
 

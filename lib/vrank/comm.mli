@@ -2,6 +2,16 @@
     real buffers, running the pack/post/complete/unpack pattern of an
     MPI nonblocking halo exchange with message and byte accounting. *)
 
+type transport = Machine.Transport.t = Staged | Zero_copy | Double_buffered
+(** How the send side treats face data between post and complete:
+    [Staged] packs a fresh buffer at post (write-after-post flagged but
+    the delivered data is the post-time data); [Zero_copy] aliases the
+    sender's field so a write-after-post genuinely corrupts the
+    delivered ghosts (witnessed by a post-time checksum); and
+    [Double_buffered] packs into two rotating per-face buffers so
+    write-after-post is safe by construction, at one counted (and
+    [Machine.Perf_model]-priced) extra copy per message. *)
+
 type stats = {
   mutable full_exchanges : int;
       (** all-8-face exchanges posted — the unit [halo_bytes_per_rank]
@@ -10,15 +20,24 @@ type stats = {
   mutable messages : int;
   mutable bytes : float;
   mutable send_buffer_races : int;
-      (** completions that observed a local write after the post *)
+      (** completions that observed a local write after the post
+          ([Staged]/[Zero_copy]; [Double_buffered] is immune) *)
+  mutable corruptions : int;
+      (** [Zero_copy] deliveries whose aliased payload changed in
+          flight — the post-time checksum no longer matches what the
+          wire delivered *)
+  mutable extra_copies : int;
+      (** [Double_buffered] rotation copies paid (one per message
+          posted) *)
 }
 
 type t
 
-val create : Lattice.Domain.t -> dof:int -> t
-(** [dof] = floats per site. *)
+val create : ?transport:transport -> Lattice.Domain.t -> dof:int -> t
+(** [dof] = floats per site; [transport] defaults to [Staged]. *)
 
 val stats : t -> stats
+val transport : t -> transport
 val n_ranks : t -> int
 
 val create_fields : t -> Linalg.Field.t array
@@ -31,25 +50,33 @@ val gather : t -> Linalg.Field.t array -> Linalg.Field.t
 
 (** {2 Nonblocking per-face protocol}
 
-    [post] packs each listed face of every rank into a staging buffer
-    and records the message as in flight; ghost slots are untouched.
-    [complete ~face] delivers every in-flight message landing in that
-    ghost face and stamps [ghost_epoch] {e at completion time} with the
-    epoch of the data actually carried. Overlapped stencils interleave
-    interior/boundary compute between the two. *)
+    [post] records each listed face of every rank as in flight —
+    packing it into a staging buffer ([Staged]), into one of two
+    rotating buffers ([Double_buffered]), or leaving the payload
+    aliasing the sender's field ([Zero_copy]); ghost slots are
+    untouched. [complete ~face] delivers every in-flight message
+    landing in that ghost face and stamps [ghost_epoch] {e at
+    completion time} with the epoch of the data meant to be carried.
+    Overlapped stencils interleave interior/boundary compute between
+    the two. *)
 
 type handle
 
 val post : ?faces:int array -> t -> Linalg.Field.t array -> handle
-(** Pack + send the listed faces (default all 8) on every rank. Counts
-    one full (8 distinct faces) or partial exchange. *)
+(** Pack (transport permitting) + send the listed faces (default all 8)
+    on every rank. Counts one full (8 distinct faces) or partial
+    exchange. *)
 
 val complete : handle -> face:int -> unit
 (** Deliver ghost face [face] (recv-side id) on every rank. Raises
     [Invalid_argument] if the face is not in flight (never posted, or
-    completed twice). In strict mode also raises when the sender wrote
-    its local sites between post and complete — the classic
-    send-buffer race; otherwise the race is only counted in stats. *)
+    completed twice). A sender writing its local sites between post and
+    complete is counted as a send-buffer race under [Staged] and
+    [Zero_copy] (and raises in strict mode); under [Zero_copy] the
+    delivered ghosts additionally come from the sender's {e live} field
+    and a real change is counted in [stats.corruptions].
+    [Double_buffered] delivers the post-time data silently — the race
+    cannot happen. *)
 
 val complete_all : handle -> unit
 (** Complete every pending face, in ascending face id. *)
@@ -64,6 +91,10 @@ val halo_exchange : ?faces:int array -> t -> Linalg.Field.t array -> unit
 
 val face_label : int -> string
 (** Face id 0–7 → ["x+"], ["x-"], …, ["t-"]. *)
+
+val send_face_of_recv : int -> int
+(** The send-side face id whose message lands in this recv face: the
+    opposite direction of the same dimension. *)
 
 (** {2 Ghost-freshness (epoch) tracking}
 
@@ -81,7 +112,7 @@ val strict : bool ref
 val mark_written : t -> int -> unit
 (** Declare that rank's local sites changed (its neighbors' ghosts of
     it are now stale until the next exchange; any in-flight message it
-    posted is now racing). *)
+    posted is now racing — and, under [Zero_copy], corrupt). *)
 
 val write_epoch : t -> int -> int
 val ghost_epoch : t -> rank:int -> face:int -> int

@@ -24,8 +24,15 @@ type t = {
   mutable allreduces : int;
 }
 
+(* The halo transport (Staged / Zero_copy / Double_buffered) rides in
+   on the Dd_wilson operator's Comm: every exchange this solver posts
+   uses it. CG never writes a source field while its exchange is in
+   flight, so all three transports solve bit-identically — which the
+   transport test suite asserts. *)
 let create ?(granularity = Machine.Policy.Fine) dd ~mass =
   { dd; dom = dd.Dd_wilson.dom; mass; granularity; allreduces = 0 }
+
+let transport t = Comm.transport (Dd_wilson.comm t.dd)
 
 let n_ranks t = Domain.n_ranks t.dom
 

@@ -10,7 +10,14 @@ val create :
 (** [granularity] selects fine-grained (default; per-face boundary
     compute as each halo lands) or coarse-grained (one boundary sweep
     after all faces complete) halo completion inside every operator
-    application — the axis [Autotune.Comm_tune] tunes. *)
+    application — one axis [Autotune.Comm_tune] tunes. The other, the
+    halo transport, rides in on the [Dd_wilson] operator (see
+    [Dd_wilson.create ?transport]); all three transports solve
+    bit-identically because CG never writes a source while its
+    exchange is in flight. *)
+
+val transport : t -> Comm.transport
+(** The halo transport every exchange of this solver uses. *)
 
 val solve_normal :
   ?tol:float ->

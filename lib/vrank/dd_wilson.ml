@@ -56,8 +56,8 @@ let site_face_needs (rg : Domain.rank_geometry) =
   in
   Array.map (fun s -> (s, need s)) rg.Domain.boundary_sites
 
-let create dom gauge =
-  let comm = Comm.create dom ~dof:Wilson.floats_per_site in
+let create ?transport dom gauge =
+  let comm = Comm.create ?transport dom ~dof:Wilson.floats_per_site in
   let gauges =
     Array.init (Domain.n_ranks dom) (fun r -> Domain.gather_gauge dom gauge r)
   in

@@ -12,7 +12,14 @@ type t = {
           reads) *)
 }
 
-val create : Lattice.Domain.t -> Lattice.Gauge.t -> t
+val create : ?transport:Comm.transport -> Lattice.Domain.t -> Lattice.Gauge.t -> t
+(** [transport] (default [Staged]) selects the halo buffer management
+    every exchange of this operator uses — including the posts inside
+    [hop_overlapped] and the solves [Dd_solve] runs on top of it. All
+    three transports produce bit-identical results when nothing writes
+    the source between post and complete; [Zero_copy] delivers corrupt
+    ghosts (and counts them) when something does. *)
+
 val comm : t -> Comm.t
 
 val hop : t -> fields:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit

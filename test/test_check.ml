@@ -188,8 +188,9 @@ let test_halo_early_boundary_read () =
     (fires_error "HALO001" ds)
 
 let test_halo_send_buffer_race () =
+  let dom = domain () in
   let ds =
-    Halo.verify_schedule (domain ())
+    Halo.verify_schedule dom
       [
         Halo.Scatter;
         Halo.Post None;
@@ -199,7 +200,33 @@ let test_halo_send_buffer_race () =
       ]
   in
   Alcotest.(check bool) "HALO008 write between post and complete" true
-    (fires_error "HALO008" ds)
+    (fires_error "HALO008" ds);
+  (* the diagnostic names the first racing site's global coordinate:
+     scanning ranks then faces, the first in-flight message posted by
+     rank 0 lands in its own z+ ghost face (z/t are undecomposed), so
+     the racing send face is rank 0's z-, and the site is that face's
+     first send site *)
+  let msg =
+    match List.find_opt (fun (d : D.t) -> d.D.rule = "HALO008") ds with
+    | Some d -> d.D.message
+    | None -> ""
+  in
+  let rg = Lattice.Domain.rank_geometry dom 0 in
+  let send_face = rg.Lattice.Domain.faces.(5) in
+  let g = rg.Lattice.Domain.local_to_global.(send_face.Lattice.Domain.send_sites.(0)) in
+  let c = Lattice.Geometry.coords (Lattice.Domain.global dom) g in
+  let expected =
+    Printf.sprintf "first racing site: rank 0 face z- site %d = (%d,%d,%d,%d)" g
+      c.(0) c.(1) c.(2) c.(3)
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "HALO008 names the racing site (%s)" expected)
+    true (contains msg expected)
 
 let test_halo_lost_completion () =
   let ds =
@@ -340,6 +367,18 @@ let test_workflow_run_rejects_invalid () =
 (* ---------- fixtures, selftest, standard suite ---------- *)
 
 let test_selftest_detects_all () =
+  let rows = Check.selftest () in
+  (* the expected defect-class count is wired here on purpose: a
+     fixture silently dropped from the list (so --selftest would print
+     n/n for a smaller n) fails the suite *)
+  Alcotest.(check int) "11 seeded defect classes" 11 (List.length rows);
+  List.iter
+    (fun (rule : string) ->
+      Alcotest.(check bool) (rule ^ " has a fixture") true
+        (List.exists
+           (fun ((f : Check.Fixtures.t), _, _) -> f.Check.Fixtures.expect = rule)
+           rows))
+    [ "HALO011"; "HALO012"; "HALO013" ];
   List.iter
     (fun ((f : Check.Fixtures.t), rules, detected) ->
       Alcotest.(check bool) (f.Check.Fixtures.name ^ " detected") true detected;
@@ -347,7 +386,7 @@ let test_selftest_detects_all () =
         (f.Check.Fixtures.name ^ " fires " ^ f.Check.Fixtures.expect)
         true
         (List.mem f.Check.Fixtures.expect rules))
-    (Check.selftest ())
+    rows
 
 let test_standard_suite_clean () =
   let report = Check.standard_suite () in

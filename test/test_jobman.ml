@@ -245,6 +245,127 @@ let test_placement_dense_when_room () =
     Alcotest.(check (float 0.)) "no penalty" 1.0 p.Placement.efficiency
   | _ -> Alcotest.fail "expected one placement"
 
+let test_des_schedule_at () =
+  let des = Des.create () in
+  Alcotest.(check (float 0.)) "clock starts at zero" 0. (Des.now des);
+  let log = ref [] in
+  Des.schedule_at des ~time:5. (fun () -> log := 5 :: !log);
+  Des.schedule_at des ~time:2. (fun () -> log := 2 :: !log);
+  Alcotest.(check int) "two pending" 2 (Des.pending des);
+  Alcotest.(check int) "none run yet" 0 (Des.events_run des);
+  Alcotest.(check bool) "step runs one" true (Des.step des);
+  Alcotest.(check (float 0.)) "clock at first event" 2. (Des.now des);
+  Alcotest.(check int) "one pending" 1 (Des.pending des);
+  Des.run des;
+  Alcotest.(check (list int)) "absolute-time order" [ 2; 5 ] (List.rev !log);
+  Alcotest.(check int) "both counted" 2 (Des.events_run des);
+  Alcotest.(check bool) "step on empty queue" false (Des.step des);
+  Alcotest.check_raises "past time rejected"
+    (Invalid_argument "Des.schedule_at: time in the past") (fun () ->
+      Des.schedule_at des ~time:1. (fun () -> ()))
+
+let test_cluster_speed_and_account () =
+  let c = Cluster.create ~n_nodes:6 ~gpus_per_node:4 ~cpus_per_node:16 ~jitter:0.2 (rng ()) in
+  Alcotest.(check int) "n_nodes" 6 (Cluster.n_nodes c);
+  (* a tightly-coupled allocation runs at its slowest member's speed *)
+  let all = [| 0; 1; 2; 3; 4; 5 |] in
+  let s_all = Cluster.allocation_speed c all in
+  Alcotest.(check bool) "speed positive" true (s_all > 0.);
+  let singles = Array.map (fun i -> Cluster.allocation_speed c [| i |]) all in
+  Alcotest.(check (float 1e-12)) "gated by the slowest node"
+    (Array.fold_left min singles.(0) singles)
+    s_all;
+  Alcotest.(check bool) "jitter spreads speeds" true
+    (Array.fold_left max singles.(0) singles > s_all);
+  (* account is idempotent at a fixed time: the integral only grows
+     with elapsed busy time *)
+  Cluster.allocate_nodes c ~time:0. [| 0 |];
+  Cluster.account c ~time:5.;
+  Cluster.account c ~time:5.;
+  Cluster.release_nodes c ~time:10. [| 0 |];
+  Alcotest.(check (float 1e-9)) "1 of 6 nodes for the whole window"
+    (1. /. 6.)
+    (Cluster.utilization c ~makespan:10.);
+  (* non-contiguous search skips busy nodes *)
+  Cluster.allocate_nodes c ~time:10. [| 1; 3 |];
+  match Cluster.find_free_nodes c 3 with
+  | Some ids -> Alcotest.(check (array int)) "first three free" [| 0; 2; 4 |] ids
+  | None -> Alcotest.fail "three nodes are free"
+
+let test_task_campaign_shape () =
+  let tasks = Task.campaign ~spread:0.1 ~contraction_every:4 ~n:8 ~nodes:4 ~duration:600. (rng ()) in
+  let props = List.filter (fun t -> t.Task.kind = Task.Propagator) tasks in
+  let cons = List.filter (fun t -> t.Task.kind = Task.Contraction) tasks in
+  Alcotest.(check int) "8 propagators" 8 (List.length props);
+  Alcotest.(check int) "one contraction per 4 props" 2 (List.length cons);
+  Alcotest.(check string) "propagator name" "propagator" (Task.kind_name Task.Propagator);
+  Alcotest.(check string) "contraction name" "contraction" (Task.kind_name Task.Contraction);
+  List.iter
+    (fun t -> Alcotest.(check bool) "contractions are 1-node CPU work" true (t.Task.nodes = 1))
+    cons;
+  let total = Task.total_work tasks in
+  let by_hand =
+    List.fold_left
+      (fun a t -> a +. (t.Task.base_duration *. float_of_int t.Task.nodes))
+      0. tasks
+  in
+  Alcotest.(check (float 1e-9)) "total_work = sum duration x nodes" by_hand total;
+  Alcotest.(check bool) "spread stays near nominal" true
+    (total > 8. *. 4. *. 600. *. 0.8 && total < 8. *. 4. *. 600. *. 1.5)
+
+let test_startup_monolithic_attempt () =
+  let a1k = Startup.monolithic_attempt Startup.default ~nodes:1024 in
+  let a4k = Startup.monolithic_attempt Startup.default ~nodes:4096 in
+  Alcotest.(check bool) "attempt time positive" true (a1k > 0.);
+  (* super-linear wireup: 4x the nodes costs more than 4x the time *)
+  Alcotest.(check bool)
+    (Printf.sprintf "super-linear: %.0f s vs 4 x %.0f s" a4k a1k)
+    true (a4k > 4. *. a1k);
+  let expected, attempts = Startup.monolithic Startup.default ~nodes:1024 in
+  Alcotest.(check bool) "restarts only add time" true (expected >= a1k);
+  Alcotest.(check bool) "at least one attempt" true (attempts >= 1.)
+
+let test_placement_efficiency_points () =
+  Alcotest.(check (float 0.)) "dense placement is free" 1.0
+    (Placement.placement_efficiency ~gpus_per_node_used:6 ~gpus_per_node:6);
+  let sparse = Placement.placement_efficiency ~gpus_per_node_used:3 ~gpus_per_node:6 in
+  Alcotest.(check bool) "sparse placement penalized" true (sparse < 1.0);
+  let sparser = Placement.placement_efficiency ~gpus_per_node_used:1 ~gpus_per_node:6 in
+  Alcotest.(check bool) "penalty monotone in sparseness" true (sparser < sparse);
+  Alcotest.(check bool) "penalty bounded" true (sparser > 0.)
+
+let test_pipeline_dangling_dep_stuck () =
+  let tasks =
+    [
+      { Jobman.Pipeline.id = 0; nodes = 1; duration = 10.; deps = []; cpu_only = false };
+      (* dep 99 never exists: the contraction can never start *)
+      { Jobman.Pipeline.id = 1; nodes = 1; duration = 5.; deps = [ 99 ]; cpu_only = true };
+    ]
+  in
+  let o = Jobman.Pipeline.run ~mode:`Coscheduled ~n_nodes:4 ~tasks in
+  Alcotest.(check int) "only the propagator completes" 1 o.Jobman.Pipeline.completed;
+  Alcotest.(check int) "dangling dep counted stuck" 1 o.Jobman.Pipeline.stuck;
+  Alcotest.(check (float 1e-9)) "makespan stops at the runnable work" 10.
+    o.Jobman.Pipeline.makespan
+
+let test_pipeline_duplicate_id () =
+  (* two tasks sharing an id: both run (ids gate dependencies, not
+     execution), and the dependent fires as soon as the first holder of
+     the id lands in the done set *)
+  let tasks =
+    [
+      { Jobman.Pipeline.id = 7; nodes = 1; duration = 10.; deps = []; cpu_only = false };
+      { Jobman.Pipeline.id = 7; nodes = 1; duration = 20.; deps = []; cpu_only = false };
+      { Jobman.Pipeline.id = 8; nodes = 1; duration = 1.; deps = [ 7 ]; cpu_only = false };
+    ]
+  in
+  let o = Jobman.Pipeline.run ~mode:`Separate ~n_nodes:4 ~tasks in
+  Alcotest.(check int) "all three complete" 3 o.Jobman.Pipeline.completed;
+  Alcotest.(check int) "nothing stuck" 0 o.Jobman.Pipeline.stuck;
+  (* dependent started after the 10 s twin, not the 20 s one *)
+  Alcotest.(check (float 1e-9)) "makespan set by the slower twin" 20.
+    o.Jobman.Pipeline.makespan
+
 let suite =
   [
     Alcotest.test_case "des ordering" `Quick test_des_ordering;
@@ -269,4 +390,11 @@ let suite =
     Alcotest.test_case "summit 3x16 placement" `Quick test_placement_summit_example;
     Alcotest.test_case "placement capacity" `Quick test_placement_capacity_limit;
     Alcotest.test_case "dense placement" `Quick test_placement_dense_when_room;
+    Alcotest.test_case "des schedule_at/step/pending" `Quick test_des_schedule_at;
+    Alcotest.test_case "cluster speed + accounting" `Quick test_cluster_speed_and_account;
+    Alcotest.test_case "task campaign shape" `Quick test_task_campaign_shape;
+    Alcotest.test_case "startup monolithic attempt" `Quick test_startup_monolithic_attempt;
+    Alcotest.test_case "placement efficiency points" `Quick test_placement_efficiency_points;
+    Alcotest.test_case "pipeline: dangling dep stuck" `Quick test_pipeline_dangling_dep_stuck;
+    Alcotest.test_case "pipeline: duplicate id" `Quick test_pipeline_duplicate_id;
   ]

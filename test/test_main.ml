@@ -14,5 +14,6 @@ let () =
       ("physics", Test_physics.suite);
       ("core", Test_core.suite);
       ("check", Test_check.suite);
+      ("transport", Test_transport.suite);
       ("properties", Test_properties.suite);
     ]

@@ -188,6 +188,182 @@ let prop_overlapped_hop_matches_blocking =
       finish ();
       Field.max_abs_diff blocking overlapped = 0.)
 
+(* ---- halo-transport schedule properties ----
+
+   A small schedule language over one Comm instance: post all faces,
+   then complete them in a random order with local-site writes to
+   random ranks interleaved. Replaying the same schedule (and the same
+   write noise) under two transports isolates the transport as the only
+   difference, so the final per-rank fields are comparable
+   bit-for-bit. *)
+
+type sched_op = S_post | S_complete of int | S_write of int
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Util.Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(* [rounds] post/complete-all cycles; before each completion a write to
+   a random rank lands with probability 1/3 — sometimes racing an
+   in-flight message, sometimes (after that rank's last completion)
+   not, which is exactly the boundary the detector must get right. *)
+let gen_schedule ~n_ranks ~rounds seed =
+  let rng = Util.Rng.create seed in
+  let ops = ref [] in
+  for _ = 1 to rounds do
+    ops := S_post :: !ops;
+    let order = Array.init 8 (fun i -> i) in
+    shuffle rng order;
+    Array.iter
+      (fun f ->
+        if Util.Rng.int rng 3 = 0 then
+          ops := S_write (Util.Rng.int rng n_ranks) :: !ops;
+        ops := S_complete f :: !ops)
+      order
+  done;
+  List.rev !ops
+
+(* Writes add strictly positive noise, so every write really changes
+   every local site; the noise stream is seeded per run, so two
+   transports replaying one schedule write identical values. *)
+let run_schedule transport dom ~dof ~seed ops =
+  let geom = Lattice.Domain.global dom in
+  let comm = Vrank.Comm.create ~transport dom ~dof in
+  let global = Field.create (Lattice.Geometry.volume geom * dof) in
+  Field.gaussian (Util.Rng.create seed) global;
+  let fields = Vrank.Comm.create_fields comm in
+  Vrank.Comm.scatter comm global fields;
+  let noise = Util.Rng.create (seed lxor 0x5bd1e99) in
+  let handle = ref None in
+  List.iter
+    (function
+      | S_post -> handle := Some (Vrank.Comm.post comm fields)
+      | S_complete f -> (
+        match !handle with
+        | Some h -> Vrank.Comm.complete h ~face:f
+        | None -> ())
+      | S_write r ->
+        let rg = Lattice.Domain.rank_geometry dom r in
+        for i = 0 to (rg.Lattice.Domain.local_volume * dof) - 1 do
+          fields.(r).{i} <- fields.(r).{i} +. 0.5 +. Util.Rng.float noise
+        done;
+        Vrank.Comm.mark_written comm r)
+    ops;
+  (fields, Vrank.Comm.stats comm)
+
+let sched_domain () =
+  let geom = Lattice.Geometry.create [| 4; 4; 2; 2 |] in
+  Lattice.Domain.create geom [| 2; 2; 1; 1 |]
+
+let fields_equal a b =
+  Array.for_all2 (fun x y -> Field.max_abs_diff x y = 0.) a b
+
+(* The honesty property the transport model stands on: over random
+   single-exchange schedules, the zero-copy delivery differs from the
+   staged delivery exactly when the epoch-based race detector fired —
+   no missed corruption, no false alarm. One round only: a later
+   clean re-exchange would overwrite raced ghosts and mask the
+   corruption the detector correctly reported. *)
+let prop_zero_copy_corruption_iff_race =
+  QCheck.Test.make
+    ~name:"zero-copy differs from staged exactly when the race detector fires"
+    ~count:1000 QCheck.int
+    (fun seed ->
+      let dom = sched_domain () in
+      let ops = gen_schedule ~n_ranks:4 ~rounds:1 seed in
+      let st_fields, st_stats = run_schedule Vrank.Comm.Staged dom ~dof:2 ~seed ops in
+      let zc_fields, zc_stats =
+        run_schedule Vrank.Comm.Zero_copy dom ~dof:2 ~seed ops
+      in
+      let differs = not (fields_equal st_fields zc_fields) in
+      st_stats.Vrank.Comm.send_buffer_races
+      = zc_stats.Vrank.Comm.send_buffer_races
+      && st_stats.Vrank.Comm.corruptions = 0
+      && zc_stats.Vrank.Comm.corruptions = zc_stats.Vrank.Comm.send_buffer_races
+      && differs = (zc_stats.Vrank.Comm.corruptions > 0))
+
+(* Double-buffered is race-free by construction: under arbitrary
+   write/post/complete interleavings (multiple rotation rounds, strict
+   mode armed) it never trips the detector, never corrupts, delivers
+   bit-identically to the staged copy, and pays exactly one counted
+   extra copy per posted message. *)
+let prop_double_buffered_race_free =
+  QCheck.Test.make
+    ~name:"double-buffered is race-free under random interleavings" ~count:200
+    QCheck.(pair (int_range 1 3) int)
+    (fun (rounds, seed) ->
+      let dom = sched_domain () in
+      let ops = gen_schedule ~n_ranks:4 ~rounds seed in
+      let st_fields, _ = run_schedule Vrank.Comm.Staged dom ~dof:2 ~seed ops in
+      Vrank.Comm.strict := true;
+      let finish () = Vrank.Comm.strict := false in
+      let db_fields, db_stats =
+        try run_schedule Vrank.Comm.Double_buffered dom ~dof:2 ~seed ops
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      let posts =
+        List.length (List.filter (function S_post -> true | _ -> false) ops)
+      in
+      db_stats.Vrank.Comm.send_buffer_races = 0
+      && db_stats.Vrank.Comm.corruptions = 0
+      && db_stats.Vrank.Comm.extra_copies = db_stats.Vrank.Comm.messages
+      && db_stats.Vrank.Comm.messages = posts * 8 * 4
+      && fields_equal st_fields db_fields)
+
+(* With nothing writing between post and complete, the transport is
+   unobservable: all three produce bit-identical overlapped hops on
+   random decompositions and completion orders. *)
+let prop_transports_agree_without_writes =
+  QCheck.Test.make
+    ~name:"all transports hop bit-identically when no write races" ~count:30
+    QCheck.(pair (int_range 0 5) int)
+    (fun (config, seed) ->
+      let dims, grid =
+        match config with
+        | 0 -> ([| 4; 4; 2; 2 |], [| 2; 1; 1; 1 |])
+        | 1 -> ([| 4; 4; 2; 2 |], [| 2; 2; 1; 1 |])
+        | 2 -> ([| 2; 2; 4; 4 |], [| 1; 1; 2; 2 |])
+        | 3 -> ([| 4; 4; 4; 4 |], [| 2; 2; 2; 1 |])
+        | 4 -> ([| 4; 2; 2; 4 |], [| 2; 1; 1; 2 |])
+        | _ -> ([| 4; 4; 4; 4 |], [| 2; 2; 2; 2 |])
+      in
+      let rng = Util.Rng.create seed in
+      let geom = Lattice.Geometry.create dims in
+      let gauge = Lattice.Gauge.random geom rng in
+      let dom = Lattice.Domain.create geom grid in
+      let src = Field.create (Lattice.Geometry.volume geom * 24) in
+      Field.gaussian rng src;
+      let order = Array.copy Vrank.Dd_wilson.default_order in
+      shuffle rng order;
+      let blocking =
+        Vrank.Dd_wilson.hop_global ~overlapped:false
+          (Vrank.Dd_wilson.create dom gauge)
+          src
+      in
+      List.for_all
+        (fun transport ->
+          let dd = Vrank.Dd_wilson.create ~transport dom gauge in
+          Vrank.Comm.strict := true;
+          let finish () = Vrank.Comm.strict := false in
+          let hop =
+            try
+              Vrank.Dd_wilson.hop_global ~overlapped:true
+                ~granularity:Machine.Policy.Fine ~order dd src
+            with e ->
+              finish ();
+              raise e
+          in
+          finish ();
+          Field.max_abs_diff blocking hop = 0.)
+        Machine.Transport.all)
+
 let prop_crc_sensitive =
   QCheck.Test.make ~name:"crc32 differs for single-char changes" ~count:50
     QCheck.(pair (string_gen_of_size (Gen.int_range 1 64) Gen.printable) (int_range 0 255))
@@ -214,5 +390,8 @@ let suite =
       prop_des_monotone_time;
       prop_su3_exp_unitary;
       prop_overlapped_hop_matches_blocking;
+      prop_zero_copy_corruption_iff_race;
+      prop_double_buffered_race_free;
+      prop_transports_agree_without_writes;
       prop_crc_sensitive;
     ]

@@ -128,6 +128,78 @@ let test_empty_archive () =
   Sys.remove path;
   Alcotest.(check (list string)) "no paths" [] (H5.paths t2)
 
+let test_read_exn_and_mem () =
+  let t = H5.create () in
+  H5.write t ~path:"run/meta" (H5.Str "a09m310");
+  Alcotest.(check bool) "mem finds" true (H5.mem t ~path:"run/meta");
+  Alcotest.(check bool) "mem misses" false (H5.mem t ~path:"run/absent");
+  (match H5.read_exn t ~path:"run/meta" with
+  | H5.Str s -> Alcotest.(check string) "read_exn value" "a09m310" s
+  | _ -> Alcotest.fail "wrong value");
+  Alcotest.check_raises "read_exn on a missing path" Not_found (fun () ->
+      ignore (H5.read_exn t ~path:"run/absent"))
+
+let test_correlator_roundtrip () =
+  let c = Array.init 48 (fun i -> cos (0.3 *. float_of_int i)) in
+  let t = H5.create () in
+  H5.write_correlator t ~path:"corr/proton" c;
+  let path = temp () in
+  H5.save t path;
+  let t2 = H5.load path in
+  Sys.remove path;
+  (match H5.read_correlator t2 ~path:"corr/proton" with
+  | Some c2 -> Alcotest.(check (array (float 0.))) "correlator exact" c c2
+  | None -> Alcotest.fail "correlator lost");
+  (* wrong-type and missing reads answer None, not an exception *)
+  H5.write t ~path:"corr/note" (H5.Str "not numbers");
+  Alcotest.(check bool) "wrong type is None" true
+    (H5.read_correlator t ~path:"corr/note" = None);
+  Alcotest.(check bool) "missing is None" true
+    (H5.read_correlator t ~path:"corr/absent" = None);
+  Alcotest.(check bool) "read_field wrong type is None" true
+    (H5.read_field t ~path:"corr/note" = None)
+
+let test_truncated_record_rejected () =
+  let t = H5.create () in
+  H5.write t ~path:"payload" (H5.Float_array (Array.init 64 float_of_int));
+  let path = temp () in
+  H5.save t path;
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* cut the file at several depths: mid-header, mid-path, mid-payload,
+     and inside the trailing CRC — every cut must answer Corrupt *)
+  List.iter
+    (fun keep ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 keep);
+      close_out oc;
+      match H5.load path with
+      | _ -> Alcotest.fail (Printf.sprintf "truncation at %d accepted" keep)
+      | exception H5.Corrupt msg ->
+        Alcotest.(check string) (Printf.sprintf "cut at %d" keep)
+          "truncated record" msg)
+    [ 13; 16; 40; String.length full - 2 ];
+  Sys.remove path
+
+let test_version_mismatch_rejected () =
+  let t = H5.create () in
+  H5.write t ~path:"x" (H5.Str "v");
+  let path = temp () in
+  H5.save t path;
+  let ic = open_in_bin path in
+  let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  Bytes.set s 4 '\xFF';  (* version field follows the 4-byte magic *)
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc;
+  (try
+     ignore (H5.load path);
+     Sys.remove path;
+     Alcotest.fail "future version accepted"
+   with H5.Corrupt _ -> Sys.remove path)
+
 let suite =
   [
     Alcotest.test_case "roundtrip all types" `Quick test_roundtrip_all_types;
@@ -141,4 +213,8 @@ let suite =
     Alcotest.test_case "field helpers" `Quick test_field_helpers;
     Alcotest.test_case "crc32 vector" `Quick test_crc32_known_value;
     Alcotest.test_case "empty archive" `Quick test_empty_archive;
+    Alcotest.test_case "read_exn and mem" `Quick test_read_exn_and_mem;
+    Alcotest.test_case "correlator roundtrip" `Quick test_correlator_roundtrip;
+    Alcotest.test_case "truncated record" `Quick test_truncated_record_rejected;
+    Alcotest.test_case "version mismatch" `Quick test_version_mismatch_rejected;
   ]
