@@ -98,30 +98,99 @@ let hop_orders n =
     ("stride2", site_order_strided ~stride:2 n);
   ]
 
+(* ---- pool launch geometries ----
+   The multicore launch axis: (ndomains, chunk) pairs, the laptop
+   analogue of CUDA block/grid shape. Domain counts are powers of two
+   up to the machine (capped by [Domain.recommended_domain_count], or
+   the explicit [max_domains] the tests use to exercise the space on
+   any box); chunks are one and a quarter of the per-lane share,
+   floored so tiny problems do not degenerate to per-element dispatch.
+   Pooled candidates draw their pool from [Util.Pool.shared], so a
+   tuning sweep spawns each width once. *)
+let pool_geometries ?max_domains ?(chunk_floor = 1024) ~n () =
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let rec widths d acc = if d > dmax then List.rev acc else widths (d * 2) (d :: acc) in
+  List.concat_map
+    (fun d ->
+      let per_lane = max 1 (n / d) in
+      let cands =
+        List.sort_uniq compare
+          [ max chunk_floor (per_lane / 4); max chunk_floor per_lane ]
+      in
+      List.map (fun c -> (d, c)) cands)
+    (widths 2 [])
+
+let geom_label prefix (d, c) = Printf.sprintf "%s_d%d_c%d" prefix d c
+
+(* Execution plan a hop tuning run settles on: a serial traversal
+   order, or a pooled site-partitioned launch. *)
+type hop_plan =
+  | Serial_order of int array
+  | Pooled of { domains : int; chunk : int }
+
 (* Tune the hop traversal for a kernel on a concrete field pair,
-   returning the winning order's label and site array. *)
-let tune_hop tuner (w : Dirac.Wilson.t) ~(src : Field.t) ~(dst : Field.t)
-    ~signature =
+   returning the winning label and its execution plan. The caller's
+   [signature] is extended with the site count and the domain cap so a
+   winner tuned for one problem shape or machine width can never be
+   served for another. *)
+let tune_hop ?max_domains tuner (w : Dirac.Wilson.t) ~(src : Field.t)
+    ~(dst : Field.t) ~signature =
   let n = Field.length dst / Dirac.Wilson.floats_per_site in
-  let orders = hop_orders n in
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let plans =
+    List.map (fun (label, sites) -> (label, Serial_order sites)) (hop_orders n)
+    @ List.map
+        (fun (d, c) -> (geom_label "pool" (d, c), Pooled { domains = d; chunk = c }))
+        (pool_geometries ~max_domains:dmax ~chunk_floor:16 ~n ())
+  in
+  let run = function
+    | Serial_order sites -> Dirac.Wilson.hop_sites w ~sites ~src ~dst ()
+    | Pooled { domains; chunk } ->
+      Dirac.Wilson.hop_with (Util.Pool.shared ~domains) ~chunk w ~src ~dst
+  in
+  let signature = Printf.sprintf "%s:n%d:dmax%d" signature n dmax in
   let winner =
     Tuner.tune tuner ~kernel:"wilson_hop" ~signature
       (List.map
-         (fun (label, sites) ->
-           Tuner.candidate label (fun () ->
-               Dirac.Wilson.hop_sites w ~sites ~src ~dst ()))
-         orders)
+         (fun (label, plan) -> Tuner.candidate label (fun () -> run plan))
+         plans)
   in
-  (winner, List.assoc winner orders)
+  (winner, List.assoc winner plans)
 
-(* Tune axpy on vectors of a given size. *)
-let tune_axpy tuner ~n =
+(* Tune axpy on vectors of a given size: serial unroll variants plus
+   pooled geometries in one search space. The signature carries both
+   the length and the domain cap (the cache-key audit: a winner tuned
+   at one (n, machine width) is never served for another). *)
+let tune_axpy ?max_domains tuner ~n =
   let x = Field.create n and y = Field.create n in
   Field.fill x 1.;
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let pooled =
+    List.map
+      (fun (d, c) ->
+        ( geom_label "pool" (d, c),
+          fun alpha x y ->
+            Field.axpy_with (Util.Pool.shared ~domains:d) ~chunk:c alpha x y ))
+      (pool_geometries ~max_domains:dmax ~n ())
+  in
+  let variants = axpy_variants @ pooled in
+  let signature = Printf.sprintf "n%d:dmax%d" n dmax in
   let winner =
-    Tuner.tune tuner ~kernel:"axpy" ~signature:(string_of_int n)
+    Tuner.tune tuner ~kernel:"axpy" ~signature
       (List.map
          (fun (label, f) -> Tuner.candidate label (fun () -> f 0.5 x y))
-         axpy_variants)
+         variants)
   in
-  (winner, List.assoc winner axpy_variants)
+  (winner, List.assoc winner variants)

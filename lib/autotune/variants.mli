@@ -16,16 +16,42 @@ val site_order_strided : stride:int -> int -> int array
 val hop_orders : int -> (string * int array) list
 (** The candidate traversal orders for [n] sites. *)
 
+val pool_geometries :
+  ?max_domains:int -> ?chunk_floor:int -> n:int -> unit -> (int * int) list
+(** The multicore launch axis: (ndomains, chunk) candidates for a
+    problem of [n] elements. Domain counts are powers of two capped by
+    [Domain.recommended_domain_count] (or [max_domains]); chunks are
+    the per-lane share and a quarter of it, floored at [chunk_floor]
+    (default 1024). Empty on a single-core cap. *)
+
+val geom_label : string -> int * int -> string
+(** ["prefix_d<domains>_c<chunk>"] — the label a pooled candidate is
+    cached under. *)
+
+(** Winning hop execution plan: a serial traversal order or a pooled
+    site-partitioned launch. *)
+type hop_plan =
+  | Serial_order of int array
+  | Pooled of { domains : int; chunk : int }
+
 val tune_hop :
+  ?max_domains:int ->
   Tuner.t ->
   Dirac.Wilson.t ->
   src:Linalg.Field.t ->
   dst:Linalg.Field.t ->
   signature:string ->
-  string * int array
-(** Tune the Wilson hop traversal on a concrete field pair; returns
-    the winning order's label and site array. *)
+  string * hop_plan
+(** Tune the Wilson hop on a concrete field pair over serial traversal
+    orders and pooled geometries; returns the winning label and plan.
+    The cache signature is extended with [":n<sites>:dmax<cap>"] so a
+    winner never leaks across problem shapes or machine widths. *)
 
 val tune_axpy :
-  Tuner.t -> n:int -> string * (float -> Linalg.Field.t -> Linalg.Field.t -> unit)
-(** Tune axpy on vectors of [n] floats. *)
+  ?max_domains:int ->
+  Tuner.t ->
+  n:int ->
+  string * (float -> Linalg.Field.t -> Linalg.Field.t -> unit)
+(** Tune axpy on vectors of [n] floats over unroll variants and pooled
+    geometries (pools drawn from [Util.Pool.shared]). The cache
+    signature is ["n<n>:dmax<cap>"]. *)

@@ -14,6 +14,7 @@ module Dag_check = Dag_check
 module Halo_check = Halo_check
 module Numeric_check = Numeric_check
 module Spec_check = Spec_check
+module Pool_check = Pool_check
 module Fixtures = Fixtures
 
 (* ---- pass aliases ---- *)
@@ -26,6 +27,7 @@ let half_blocks = Numeric_check.half_blocks
 let probe_mixed_solve = Numeric_check.probe_mixed_solve
 let workflow_spec = Spec_check.workflow_spec
 let mixed_config = Spec_check.mixed_config
+let pool_plan = Pool_check.verify_plan
 
 let all_rules =
   [
@@ -33,6 +35,7 @@ let all_rules =
     ("halo", Halo_check.rules);
     ("numeric", Numeric_check.rules);
     ("spec", Spec_check.rules);
+    ("pool", Pool_check.rules);
   ]
 
 (* ---- the shipped-example artifacts, verified ---- *)
@@ -142,12 +145,29 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
     F.gaussian rng b;
     codec_ds @ Numeric_check.probe_mixed_solve ~apply ~b ()
   in
+  (* the launch plans the multicore kernel engine actually runs: the
+     default-chunk BLAS-1 geometry and the Mobius slice launch, both
+     with the deterministic ordered reduction *)
+  let pool_ds =
+    let pool = Util.Pool.get_default () in
+    let d = Util.Pool.size pool in
+    let n = 1 lsl 16 in
+    Pool_check.verify_plans
+      [
+        Pool_check.plan ~kernel:"axpy" ~n ~domains:d
+          ~chunk:(Util.Pool.default_chunk pool n) ();
+        Pool_check.plan ~reduction:Pool_check.Ordered ~kernel:"norm2" ~n
+          ~domains:d ~chunk:(Util.Pool.default_chunk pool n) ();
+        Pool_check.plan ~kernel:"mobius_hop_slices" ~n:16 ~domains:1 ~chunk:1 ();
+      ]
+  in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);
     ("halo schedules (Vrank.Comm)", halo_ds);
     ("halo runtime audit", audit_ds);
     ("workflow + solver specs", spec_ds);
     ("numeric sanitizer + half codec", numeric_ds);
+    ("pool launch plans", pool_ds);
   ]
 
 (* Selftest: every seeded defect fixture must be detected. Returns

@@ -9,6 +9,7 @@ module Dag_check : module type of Dag_check
 module Halo_check : module type of Halo_check
 module Numeric_check : module type of Numeric_check
 module Spec_check : module type of Spec_check
+module Pool_check : module type of Pool_check
 module Fixtures : module type of Fixtures
 
 val campaign : ?n_nodes:int -> Jobman.Pipeline.task list -> Diagnostic.t list
@@ -31,6 +32,7 @@ val probe_mixed_solve :
 
 val workflow_spec : Core.Workflow.spec -> Diagnostic.t list
 val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
+val pool_plan : Pool_check.plan -> Diagnostic.t list
 
 val all_rules : (string * (string * string) list) list
 (** Pass name → its rule catalog. *)

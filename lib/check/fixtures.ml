@@ -1,10 +1,12 @@
-(* Seeded defect fixtures: eleven artifacts, each carrying exactly the
-   class of bug its pass exists to catch (six of them nonblocking-halo
-   defects: early boundary read, send-buffer race, lost completion,
-   zero-copy corruption, wasted double-buffering, transport/policy
-   mismatch). The CLI's --selftest and the test suite assert every one
-   is detected, which keeps the checker honest — a pass that silently
-   stops firing fails CI. *)
+(* Seeded defect fixtures: fourteen artifacts, each carrying exactly
+   the class of bug its pass exists to catch (six of them
+   nonblocking-halo defects: early boundary read, send-buffer race,
+   lost completion, zero-copy corruption, wasted double-buffering,
+   transport/policy mismatch; three of them pool-determinism defects:
+   completion-order reduction, broken chunk partition, under-cutoff
+   pooled launch). The CLI's --selftest and the test suite assert
+   every one is detected, which keeps the checker honest — a pass that
+   silently stops firing fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -162,6 +164,34 @@ let bad_half_block () =
   done;
   Numeric_check.half_blocks ~block:24 v
 
+(* 6. A multi-domain norm2 whose partials are combined in completion
+   order: the exact nondeterminism Pool.parallel_reduce ~ordered:false
+   has, and the reason the engine defaults to the ordered combine. *)
+let unordered_reduce () =
+  Pool_check.verify_plan
+    (Pool_check.plan ~reduction:Pool_check.Completion_order ~kernel:"norm2"
+       ~n:(1 lsl 17) ~domains:4 ~chunk:8192 ())
+
+(* 6a. A hand-scheduled partition that drops a range and double-covers
+   another: chunk 2 was never launched and chunk 1 launched twice (the
+   classic off-by-one in a custom scheduler). *)
+let bad_partition () =
+  Pool_check.verify_plan
+    {
+      Pool_check.kernel = "axpy";
+      n = 4096;
+      domains = 2;
+      chunk = 1024;
+      partition = [| (0, 1024); (1024, 2048); (1024, 2048); (3072, 4096) |];
+      reduction = None;
+    }
+
+(* 6b. A 512-element axpy forked across 4 domains: bit-identical but
+   slower than the serial loop — the geometry the tuner must reject. *)
+let tiny_pooled () =
+  Pool_check.verify_plan
+    (Pool_check.plan ~kernel:"axpy" ~n:512 ~domains:4 ~chunk:128 ())
+
 let all =
   [
     {
@@ -229,6 +259,24 @@ let all =
       defect = "half codec blocks with unrepresentable dynamic range";
       expect = "NUM003";
       run = bad_half_block;
+    };
+    {
+      name = "det-unordered-reduce";
+      defect = "multi-domain norm2 combining partials in completion order";
+      expect = "DET001";
+      run = unordered_reduce;
+    };
+    {
+      name = "det-bad-partition";
+      defect = "chunk partition with a dropped range and a double-covered one";
+      expect = "DET002";
+      run = bad_partition;
+    };
+    {
+      name = "det-tiny-pooled";
+      defect = "512-element axpy forked across 4 domains (under the cutoff)";
+      expect = "DET003";
+      run = tiny_pooled;
     };
   ]
 

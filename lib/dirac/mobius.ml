@@ -225,28 +225,51 @@ let combine_slice p ~n4 ~s ~(src : Linalg.Field.t) ~(phi : Linalg.Field.t) =
     done
   done
 
+(* s-slices make a natural parallel axis: slice s writes only
+   dst[s·n4_dst·fps, (s+1)·n4_dst·fps) and reads only src, so slice-
+   partitioned execution is race-free. Each pooled range gets its own
+   phi/scratch slice buffers; the Wilson.hop inside runs serially on a
+   worker (the pool's re-entrancy guard), so there is exactly one
+   level of parallelism. Chunk is one slice: l5 is small (8–32) and a
+   slice is a full 4D stencil application. *)
+let slice_pool p ~n4_dst =
+  let pool = Util.Pool.get_default () in
+  if
+    Util.Pool.size pool > 1 && p.l5 > 1
+    && p.l5 * n4_dst * fps >= Linalg.Field.parallel_cutoff
+  then Some pool
+  else None
+
+let run_slices p ~n4_dst range =
+  match slice_pool p ~n4_dst with
+  | Some pool -> Util.Pool.parallel_for pool ~chunk:1 ~n:p.l5 range
+  | None -> range 0 p.l5
+
 (* dst_s += -(1/2) H phi_s for every slice, using the given 4D kernel.
    [src] has n4_src-site slices (the kernel's source index space),
    [dst] has n4_dst-site slices (= kernel.n_sites). *)
 let apply_hop p kernel ~n4_src ~n4_dst ~(src : Linalg.Field.t)
     ~(dst : Linalg.Field.t) ~accumulate =
-  let phi = Linalg.Field.create (n4_src * fps) in
-  let scratch = Linalg.Field.create (n4_dst * fps) in
-  for s = 0 to p.l5 - 1 do
-    combine_slice p ~n4:n4_src ~s ~src ~phi;
-    Wilson.hop kernel ~src:phi ~dst:scratch;
-    let base = s * n4_dst * fps in
-    if accumulate then
-      for k = 0 to (n4_dst * fps) - 1 do
-        Array1.unsafe_set dst (base + k)
-          (Array1.unsafe_get dst (base + k)
-          -. (0.5 *. Array1.unsafe_get scratch k))
-      done
-    else
-      for k = 0 to (n4_dst * fps) - 1 do
-        Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get scratch k)
-      done
-  done
+  let range lo hi =
+    let phi = Linalg.Field.create (n4_src * fps) in
+    let scratch = Linalg.Field.create (n4_dst * fps) in
+    for s = lo to hi - 1 do
+      combine_slice p ~n4:n4_src ~s ~src ~phi;
+      Wilson.hop kernel ~src:phi ~dst:scratch;
+      let base = s * n4_dst * fps in
+      if accumulate then
+        for k = 0 to (n4_dst * fps) - 1 do
+          Array1.unsafe_set dst (base + k)
+            (Array1.unsafe_get dst (base + k)
+            -. (0.5 *. Array1.unsafe_get scratch k))
+        done
+      else
+        for k = 0 to (n4_dst * fps) - 1 do
+          Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get scratch k)
+        done
+    done
+  in
+  run_slices p ~n4_dst range
 
 (* Adjoint s-combination: phi_s = b5 chi_s + c5 (P- chi_{s-1} + P+
    chi_{s+1}) with the swapped corners (see apply_m5_dagger). *)
@@ -285,36 +308,44 @@ let combine_slice_dagger p ~n4 ~s ~(src : Linalg.Field.t) ~(phi : Linalg.Field.t
    Mobius adjoint). *)
 let apply_hop_dagger p kernel ~n4_src ~n4_dst ~(src : Linalg.Field.t)
     ~(dst : Linalg.Field.t) ~accumulate =
-  let slice_in = Linalg.Field.create (n4_src * fps) in
-  let slice_out = Linalg.Field.create (n4_dst * fps) in
   let ht = Linalg.Field.create (p.l5 * n4_dst * fps) in
-  for s = 0 to p.l5 - 1 do
-    let sb = s * n4_src * fps in
-    for k = 0 to (n4_src * fps) - 1 do
-      Array1.unsafe_set slice_in k (Array1.unsafe_get src (sb + k))
-    done;
-    Gamma.apply_gamma5 slice_in slice_in;
-    Wilson.hop kernel ~src:slice_in ~dst:slice_out;
-    Gamma.apply_gamma5 slice_out slice_out;
-    let db = s * n4_dst * fps in
-    for k = 0 to (n4_dst * fps) - 1 do
-      Array1.unsafe_set ht (db + k) (Array1.unsafe_get slice_out k)
+  let stencil_range lo hi =
+    let slice_in = Linalg.Field.create (n4_src * fps) in
+    let slice_out = Linalg.Field.create (n4_dst * fps) in
+    for s = lo to hi - 1 do
+      let sb = s * n4_src * fps in
+      for k = 0 to (n4_src * fps) - 1 do
+        Array1.unsafe_set slice_in k (Array1.unsafe_get src (sb + k))
+      done;
+      Gamma.apply_gamma5 slice_in slice_in;
+      Wilson.hop kernel ~src:slice_in ~dst:slice_out;
+      Gamma.apply_gamma5 slice_out slice_out;
+      let db = s * n4_dst * fps in
+      for k = 0 to (n4_dst * fps) - 1 do
+        Array1.unsafe_set ht (db + k) (Array1.unsafe_get slice_out k)
+      done
     done
-  done;
-  let phi = Linalg.Field.create (n4_dst * fps) in
-  for s = 0 to p.l5 - 1 do
-    combine_slice_dagger p ~n4:n4_dst ~s ~src:ht ~phi;
-    let base = s * n4_dst * fps in
-    if accumulate then
-      for k = 0 to (n4_dst * fps) - 1 do
-        Array1.unsafe_set dst (base + k)
-          (Array1.unsafe_get dst (base + k) -. (0.5 *. Array1.unsafe_get phi k))
-      done
-    else
-      for k = 0 to (n4_dst * fps) - 1 do
-        Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get phi k)
-      done
-  done
+  in
+  run_slices p ~n4_dst stencil_range;
+  (* the s-combination reads ht across slice boundaries, so it starts
+     only after every stencil slice has landed (the pool join above) *)
+  let combine_range lo hi =
+    let phi = Linalg.Field.create (n4_dst * fps) in
+    for s = lo to hi - 1 do
+      combine_slice_dagger p ~n4:n4_dst ~s ~src:ht ~phi;
+      let base = s * n4_dst * fps in
+      if accumulate then
+        for k = 0 to (n4_dst * fps) - 1 do
+          Array1.unsafe_set dst (base + k)
+            (Array1.unsafe_get dst (base + k) -. (0.5 *. Array1.unsafe_get phi k))
+        done
+      else
+        for k = 0 to (n4_dst * fps) - 1 do
+          Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get phi k)
+        done
+    done
+  in
+  run_slices p ~n4_dst combine_range
 
 (* ---- Full (unpreconditioned) operator ---- *)
 

@@ -97,10 +97,12 @@ let phases =
       and p1 = Gamma.gammas.(mu).Gamma.phase.(1) in
       (p0.Cplx.re, p0.Cplx.im, p1.Cplx.re, p1.Cplx.im))
 
-let hop_sites t ?(sites : int array option) ~(src : Linalg.Field.t)
-    ~(dst : Linalg.Field.t) () =
-  if Linalg.Field.length dst < t.n_sites * floats_per_site then
-    invalid_arg "Wilson.hop: dst too short";
+(* The site body closes over freshly allocated scratch (acc, half-
+   spinors, mat-vec results): each pooled range builds its own closure,
+   so concurrent ranges never share mutable state. Writes land only in
+   dst[x*fps, (x+1)*fps) of the written site and all reads are of the
+   source field — site-partitioned execution is race-free. *)
+let make_do_site t ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =
   let acc = Array.make floats_per_site 0. in
   let h0 = Array.make 6 0. and h1 = Array.make 6 0. in
   let g0 = Array.make 6 0. and g1 = Array.make 6 0. in
@@ -191,6 +193,16 @@ let hop_sites t ?(sites : int array option) ~(src : Linalg.Field.t)
       Array1.unsafe_set dst (db + k) acc.(k)
     done
   in
+  do_site
+
+let check_dst t (dst : Linalg.Field.t) =
+  if Linalg.Field.length dst < t.n_sites * floats_per_site then
+    invalid_arg "Wilson.hop: dst too short"
+
+let hop_sites t ?(sites : int array option) ~(src : Linalg.Field.t)
+    ~(dst : Linalg.Field.t) () =
+  check_dst t dst;
+  let do_site = make_do_site t ~src ~dst in
   match sites with
   | None ->
     for x = 0 to t.n_sites - 1 do
@@ -198,7 +210,25 @@ let hop_sites t ?(sites : int array option) ~(src : Linalg.Field.t)
     done
   | Some sites -> Array.iter do_site sites
 
-let hop t ~src ~dst = hop_sites t ~src ~dst ()
+(* [lo, hi) in sites; fresh scratch per range. *)
+let hop_range t ~src ~dst lo hi =
+  let do_site = make_do_site t ~src ~dst in
+  for x = lo to hi - 1 do
+    do_site x
+  done
+
+let hop_with pool ?chunk t ~src ~dst =
+  check_dst t dst;
+  Util.Pool.parallel_for pool ?chunk ~n:t.n_sites (hop_range t ~src ~dst)
+
+let hop t ~src ~dst =
+  check_dst t dst;
+  let pool = Util.Pool.get_default () in
+  if
+    Util.Pool.size pool > 1
+    && t.n_sites * floats_per_site >= Linalg.Field.parallel_cutoff
+  then Util.Pool.parallel_for pool ~n:t.n_sites (hop_range t ~src ~dst)
+  else hop_range t ~src ~dst 0 t.n_sites
 
 (* Full Wilson operator: M psi = (4 + mass) psi - (1/2) H psi.
    src and dst must not alias. *)

@@ -18,7 +18,15 @@ val of_checkerboard : Lattice.Geometry.t -> Lattice.Gauge.t -> parity:int -> t
     indexed by checkerboard (eo) index, half_volume×24 floats. *)
 
 val hop : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
-(** dst <- H src (the full hopping sum). No aliasing. *)
+(** dst <- H src (the full hopping sum). No aliasing. Dispatches to the
+    default pool ([Util.Pool.get_default]) when it has more than one
+    lane and the field clears [Linalg.Field.parallel_cutoff];
+    site-partitioned, so pooled and serial results are bit-identical. *)
+
+val hop_with :
+  Util.Pool.t -> ?chunk:int -> t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
+(** [hop] on an explicit pool with an explicit chunk (in sites) — the
+    autotuner's pooled hop candidates. *)
 
 val hop_sites :
   t -> ?sites:int array -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit -> unit

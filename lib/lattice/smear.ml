@@ -41,19 +41,32 @@ let stout_q ~rho (u : Su3.t) (staple : Su3.t) : Su3.t =
   Su3.cscale (Cplx.make 0. 0.5) traceless
 
 (* One stout step over the whole field (returns a fresh field; all
-   staples read the input). *)
+   staples read the input). Site-partitioned pooled execution is
+   race-free: every staple reads the input field, site x writes only
+   out's four links at x, and each site's update is a pure function of
+   the input — pooled and serial results are bit-identical. *)
 let step ?(rho = 0.1) (field : Gauge.t) : Gauge.t =
   let geom = Gauge.geom field in
   let out = Gauge.copy field in
-  Geometry.iter_sites geom (fun site ->
-      for mu = 0 to Geometry.n_dim - 1 do
-        let u = Gauge.get field site mu in
-        let staple = Gauge.staple field site mu in
-        (* Gauge.staple returns A with Re tr(U A); the stout C is the
-           adjoint convention: C = rho * A^dag *)
-        let q = stout_q ~rho u (Su3.adj staple) in
-        Gauge.set out site mu (Su3.mul (exp_i_herm q) u)
-      done);
+  let do_site site =
+    for mu = 0 to Geometry.n_dim - 1 do
+      let u = Gauge.get field site mu in
+      let staple = Gauge.staple field site mu in
+      (* Gauge.staple returns A with Re tr(U A); the stout C is the
+         adjoint convention: C = rho * A^dag *)
+      let q = stout_q ~rho u (Su3.adj staple) in
+      Gauge.set out site mu (Su3.mul (exp_i_herm q) u)
+    done
+  in
+  let vol = Geometry.volume geom in
+  let pool = Util.Pool.get_default () in
+  if Util.Pool.size pool > 1 && vol >= 256 then
+    Util.Pool.parallel_for pool ~chunk:(max 16 (vol / (4 * Util.Pool.size pool)))
+      ~n:vol (fun lo hi ->
+        for site = lo to hi - 1 do
+          do_site site
+        done)
+  else Geometry.iter_sites geom do_site;
   out
 
 let smear ?(rho = 0.1) ~steps (field : Gauge.t) : Gauge.t =

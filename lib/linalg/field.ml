@@ -3,7 +3,20 @@
    in double precision (they already are double — matching the paper's
    statement that all reductions are done in double even in the
    mixed-precision solver). Hot loops use unsafe accesses; lengths are
-   validated once at entry. *)
+   validated once at entry.
+
+   Multicore: every kernel has a pooled path over disjoint Bigarray
+   slices (Util.Pool). Element-wise kernels are bit-identical to the
+   serial loop for any pool geometry because each element's arithmetic
+   is independent. Reductions (norm2/dot_re/cdot) always sum in
+   canonical blocks of [reduce_block] floats whose partials are
+   combined in block-index order on the calling domain — serial and
+   pooled paths share that order, so the result is bit-identical
+   across all pool geometries and bit-stable run to run (FP addition
+   is not associative; fixing the association is what buys
+   reproducibility). The implicit paths dispatch on
+   [Util.Pool.get_default] above [parallel_cutoff]; the [_with]
+   variants take an explicit pool + chunk for the autotuner. *)
 
 open Bigarray
 
@@ -86,84 +99,246 @@ module Sanitize = struct
       f
 end
 
+(* ---- pooled execution ----
+   [parallel_cutoff]: below this many floats a fork/join costs more
+   than it hides — the implicit kernels stay serial and
+   Check.Pool_check DET003 warns about pooled launches under it. *)
+
+let parallel_cutoff = 32_768
+
+(* Canonical reduction block: reductions sum [reduce_block] floats
+   serially per block and combine the block partials in index order,
+   on every path — the association is fixed, so the result does not
+   depend on the pool geometry. *)
+let reduce_block = 2048
+
+let implicit_pool n =
+  let pool = Util.Pool.get_default () in
+  if Util.Pool.size pool > 1 && n >= parallel_cutoff then Some pool else None
+
+(* ---- element-wise kernels: range bodies + dispatch ---- *)
+
+let axpy_range alpha (x : t) (y : t) lo hi =
+  for i = lo to hi - 1 do
+    Array1.unsafe_set y i
+      (Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i))
+  done
+
+let xpay_range (x : t) alpha (y : t) lo hi =
+  for i = lo to hi - 1 do
+    Array1.unsafe_set y i
+      (Array1.unsafe_get x i +. (alpha *. Array1.unsafe_get y i))
+  done
+
+let scale_range alpha (v : t) lo hi =
+  for i = lo to hi - 1 do
+    Array1.unsafe_set v i (alpha *. Array1.unsafe_get v i)
+  done
+
+let sub_range (x : t) (y : t) (z : t) lo hi =
+  for i = lo to hi - 1 do
+    Array1.unsafe_set z i (Array1.unsafe_get x i -. Array1.unsafe_get y i)
+  done
+
+(* [lo, hi) in complex pairs: chunks never split a re/im pair. *)
+let caxpy_range (ar, ai) (x : t) (y : t) lo hi =
+  for k = lo to hi - 1 do
+    let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
+    Array1.unsafe_set y (2 * k)
+      (Array1.unsafe_get y (2 * k) +. ((ar *. xr) -. (ai *. xi)));
+    Array1.unsafe_set y ((2 * k) + 1)
+      (Array1.unsafe_get y ((2 * k) + 1) +. ((ar *. xi) +. (ai *. xr)))
+  done
+
+let run_pooled pool chunk ~n f =
+  match pool with
+  | Some p -> Util.Pool.parallel_for p ?chunk ~n f
+  | None -> f 0 n
+
 (* y <- y + alpha x *)
 let axpy alpha (x : t) (y : t) =
   check2 "Field.axpy" x y;
-  for i = 0 to length x - 1 do
-    Array1.unsafe_set y i
-      (Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i))
-  done;
+  let n = length x in
+  run_pooled (implicit_pool n) None ~n (axpy_range alpha x y);
+  Sanitize.check_vec "Field.axpy" y
+
+let axpy_with pool ?chunk alpha (x : t) (y : t) =
+  check2 "Field.axpy" x y;
+  Util.Pool.parallel_for pool ?chunk ~n:(length x) (axpy_range alpha x y);
   Sanitize.check_vec "Field.axpy" y
 
 (* y <- x + alpha y *)
 let xpay (x : t) alpha (y : t) =
   check2 "Field.xpay" x y;
-  for i = 0 to length x - 1 do
-    Array1.unsafe_set y i
-      (Array1.unsafe_get x i +. (alpha *. Array1.unsafe_get y i))
-  done;
+  let n = length x in
+  run_pooled (implicit_pool n) None ~n (xpay_range x alpha y);
+  Sanitize.check_vec "Field.xpay" y
+
+let xpay_with pool ?chunk (x : t) alpha (y : t) =
+  check2 "Field.xpay" x y;
+  Util.Pool.parallel_for pool ?chunk ~n:(length x) (xpay_range x alpha y);
   Sanitize.check_vec "Field.xpay" y
 
 let scale alpha (v : t) =
-  for i = 0 to length v - 1 do
-    Array1.unsafe_set v i (alpha *. Array1.unsafe_get v i)
-  done;
+  let n = length v in
+  run_pooled (implicit_pool n) None ~n (scale_range alpha v);
+  Sanitize.check_vec "Field.scale" v
+
+let scale_with pool ?chunk alpha (v : t) =
+  Util.Pool.parallel_for pool ?chunk ~n:(length v) (scale_range alpha v);
   Sanitize.check_vec "Field.scale" v
 
 (* z <- x - y *)
 let sub (x : t) (y : t) (z : t) =
   check2 "Field.sub" x y;
   check2 "Field.sub" x z;
-  for i = 0 to length x - 1 do
-    Array1.unsafe_set z i (Array1.unsafe_get x i -. Array1.unsafe_get y i)
-  done;
+  let n = length x in
+  run_pooled (implicit_pool n) None ~n (sub_range x y z);
   Sanitize.check_vec "Field.sub" z
 
+let sub_with pool ?chunk (x : t) (y : t) (z : t) =
+  check2 "Field.sub" x y;
+  check2 "Field.sub" x z;
+  Util.Pool.parallel_for pool ?chunk ~n:(length x) (sub_range x y z);
+  Sanitize.check_vec "Field.sub" z
+
+(* A chunk given in floats is halved to pairs for the complex kernels
+   (and floored at one pair) so one tuned chunk axis serves both. *)
+let pair_chunk = Option.map (fun c -> max 1 (c / 2))
+
 (* y <- y + alpha x with complex alpha; vectors are interleaved re/im. *)
-let caxpy (ar, ai) (x : t) (y : t) =
+let caxpy alpha (x : t) (y : t) =
   check2 "Field.caxpy" x y;
   let n = length x / 2 in
-  for k = 0 to n - 1 do
-    let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
-    Array1.unsafe_set y (2 * k)
-      (Array1.unsafe_get y (2 * k) +. ((ar *. xr) -. (ai *. xi)));
-    Array1.unsafe_set y ((2 * k) + 1)
-      (Array1.unsafe_get y ((2 * k) + 1) +. ((ar *. xi) +. (ai *. xr)))
-  done;
+  run_pooled (implicit_pool (length x)) None ~n (caxpy_range alpha x y);
   Sanitize.check_vec "Field.caxpy" y
 
-let norm2 (v : t) =
+let caxpy_with pool ?chunk alpha (x : t) (y : t) =
+  check2 "Field.caxpy" x y;
+  Util.Pool.parallel_for pool ?chunk:(pair_chunk chunk) ~n:(length x / 2)
+    (caxpy_range alpha x y);
+  Sanitize.check_vec "Field.caxpy" y
+
+(* ---- reductions: canonical blocked summation ----
+   [term lo hi] is the serial partial over elements [lo, hi);
+   [block_fold] cuts [0, n) into [reduce_block]-sized blocks, computes
+   each block's partial (possibly in parallel — slots are disjoint)
+   and folds the partials in block-index order on the calling domain.
+   The association is identical on every path, so serial and pooled
+   results agree to the bit. *)
+
+let block_fold pool chunk ~n ~block term =
+  let n_blocks = (n + block - 1) / block in
+  if n_blocks <= 1 then (if n <= 0 then 0. else term 0 n)
+  else begin
+    let partials = Array.make n_blocks 0. in
+    let fill blo bhi =
+      for b = blo to bhi - 1 do
+        partials.(b) <- term (b * block) (min n ((b + 1) * block))
+      done
+    in
+    (match pool with
+    | Some p ->
+      let chunk_blocks = Option.map (fun c -> max 1 (c / block)) chunk in
+      Util.Pool.parallel_for p ?chunk:chunk_blocks ~n:n_blocks fill
+    | None -> fill 0 n_blocks);
+    let acc = ref 0. in
+    for b = 0 to n_blocks - 1 do
+      acc := !acc +. partials.(b)
+    done;
+    !acc
+  end
+
+let norm2_term (v : t) lo hi =
   let acc = ref 0. in
-  for i = 0 to length v - 1 do
+  for i = lo to hi - 1 do
     let x = Array1.unsafe_get v i in
     acc := !acc +. (x *. x)
   done;
-  Sanitize.check_scalar "Field.norm2" !acc
+  !acc
+
+let norm2 (v : t) =
+  let n = length v in
+  Sanitize.check_scalar "Field.norm2"
+    (block_fold (implicit_pool n) None ~n ~block:reduce_block (norm2_term v))
+
+let norm2_with pool ?chunk (v : t) =
+  Sanitize.check_scalar "Field.norm2"
+    (block_fold (Some pool) chunk ~n:(length v) ~block:reduce_block (norm2_term v))
 
 let norm v = sqrt (norm2 v)
+
+let dot_re_term (x : t) (y : t) lo hi =
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    acc := !acc +. (Array1.unsafe_get x i *. Array1.unsafe_get y i)
+  done;
+  !acc
 
 (* Real part of <x|y> — for interleaved complex this equals the plain
    euclidean dot product. *)
 let dot_re (x : t) (y : t) =
   check2 "Field.dot_re" x y;
-  let acc = ref 0. in
-  for i = 0 to length x - 1 do
-    acc := !acc +. (Array1.unsafe_get x i *. Array1.unsafe_get y i)
-  done;
-  Sanitize.check_scalar "Field.dot_re" !acc
+  let n = length x in
+  Sanitize.check_scalar "Field.dot_re"
+    (block_fold (implicit_pool n) None ~n ~block:reduce_block (dot_re_term x y))
+
+let dot_re_with pool ?chunk (x : t) (y : t) =
+  check2 "Field.dot_re" x y;
+  Sanitize.check_scalar "Field.dot_re"
+    (block_fold (Some pool) chunk ~n:(length x) ~block:reduce_block
+       (dot_re_term x y))
+
+(* cdot needs two accumulators per block; blocks are counted in pairs
+   ([reduce_block / 2] pairs = [reduce_block] floats, same canonical
+   boundaries as the real reductions). *)
+let cdot_blocked pool chunk (x : t) (y : t) =
+  let np = length x / 2 in
+  let block = reduce_block / 2 in
+  let term lo hi =
+    let re = ref 0. and im = ref 0. in
+    for k = lo to hi - 1 do
+      let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
+      let yr = Array1.unsafe_get y (2 * k) and yi = Array1.unsafe_get y ((2 * k) + 1) in
+      re := !re +. ((xr *. yr) +. (xi *. yi));
+      im := !im +. ((xr *. yi) -. (xi *. yr))
+    done;
+    (!re, !im)
+  in
+  let n_blocks = if np = 0 then 0 else (np + block - 1) / block in
+  if n_blocks <= 1 then (if np = 0 then (0., 0.) else term 0 np)
+  else begin
+    let pre = Array.make n_blocks 0. and pim = Array.make n_blocks 0. in
+    let fill blo bhi =
+      for b = blo to bhi - 1 do
+        let re, im = term (b * block) (min np ((b + 1) * block)) in
+        pre.(b) <- re;
+        pim.(b) <- im
+      done
+    in
+    (match pool with
+    | Some p ->
+      let chunk_blocks = Option.map (fun c -> max 1 (c / reduce_block)) chunk in
+      Util.Pool.parallel_for p ?chunk:chunk_blocks ~n:n_blocks fill
+    | None -> fill 0 n_blocks);
+    let re = ref 0. and im = ref 0. in
+    for b = 0 to n_blocks - 1 do
+      re := !re +. pre.(b);
+      im := !im +. pim.(b)
+    done;
+    (!re, !im)
+  end
 
 (* Full complex <x|y> = sum conj(x_k) y_k over interleaved pairs. *)
 let cdot (x : t) (y : t) =
   check2 "Field.cdot" x y;
-  let re = ref 0. and im = ref 0. in
-  let n = length x / 2 in
-  for k = 0 to n - 1 do
-    let xr = Array1.unsafe_get x (2 * k) and xi = Array1.unsafe_get x ((2 * k) + 1) in
-    let yr = Array1.unsafe_get y (2 * k) and yi = Array1.unsafe_get y ((2 * k) + 1) in
-    re := !re +. ((xr *. yr) +. (xi *. yi));
-    im := !im +. ((xr *. yi) -. (xi *. yr))
-  done;
-  Cplx.make (Sanitize.check_scalar "Field.cdot" !re) (Sanitize.check_scalar "Field.cdot" !im)
+  let re, im = cdot_blocked (implicit_pool (length x)) None x y in
+  Cplx.make (Sanitize.check_scalar "Field.cdot" re) (Sanitize.check_scalar "Field.cdot" im)
+
+let cdot_with pool ?chunk (x : t) (y : t) =
+  check2 "Field.cdot" x y;
+  let re, im = cdot_blocked (Some pool) chunk x y in
+  Cplx.make (Sanitize.check_scalar "Field.cdot" re) (Sanitize.check_scalar "Field.cdot" im)
 
 let gaussian rng (v : t) =
   for i = 0 to length v - 1 do

@@ -15,6 +15,17 @@ val fill : t -> float -> unit
 val of_array : float array -> t
 val to_array : t -> float array
 
+val parallel_cutoff : int
+(** Vectors shorter than this stay serial on the implicit pooled
+    paths: the fork/join costs more than it hides.
+    [Check.Pool_check] DET003 warns about pooled launches under it. *)
+
+val reduce_block : int
+(** Canonical reduction block (in floats). [norm2]/[dot_re]/[cdot] sum
+    each block serially and combine block partials in index order on
+    every path — serial and pooled results are bit-identical for any
+    pool geometry. *)
+
 val axpy : float -> t -> t -> unit
 (** [axpy a x y]: y <- y + a·x. *)
 
@@ -37,6 +48,23 @@ val dot_re : t -> t -> float
 
 val cdot : t -> t -> Cplx.t
 (** Complex inner product sum conj(x_k)·y_k. *)
+
+(** Explicit pooled variants — same kernels run on a caller-chosen
+    pool and chunk (in floats; the complex kernels halve it to pairs).
+    These are the autotuner's pooled candidates; the plain kernels
+    above dispatch implicitly on [Util.Pool.get_default] for vectors
+    of at least [parallel_cutoff] floats. All are bit-identical to
+    their serial counterparts for any geometry, and the [Sanitize]
+    hooks run on these paths too. *)
+
+val axpy_with : Util.Pool.t -> ?chunk:int -> float -> t -> t -> unit
+val xpay_with : Util.Pool.t -> ?chunk:int -> t -> float -> t -> unit
+val scale_with : Util.Pool.t -> ?chunk:int -> float -> t -> unit
+val sub_with : Util.Pool.t -> ?chunk:int -> t -> t -> t -> unit
+val caxpy_with : Util.Pool.t -> ?chunk:int -> float * float -> t -> t -> unit
+val norm2_with : Util.Pool.t -> ?chunk:int -> t -> float
+val dot_re_with : Util.Pool.t -> ?chunk:int -> t -> t -> float
+val cdot_with : Util.Pool.t -> ?chunk:int -> t -> t -> Cplx.t
 
 val gaussian : Util.Rng.t -> t -> unit
 (** Fill with unit-variance Gaussian noise. *)

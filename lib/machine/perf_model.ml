@@ -123,6 +123,15 @@ let node_subgrid (m : Spec.t) p grid =
   ignore !remaining;
   nsub
 
+(* Host-side pool fork/join pricing, for the shared-memory kernel
+   engine (Util.Pool): one generation hand-off per launch plus a
+   per-chunk dispatch through the atomic counter. Calibrated from the
+   pool's own microbenchmarks, coarse on purpose — the term exists so
+   the model can price fork/join overhead against chunk size, the same
+   trade the pool autotuner measures for real. *)
+let fork_join_s = 5e-6
+let chunk_dispatch_s = 2e-7
+
 type breakdown = {
   grid : int array;
   local_sites : float;  (* 5D sites per GPU *)
@@ -131,6 +140,9 @@ type breakdown = {
   t_comm_inter : float;
   t_latency : float;
   t_overhead : float;
+  t_sync : float;
+      (* host pool fork/join + per-chunk dispatch for the (domains,
+         chunk) geometry passed as ?pool; zero when no pool is priced *)
   t_copy : float;
       (* transport extra-copy time: Double_buffered pays one rotation
          copy of the halo payload against GPU memory bandwidth; zero
@@ -161,7 +173,7 @@ type result = {
    one extra copy of the full halo payload against GPU memory
    bandwidth; Staged (default) and Zero_copy pay none, keeping the
    calibrated numbers unchanged. *)
-let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
+let stencil_breakdown ?(transport = Transport.Staged) ?pool (m : Spec.t)
     (policy : Policy.t) p ~n_gpus =
   match best_grid p n_gpus with
   | None -> None
@@ -234,6 +246,13 @@ let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
       *. (!bytes_intra +. !bytes_inter)
       /. (m.Spec.gpu.Spec.mem_bw_gbs *. 1e9)
     in
+    let t_sync =
+      match pool with
+      | Some (domains, chunk) when domains > 1 && chunk > 0 ->
+        let n_chunks = ceil (local_sites /. float_of_int chunk) in
+        fork_join_s +. (n_chunks *. chunk_dispatch_s)
+      | _ -> 0.
+    in
     let t_comm = t_comm_inter +. t_comm_intra +. t_latency in
     let t_total =
       if Policy.overlaps policy && !decomposed > 0 then begin
@@ -254,9 +273,9 @@ let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
             busy := Float.max !busy !arrival +. (t_boundary *. share))
           face_times;
         (* the rotation copy is pack-side serial work: not hidden *)
-        !busy +. t_copy +. t_overhead
+        !busy +. t_copy +. t_sync +. t_overhead
       end
-      else t_stencil +. t_comm +. t_copy +. t_overhead
+      else t_stencil +. t_comm +. t_copy +. t_sync +. t_overhead
     in
     Some
       {
@@ -267,6 +286,7 @@ let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
         t_comm_inter;
         t_latency;
         t_overhead;
+        t_sync;
         t_copy;
         t_total;
         halo_bytes_intra = !bytes_intra;
@@ -274,9 +294,9 @@ let stencil_breakdown ?(transport = Transport.Staged) (m : Spec.t)
         face_times;
       }
 
-let solver_performance ?(transport = Transport.Staged) (m : Spec.t)
+let solver_performance ?(transport = Transport.Staged) ?pool (m : Spec.t)
     (policy : Policy.t) p ~n_gpus =
-  match stencil_breakdown ~transport m policy p ~n_gpus with
+  match stencil_breakdown ~transport ?pool m policy p ~n_gpus with
   | None -> None
   | Some b ->
     let flops_app = b.local_sites *. flops_per_site in

@@ -30,6 +30,12 @@ val best_grid : problem -> int -> int array option
 val node_subgrid : Spec.t -> problem -> int array -> int array
 (** Node-internal subgrid keeping the largest faces on NVLink. *)
 
+val fork_join_s : float
+(** One pool generation hand-off (host-side fork/join). *)
+
+val chunk_dispatch_s : float
+(** Per-chunk dispatch through the pool's atomic counter. *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;
@@ -38,6 +44,9 @@ type breakdown = {
   t_comm_inter : float;
   t_latency : float;
   t_overhead : float;
+  t_sync : float;
+      (** host pool fork/join + per-chunk dispatch for the (domains,
+          chunk) geometry passed as [?pool]; zero when none is priced *)
   t_copy : float;
       (** transport extra-copy time ([Transport.Double_buffered] pays
           one rotation copy of the halo payload at GPU memory
@@ -67,13 +76,26 @@ type result = {
 }
 
 val stencil_breakdown :
-  ?transport:Transport.t -> Spec.t -> Policy.t -> problem -> n_gpus:int -> breakdown option
+  ?transport:Transport.t ->
+  ?pool:int * int ->
+  Spec.t ->
+  Policy.t ->
+  problem ->
+  n_gpus:int ->
+  breakdown option
 (** [transport] (default [Staged]) prices the halo buffer management
-    into [t_copy]; the default leaves the calibrated numbers
-    unchanged. *)
+    into [t_copy]; [pool] (a [(domains, chunk)] geometry) prices the
+    host pool's fork/join into [t_sync]. The defaults leave the
+    calibrated numbers unchanged. *)
 
 val solver_performance :
-  ?transport:Transport.t -> Spec.t -> Policy.t -> problem -> n_gpus:int -> result option
+  ?transport:Transport.t ->
+  ?pool:int * int ->
+  Spec.t ->
+  Policy.t ->
+  problem ->
+  n_gpus:int ->
+  result option
 
 val best_policy : ?transport:Transport.t -> Spec.t -> problem -> n_gpus:int -> result option
 (** What the communication autotuner would pick. *)

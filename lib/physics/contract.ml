@@ -55,6 +55,27 @@ let polarized_projector =
   in
   Gamma.mat_mul parity_projector sz
 
+(* ---- pooled time-slice execution ----
+   Site order is x-fastest / t-slowest (Geometry.coords_of_site), so
+   the sites of time slice t are exactly [t·sv, (t+1)·sv) with sv the
+   spatial volume: each slice is contiguous, accumulates into its own
+   corr.(t) slot in ascending site order on every path, and
+   slice-partitioned pooled execution is race-free and bit-identical
+   to the serial loop. Chunk is one slice (a slice is a full Wick
+   contraction sweep — plenty of work). *)
+let run_time_slices geom slice =
+  let nt = Geometry.time_extent geom in
+  let pool = Util.Pool.get_default () in
+  if Util.Pool.size pool > 1 && nt > 1 then
+    Util.Pool.parallel_for pool ~chunk:1 ~n:nt (fun lo hi ->
+        for t = lo to hi - 1 do
+          slice t
+        done)
+  else
+    for t = 0 to nt - 1 do
+      slice t
+    done
+
 (* ---- mesons ---- *)
 
 (* Pion (gamma5 - gamma5) correlator from a point source:
@@ -62,23 +83,25 @@ let polarized_projector =
 let pion (prop : Propagator.t) : float array =
   let geom = prop.Propagator.geom in
   let nt = Geometry.time_extent geom in
+  let sv = Geometry.spatial_volume geom in
   let c = Array.make nt 0. in
-  Geometry.iter_sites geom (fun site ->
-      let t = (Geometry.coords geom site).(3) in
-      let acc = ref 0. in
-      for spin = 0 to 3 do
-        for color = 0 to 2 do
-          for src_spin = 0 to 3 do
-            for src_color = 0 to 2 do
-              let g =
-                Propagator.get prop ~site ~spin ~color ~src_spin ~src_color
-              in
-              acc := !acc +. Cplx.norm2 g
+  run_time_slices geom (fun t ->
+      for site = t * sv to ((t + 1) * sv) - 1 do
+        let acc = ref 0. in
+        for spin = 0 to 3 do
+          for color = 0 to 2 do
+            for src_spin = 0 to 3 do
+              for src_color = 0 to 2 do
+                let g =
+                  Propagator.get prop ~site ~spin ~color ~src_spin ~src_color
+                in
+                acc := !acc +. Cplx.norm2 g
+              done
             done
           done
-        done
-      done;
-      c.(t) <- c.(t) +. !acc);
+        done;
+        c.(t) <- c.(t) +. !acc
+      done);
   c
 
 (* ---- proton two-point ----
@@ -89,10 +112,10 @@ let proton_general ~(projector : Cplx.t array array) ~(u1 : Propagator.t)
     ~(u2 : Propagator.t) ~(d : Propagator.t) : Cplx.t array =
   let geom = u1.Propagator.geom in
   let nt = Geometry.time_extent geom in
+  let sv = Geometry.spatial_volume geom in
   let proj = sparse projector in
   let corr = Array.make nt Cplx.zero in
-  Geometry.iter_sites geom (fun site ->
-      let t = (Geometry.coords geom site).(3) in
+  let do_site site t =
       let acc = ref Cplx.zero in
       (* color permutations at sink (a,b,c) and source (a',b',c') *)
       Array.iter
@@ -146,7 +169,12 @@ let proton_general ~(projector : Cplx.t array array) ~(u1 : Propagator.t)
                 cg5_sparse)
             epsilon)
         epsilon;
-      corr.(t) <- Cplx.add corr.(t) !acc);
+      corr.(t) <- Cplx.add corr.(t) !acc
+  in
+  run_time_slices geom (fun t ->
+      for site = t * sv to ((t + 1) * sv) - 1 do
+        do_site site t
+      done);
   corr
 
 let proton ?(projector = parity_projector) ~(up : Propagator.t)

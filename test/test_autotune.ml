@@ -127,13 +127,70 @@ let test_tune_hop_returns_valid_order () =
   let geom = Lattice.Geometry.create [| 4; 4; 2; 2 |] in
   let gauge = Lattice.Gauge.unit geom in
   let w = Dirac.Wilson.of_geometry geom gauge in
-  let n = Lattice.Geometry.volume geom * 24 in
+  let vol = Lattice.Geometry.volume geom in
+  let n = vol * 24 in
   let src = Field.create n and dst = Field.create n in
-  let label, sites = Variants.tune_hop tuner w ~src ~dst ~signature:"4422" in
-  Alcotest.(check bool) "label known" true
-    (List.mem_assoc label (Variants.hop_orders (Lattice.Geometry.volume geom)));
-  Alcotest.(check int) "sites cover volume" (Lattice.Geometry.volume geom)
-    (Array.length sites)
+  let label, plan = Variants.tune_hop tuner w ~src ~dst ~signature:"4422" in
+  match plan with
+  | Variants.Serial_order sites ->
+    Alcotest.(check bool) "label known" true
+      (List.mem_assoc label (Variants.hop_orders vol));
+    Alcotest.(check int) "sites cover volume" vol (Array.length sites)
+  | Variants.Pooled { domains; chunk } ->
+    Alcotest.(check bool) "pooled label" true
+      (label = Variants.geom_label "pool" (domains, chunk));
+    Alcotest.(check bool) "sane geometry" true (domains >= 2 && chunk >= 1)
+
+let test_pool_geometries_shape () =
+  let geoms = Variants.pool_geometries ~max_domains:8 ~n:(1 lsl 20) () in
+  Alcotest.(check bool) "non-empty with 8 lanes" true (geoms <> []);
+  List.iter
+    (fun (d, c) ->
+      Alcotest.(check bool) "domains in [2, cap]" true (d >= 2 && d <= 8);
+      Alcotest.(check bool) "power of two" true (d land (d - 1) = 0);
+      Alcotest.(check bool) "chunk above floor" true (c >= 1024))
+    geoms;
+  let floored = Variants.pool_geometries ~max_domains:4 ~chunk_floor:64 ~n:512 () in
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "custom floor" true (c >= 64))
+    floored;
+  Alcotest.(check (list (pair int int))) "empty on single-core cap" []
+    (Variants.pool_geometries ~max_domains:1 ~n:(1 lsl 20) ())
+
+let test_tune_axpy_key_isolation () =
+  (* the cache-key audit: winners must never be served across vector
+     lengths or machine widths, because the pooled geometry that wins
+     at one shape loses at another *)
+  let tuner = Tuner.create ~repeats:1 () in
+  ignore (Variants.tune_axpy ~max_domains:2 tuner ~n:4096);
+  Alcotest.(check int) "first shape searches" 1 (Tuner.tune_count tuner);
+  ignore (Variants.tune_axpy ~max_domains:2 tuner ~n:65536);
+  Alcotest.(check int) "different n searches again" 2 (Tuner.tune_count tuner);
+  ignore (Variants.tune_axpy ~max_domains:4 tuner ~n:65536);
+  Alcotest.(check int) "different dmax searches again" 3
+    (Tuner.tune_count tuner);
+  ignore (Variants.tune_axpy ~max_domains:2 tuner ~n:4096);
+  Alcotest.(check int) "repeat shape served from cache" 3
+    (Tuner.tune_count tuner);
+  Alcotest.(check int) "cache hit recorded" 1 (Tuner.hit_count tuner)
+
+let test_tune_hop_key_isolation () =
+  (* identical caller signature, different lattice: the embedded
+     ":n<sites>:dmax<cap>" suffix must force a fresh search *)
+  let tuner = Tuner.create ~repeats:1 () in
+  let tune dims =
+    let geom = Lattice.Geometry.create dims in
+    let gauge = Lattice.Gauge.unit geom in
+    let w = Dirac.Wilson.of_geometry geom gauge in
+    let n = Lattice.Geometry.volume geom * 24 in
+    let src = Field.create n and dst = Field.create n in
+    ignore (Variants.tune_hop tuner w ~src ~dst ~signature:"same")
+  in
+  tune [| 4; 4; 2; 2 |];
+  tune [| 4; 4; 4; 2 |];
+  Alcotest.(check int) "two volumes, two searches" 2 (Tuner.tune_count tuner);
+  tune [| 4; 4; 2; 2 |];
+  Alcotest.(check int) "repeat volume cached" 2 (Tuner.tune_count tuner)
 
 let test_comm_tune_caches () =
   let ct = Comm_tune.create () in
@@ -202,6 +259,13 @@ let suite =
     Alcotest.test_case "site orders permute" `Quick test_site_orders_are_permutations;
     Alcotest.test_case "hop orders same result" `Quick test_hop_orders_same_result;
     Alcotest.test_case "tune_hop valid" `Quick test_tune_hop_returns_valid_order;
+    Alcotest.test_case "pool geometries" `Quick test_pool_geometries_shape;
+    Alcotest.test_case "tune_axpy key isolation" `Quick test_tune_axpy_key_isolation;
+    Alcotest.test_case "tune_hop key isolation" `Quick test_tune_hop_key_isolation;
+    (* the tuning sweeps above spawn shared pools; quiesce them so the
+       idle domains don't tax GC in the suites that run after this one *)
+    Alcotest.test_case "quiesce shared pools" `Quick (fun () ->
+        Util.Pool.shutdown_shared ());
     Alcotest.test_case "comm_tune caches" `Quick test_comm_tune_caches;
     Alcotest.test_case "comm_tune availability" `Quick test_comm_tune_respects_availability;
     Alcotest.test_case "comm_tune survey" `Quick test_comm_tune_survey;

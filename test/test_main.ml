@@ -15,5 +15,6 @@ let () =
       ("core", Test_core.suite);
       ("check", Test_check.suite);
       ("transport", Test_transport.suite);
+      ("pool", Test_pool.suite);
       ("properties", Test_properties.suite);
     ]

@@ -263,6 +263,32 @@ let test_forecast_reduces_iterations () =
     true
     (s_warm.Cg.iterations < s_cold.Cg.iterations)
 
+let test_forecast_initial_residual () =
+  (* the guess is the minimizer of |b - A x|^2 over the history span, so
+     its initial residual must beat the cold start x0 = 0 (residual
+     |b|^2) whenever the history correlates with b at all *)
+  let n = 48 in
+  let apply = make_spd n 79 in
+  let r = rng () in
+  let b1 = Field.create n in
+  Field.gaussian r b1;
+  let x1, _ = Cg.solve ~apply ~b:b1 ~tol:1e-10 ~max_iter:500 ~flops_per_apply:1. () in
+  let f = Solver.Forecast.create () in
+  Solver.Forecast.record f x1;
+  let b2 = Field.copy b1 in
+  let noise = Field.create n in
+  Field.gaussian r noise;
+  Field.axpy 0.05 noise b2;
+  let guess = Option.get (Solver.Forecast.guess f ~apply ~b:b2) in
+  let ag = Field.create n in
+  apply guess ag;
+  let d = Field.create n in
+  Field.sub b2 ag d;
+  let warm = Field.norm2 d and cold = Field.norm2 b2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm residual %g < cold %g" warm cold)
+    true (warm < cold)
+
 let test_forecast_depth_bounded () =
   let f = Solver.Forecast.create ~depth:2 () in
   let v = Field.create 4 in
@@ -293,6 +319,28 @@ let test_eigen_known_matrix () =
     (abs_float (est.Solver.Eigen.lambda_min -. 1.) < 0.05);
   Alcotest.(check bool) "condition ~ 16" true
     (abs_float (est.Solver.Eigen.condition_number -. 16.) < 1.)
+
+let test_eigen_power_iterations () =
+  (* power_max / power_min individually against a known diagonal
+     spectrum, including the iteration counts being live *)
+  let n = 12 in
+  let diag = Array.init n (fun i -> 0.5 +. 0.25 *. float_of_int i) in
+  let apply (src : Field.t) (dst : Field.t) =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set dst i (diag.(i) *. Bigarray.Array1.get src i)
+    done
+  in
+  let lmax, it_max = Solver.Eigen.power_max ~apply ~n ~rng:(rng ()) () in
+  let lmin, it_min = Solver.Eigen.power_min ~apply ~n ~rng:(rng ()) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda_max %g ~ %g" lmax diag.(n - 1))
+    true
+    (abs_float (lmax -. diag.(n - 1)) < 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda_min %g ~ %g" lmin diag.(0))
+    true
+    (abs_float (lmin -. diag.(0)) < 0.05);
+  Alcotest.(check bool) "iterations recorded" true (it_max > 0 && it_min > 0)
 
 let test_eigen_condition_predicts_cg () =
   (* CG iterations stay below the classical bound from the condition
@@ -431,8 +479,10 @@ let suite =
     Alcotest.test_case "bicgstab = CGNE" `Quick test_bicgstab_matches_cgne;
     Alcotest.test_case "forecast exact" `Quick test_forecast_exact_history;
     Alcotest.test_case "forecast warm start" `Quick test_forecast_reduces_iterations;
+    Alcotest.test_case "forecast initial residual" `Quick test_forecast_initial_residual;
     Alcotest.test_case "forecast depth" `Quick test_forecast_depth_bounded;
     Alcotest.test_case "eigen known spectrum" `Quick test_eigen_known_matrix;
+    Alcotest.test_case "eigen power iterations" `Quick test_eigen_power_iterations;
     Alcotest.test_case "eigen CG bound" `Quick test_eigen_condition_predicts_cg;
     Alcotest.test_case "critical slowing down" `Slow test_eigen_mass_dependence;
     Alcotest.test_case "dwf eo solve" `Quick test_dwf_eo_solve_residual;
