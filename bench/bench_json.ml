@@ -1,0 +1,98 @@
+(* Shared machine-readable output for the kernel benchmarks. All
+   experiments append to one BENCH_kernels.json so the perf trajectory
+   is tracked across PRs; a rerun of one experiment must not clobber
+   the rows another experiment wrote. The file is one JSON object per
+   line, and merging works line-wise: an experiment replaces exactly
+   the kernels it re-measured and preserves everyone else's rows
+   verbatim. *)
+
+type row = {
+  kernel : string;
+  n : int;
+  geometry : string;  (* "serial", "d<d>_c<c>", "fused_serial", ... *)
+  ns_per_op : float;
+  speedup : float;  (* vs the baseline row of the same (kernel, n) *)
+}
+
+let row_line r =
+  Printf.sprintf
+    "  {\"kernel\": %S, \"n\": %d, \"geometry\": %S, \"ns_per_op\": %.1f, \
+     \"speedup_vs_serial\": %.3f}"
+    r.kernel r.n r.geometry r.ns_per_op r.speedup
+
+let kernel_of_line line =
+  let tag = "\"kernel\": \"" in
+  let tl = String.length tag in
+  let ll = String.length line in
+  let rec find i =
+    if i + tl > ll then None
+    else if String.sub line i tl = tag then begin
+      let j = ref (i + tl) in
+      while !j < ll && line.[!j] <> '"' do
+        incr j
+      done;
+      Some (String.sub line (i + tl) (!j - i - tl))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Rows already in [file] whose kernel is not being replaced,
+   normalized (no trailing comma). Array brackets and blank lines have
+   no "kernel" key and drop out naturally. *)
+let preserved_lines ~file ~replacing =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    List.filter_map
+      (fun l ->
+        match kernel_of_line l with
+        | Some k when not (List.mem k replacing) ->
+          let l = String.trim l in
+          let l =
+            if String.length l > 0 && l.[String.length l - 1] = ',' then
+              String.sub l 0 (String.length l - 1)
+            else l
+          in
+          Some ("  " ^ l)
+        | _ -> None)
+      (List.rev !lines)
+  end
+
+(* Write [rows] into [file], replacing any existing rows of the
+   kernels in [replacing] and preserving all others. *)
+let write ~file ~replacing rows =
+  let all = preserved_lines ~file ~replacing @ List.map row_line rows in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      let last = List.length all - 1 in
+      List.iteri
+        (fun i l -> output_string oc (l ^ if i = last then "\n" else ",\n"))
+        all;
+      output_string oc "]\n")
+
+let print_table rows =
+  Util.Ascii.print_table
+    ~header:[ "kernel"; "n"; "geometry"; "ns/op"; "speedup vs serial" ]
+    (List.map
+       (fun r ->
+         [
+           r.kernel;
+           string_of_int r.n;
+           r.geometry;
+           Printf.sprintf "%.0f" r.ns_per_op;
+           Printf.sprintf "%.2fx" r.speedup;
+         ])
+       rows)

@@ -26,6 +26,7 @@ let experiments =
     ("autotune", "Sec IV-V: autotuning demos", fun () -> Jobs.autotune ());
     ("kernels", "measured OCaml kernels (Bechamel)", fun () -> Kernels.run ());
     ("pool", "multicore pool: serial vs pooled kernels", fun () -> Pool_bench.run ());
+    ("fused", "fused BLAS-1 solver kernels vs unfused sweeps", fun () -> Fused_bench.run ());
     ("ablation", "design-decision ablations", fun () -> Kernels.ablation ());
     ("solvers", "solver ablations + critical slowing", fun () -> Kernels.solver_ablation ());
     ("physics", "m_res, FH economics, mesons, gradient flow", fun () -> Physics_exp.run ());

@@ -14,7 +14,7 @@ module Field = Linalg.Field
 module Pool = Util.Pool
 module Ascii = Util.Ascii
 
-type row = {
+type row = Bench_json.row = {
   kernel : string;
   n : int;
   geometry : string;  (* "serial" or "d<domains>_c<chunk>" *)
@@ -56,21 +56,6 @@ let bench_kernel ~kernel ~n ~serial ~pooled =
            speedup = t_serial /. t;
          })
        (geometries ~n)
-
-let json_of_rows rows =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "[\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "  {\"kernel\": %S, \"n\": %d, \"geometry\": %S, \"ns_per_op\": %.1f, \
-            \"speedup_vs_serial\": %.3f}%s\n"
-           r.kernel r.n r.geometry r.ns_per_op r.speedup
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string b "]\n";
-  Buffer.contents b
 
 let run ?(out = "BENCH_kernels.json") () =
   Ascii.banner "multicore pool: serial vs pooled kernels across geometries";
@@ -125,23 +110,31 @@ let run ?(out = "BENCH_kernels.json") () =
             ~max_domains:(max 2 (Domain.recommended_domain_count ()))
             ~chunk_floor:64 ~n:vol ())
   in
-  let rows = axpy_rows @ norm2_rows @ hop_rows in
-  Ascii.print_table
-    ~header:[ "kernel"; "n"; "geometry"; "ns/op"; "speedup vs serial" ]
-    (List.map
-       (fun r ->
-         [
-           r.kernel;
-           string_of_int r.n;
-           r.geometry;
-           Printf.sprintf "%.0f" r.ns_per_op;
-           Printf.sprintf "%.2fx" r.speedup;
-         ])
-       rows);
-  let oc = open_out out in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (json_of_rows rows));
+  (* the tuner's chosen winner for this shape, re-measured: the row
+     every "the autotuner made it faster" claim is checked against.
+     The candidate space always contains the serial baseline, so the
+     winner's speedup is >= 1.0 up to timing noise (asserted by the
+     tuner-honesty regression test). *)
+  let tuned_rows =
+    let tuner = Autotune.Tuner.create () in
+    let winner, f = Autotune.Variants.tune_axpy tuner ~n in
+    let t_serial = time_ns (fun () -> Autotune.Variants.axpy_plain 1.000001 x y)
+    and t_winner = time_ns (fun () -> f 1.000001 x y) in
+    [
+      {
+        kernel = "axpy_tuned";
+        n;
+        geometry = winner;
+        ns_per_op = t_winner;
+        speedup = t_serial /. t_winner;
+      };
+    ]
+  in
+  let rows = axpy_rows @ norm2_rows @ hop_rows @ tuned_rows in
+  Bench_json.print_table rows;
+  Bench_json.write ~file:out
+    ~replacing:[ "axpy"; "norm2"; "wilson_hop"; "axpy_tuned" ]
+    rows;
   Printf.printf
     "%d rows -> %s (recommended_domain_count = %d; pooled speedups need the\n\
      hardware lanes — on a single core the rows record the fork/join cost)\n"

@@ -165,6 +165,92 @@ let tune_hop ?max_domains tuner (w : Dirac.Wilson.t) ~(src : Field.t)
   in
   (winner, List.assoc winner plans)
 
+(* ---- fusion axis ----
+   The second launch dimension of the BLAS-1 tail: fused vs unfused,
+   crossed with the pool geometries. A fusion plan is what the tuner
+   settles on for the whole CG vector tail of one iteration
+   (cg_update + xpay_dot); [run_fusion_plan] executes exactly that
+   tail so candidates are priced on the traffic that matters. The
+   serial-unfused baseline is always in the space — the tuner can
+   refuse every "optimisation" (see the tuner-honesty regression
+   test), and bench rows get an honest 1.0 denominator. *)
+
+type fusion_plan = { fused : bool; geometry : (int * int) option }
+
+let fusion_label (plan : fusion_plan) =
+  match plan with
+  | { fused = false; geometry = None } -> "unfused_serial"
+  | { fused = true; geometry = None } -> "fused_serial"
+  | { fused; geometry = Some g } ->
+    geom_label (if fused then "fused" else "unfused") g
+
+let fusion_space ?max_domains ?(chunk_floor = 1024) ~n () =
+  let geoms = pool_geometries ?max_domains ~chunk_floor ~n () in
+  let plans fused =
+    { fused; geometry = None }
+    :: List.map (fun g -> { fused; geometry = Some g }) geoms
+  in
+  List.map (fun p -> (fusion_label p, p)) (plans false @ plans true)
+
+(* One CG BLAS-1 tail iteration (x += alpha p; r -= alpha Ap; |r|²;
+   p = r + beta p [· monitor dot]) under a fusion plan. alpha/beta are
+   fixed small scalars so repeated timing runs do not drift the data
+   towards overflow. *)
+let run_fusion_plan (plan : fusion_plan) ~(p : Field.t) ~(ap : Field.t)
+    ~(x : Field.t) ~(r : Field.t) =
+  let alpha = 1e-3 and beta = 0.5 in
+  match plan with
+  | { fused = false; geometry = None } ->
+    Field.axpy alpha p x;
+    Field.axpy (-.alpha) ap r;
+    let r2 = Field.norm2 r in
+    Field.xpay r beta p;
+    r2
+  | { fused = true; geometry = None } ->
+    let r2 = Linalg.Fused.cg_update alpha p ap x r in
+    ignore (Linalg.Fused.xpay_dot r beta p r : float);
+    r2
+  | { fused = false; geometry = Some (domains, chunk) } ->
+    let pool = Util.Pool.shared ~domains in
+    Field.axpy_with pool ~chunk alpha p x;
+    Field.axpy_with pool ~chunk (-.alpha) ap r;
+    let r2 = Field.norm2_with pool ~chunk r in
+    Field.xpay_with pool ~chunk r beta p;
+    r2
+  | { fused = true; geometry = Some (domains, chunk) } ->
+    let pool = Util.Pool.shared ~domains in
+    let r2 = Linalg.Fused.cg_update_with pool ~chunk alpha p ap x r in
+    ignore (Linalg.Fused.xpay_dot_with pool ~chunk r beta p r : float);
+    r2
+
+(* Tune the fused-vs-unfused × geometry space on the CG vector tail.
+   Same signature discipline as the other axes — and because fused and
+   unfused candidates live under distinct labels in ONE search for the
+   "cg_blas1" kernel, a fused winner can never be read back as an
+   unfused one (or vice versa): the label is the plan. *)
+let tune_fusion ?max_domains tuner ~n =
+  let p = Field.create n and ap = Field.create n in
+  let x = Field.create n and r = Field.create n in
+  Field.fill p 1e-3;
+  Field.fill ap 1e-3;
+  Field.fill r 1e-3;
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let plans = fusion_space ~max_domains:dmax ~n () in
+  let signature = Printf.sprintf "n%d:dmax%d" n dmax in
+  let winner =
+    Tuner.tune tuner ~kernel:"cg_blas1" ~signature
+      (List.map
+         (fun (label, plan) ->
+           Tuner.candidate label (fun () ->
+               ignore (run_fusion_plan plan ~p ~ap ~x ~r : float)))
+         plans)
+  in
+  (winner, List.assoc winner plans)
+
 (* Tune axpy on vectors of a given size: serial unroll variants plus
    pooled geometries in one search space. The signature carries both
    the length and the domain cap (the cache-key audit: a winner tuned

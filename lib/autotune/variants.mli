@@ -55,3 +55,38 @@ val tune_axpy :
 (** Tune axpy on vectors of [n] floats over unroll variants and pooled
     geometries (pools drawn from [Util.Pool.shared]). The cache
     signature is ["n<n>:dmax<cap>"]. *)
+
+(** The fusion launch axis: fused vs unfused BLAS-1 tail, crossed with
+    the pool geometries. [geometry = None] is a serial plan. *)
+type fusion_plan = { fused : bool; geometry : (int * int) option }
+
+val fusion_label : fusion_plan -> string
+(** ["unfused_serial"], ["fused_serial"], ["fused_d<d>_c<c>"],
+    ["unfused_d<d>_c<c>"] — fused and unfused candidates are labelled
+    disjointly, so cached winners can never alias across the axis. *)
+
+val fusion_space :
+  ?max_domains:int ->
+  ?chunk_floor:int ->
+  n:int ->
+  unit ->
+  (string * fusion_plan) list
+(** All (label, plan) candidates for vectors of [n] floats. The
+    serial-unfused baseline is always present (tuner honesty: the
+    search may refuse every pooled/fused candidate). *)
+
+val run_fusion_plan :
+  fusion_plan ->
+  p:Linalg.Field.t ->
+  ap:Linalg.Field.t ->
+  x:Linalg.Field.t ->
+  r:Linalg.Field.t ->
+  float
+(** Execute one CG BLAS-1 tail iteration (x += α·p; r −= α·Ap; |r|²;
+    p = r + β·p) under the plan, returning |r|². All plans are
+    bit-identical; only traffic differs. *)
+
+val tune_fusion : ?max_domains:int -> Tuner.t -> n:int -> string * fusion_plan
+(** Tune the fusion × geometry space on the CG vector tail for vectors
+    of [n] floats (kernel ["cg_blas1"], signature ["n<n>:dmax<cap>"]).
+    Returns the winning label and its plan. *)

@@ -15,6 +15,7 @@ module Halo_check = Halo_check
 module Numeric_check = Numeric_check
 module Spec_check = Spec_check
 module Pool_check = Pool_check
+module Fuse_check = Fuse_check
 module Fixtures = Fixtures
 
 (* ---- pass aliases ---- *)
@@ -28,6 +29,7 @@ let probe_mixed_solve = Numeric_check.probe_mixed_solve
 let workflow_spec = Spec_check.workflow_spec
 let mixed_config = Spec_check.mixed_config
 let pool_plan = Pool_check.verify_plan
+let fused_plan = Fuse_check.verify_plan
 
 let all_rules =
   [
@@ -36,6 +38,7 @@ let all_rules =
     ("numeric", Numeric_check.rules);
     ("spec", Spec_check.rules);
     ("pool", Pool_check.rules);
+    ("fuse", Fuse_check.rules);
   ]
 
 (* ---- the shipped-example artifacts, verified ---- *)
@@ -161,6 +164,47 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
         Pool_check.plan ~kernel:"mobius_hop_slices" ~n:16 ~domains:1 ~chunk:1 ();
       ]
   in
+  (* the fused BLAS-1 plans the ~fused solvers actually run: the CG
+     tail kernels on the canonical reduction block, serial and on the
+     default-pool geometry, operand roles as Cg.solve passes them
+     (xpay_dot's q = r read/read repetition included — it must verify
+     clean). Static plans only: live tuning here would make the
+     standard suite timing-dependent. *)
+  let fuse_ds =
+    let pool = Util.Pool.get_default () in
+    let d = Util.Pool.size pool in
+    let n = 1 lsl 16 in
+    let geometry =
+      if d > 1 then Some (d, Util.Pool.default_chunk pool n) else None
+    in
+    let blk = Linalg.Field.reduce_block in
+    Fuse_check.verify_plans
+      [
+        Fuse_check.plan ~kernel:"cg_update" ~n ~block:blk ?geometry
+          ~buffers:
+            [
+              ("p", Fuse_check.Read);
+              ("ap", Fuse_check.Read);
+              ("x", Fuse_check.Update);
+              ("r", Fuse_check.Update);
+            ]
+          ();
+        Fuse_check.plan ~kernel:"xpay_dot" ~n ~block:blk ?geometry
+          ~buffers:
+            [
+              ("r", Fuse_check.Read);
+              ("p", Fuse_check.Update);
+              ("r", Fuse_check.Read);  (* q = r: the free monitor *)
+            ]
+          ();
+        Fuse_check.plan ~kernel:"axpy_norm2" ~n ~block:blk
+          ~buffers:[ ("ap", Fuse_check.Read); ("r", Fuse_check.Update) ]
+          ();
+        Fuse_check.plan ~kernel:"caxpy_norm2" ~n ~block:blk
+          ~buffers:[ ("v", Fuse_check.Read); ("s", Fuse_check.Update) ]
+          ();
+      ]
+  in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);
     ("halo schedules (Vrank.Comm)", halo_ds);
@@ -168,6 +212,7 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
     ("workflow + solver specs", spec_ds);
     ("numeric sanitizer + half codec", numeric_ds);
     ("pool launch plans", pool_ds);
+    ("fused kernel plans", fuse_ds);
   ]
 
 (* Selftest: every seeded defect fixture must be detected. Returns

@@ -10,6 +10,7 @@ module Halo_check : module type of Halo_check
 module Numeric_check : module type of Numeric_check
 module Spec_check : module type of Spec_check
 module Pool_check : module type of Pool_check
+module Fuse_check : module type of Fuse_check
 module Fixtures : module type of Fixtures
 
 val campaign : ?n_nodes:int -> Jobman.Pipeline.task list -> Diagnostic.t list
@@ -33,6 +34,7 @@ val probe_mixed_solve :
 val workflow_spec : Core.Workflow.spec -> Diagnostic.t list
 val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
 val pool_plan : Pool_check.plan -> Diagnostic.t list
+val fused_plan : Fuse_check.plan -> Diagnostic.t list
 
 val all_rules : (string * (string * string) list) list
 (** Pass name → its rule catalog. *)
@@ -40,8 +42,9 @@ val all_rules : (string * (string * string) list) list
 val standard_suite : ?seed:int -> unit -> Diagnostic.report
 (** Verify the shipped example artifacts: the co-scheduling campaign,
     the simple and overlapped halo schedules, a live Comm audit, the
-    default workflow specs (double and mixed), and an instrumented
-    clean mixed solve. Must report zero errors. *)
+    default workflow specs (double and mixed), an instrumented clean
+    mixed solve, the pool launch plans, and the fused BLAS-1 kernel
+    plans the [~fused] solvers run. Must report zero errors. *)
 
 val selftest : unit -> (Fixtures.t * string list * bool) list
 (** Run every seeded defect fixture; each row is (fixture, error and

@@ -1,12 +1,14 @@
-(* Seeded defect fixtures: fourteen artifacts, each carrying exactly
+(* Seeded defect fixtures: seventeen artifacts, each carrying exactly
    the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
-   transport/policy mismatch; three of them pool-determinism defects:
+   transport/policy mismatch; three pool-determinism defects:
    completion-order reduction, broken chunk partition, under-cutoff
-   pooled launch). The CLI's --selftest and the test suite assert
-   every one is detected, which keeps the checker honest — a pass that
-   silently stops firing fails CI. *)
+   pooled launch; three fused-kernel defects: non-canonical reduction
+   block, aliased output operand, untuned launch geometry). The CLI's
+   --selftest and the test suite assert every one is detected, which
+   keeps the checker honest — a pass that silently stops firing fails
+   CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -192,6 +194,50 @@ let tiny_pooled () =
   Pool_check.verify_plan
     (Pool_check.plan ~kernel:"axpy" ~n:512 ~domains:4 ~chunk:128 ())
 
+(* 7. A fused axpy_norm2 accumulating 4096-float blocks: every partial
+   sums twice the canonical span, so the fused |y|2 associates
+   differently from the standalone norm2 — the bit-drift the fusion
+   layer exists to rule out. *)
+let fused_wrong_block () =
+  Fuse_check.verify_plan
+    (Fuse_check.plan ~kernel:"axpy_norm2" ~n:(1 lsl 20) ~block:4096
+       ~buffers:[ ("x", Fuse_check.Read); ("y", Fuse_check.Update) ]
+       ())
+
+(* 7a. A tripleCGUpdate whose solution output x is handed the same
+   buffer as the stencil result Ap: the single pass updates x while
+   the r-recurrence still reads Ap from it. *)
+let fused_aliased_output () =
+  Fuse_check.verify_plan
+    (Fuse_check.plan ~kernel:"cg_update" ~n:(1 lsl 20)
+       ~block:Linalg.Field.reduce_block
+       ~buffers:
+         [
+           ("p", Fuse_check.Read);
+           ("ap", Fuse_check.Read);
+           ("ap", Fuse_check.Update);  (* x given the ap buffer *)
+           ("r", Fuse_check.Update);
+         ]
+       ())
+
+(* 7b. A fused launch on a 4-domain geometry when the tuner's recorded
+   winner for this kernel and shape is 2 domains: running a plan the
+   autotuner never priced. *)
+let fused_untuned_geometry () =
+  Fuse_check.verify_plan
+    (Fuse_check.plan ~kernel:"cg_update" ~n:(1 lsl 20)
+       ~block:Linalg.Field.reduce_block
+       ~geometry:(4, 131072)
+       ~tuned:(Some (2, 524288))
+       ~buffers:
+         [
+           ("p", Fuse_check.Read);
+           ("ap", Fuse_check.Read);
+           ("x", Fuse_check.Update);
+           ("r", Fuse_check.Update);
+         ]
+       ())
+
 let all =
   [
     {
@@ -277,6 +323,24 @@ let all =
       defect = "512-element axpy forked across 4 domains (under the cutoff)";
       expect = "DET003";
       run = tiny_pooled;
+    };
+    {
+      name = "fuse-wrong-block";
+      defect = "fused axpy_norm2 reducing 4096-float blocks (canonical is 2048)";
+      expect = "FUSE001";
+      run = fused_wrong_block;
+    };
+    {
+      name = "fuse-aliased-output";
+      defect = "cg_update with the solution output aliasing the Ap input";
+      expect = "FUSE002";
+      run = fused_aliased_output;
+    };
+    {
+      name = "fuse-untuned-geometry";
+      defect = "fused launch on a geometry the tuner's winner disagrees with";
+      expect = "FUSE003";
+      run = fused_untuned_geometry;
     };
   ]
 

@@ -17,6 +17,9 @@ val send_buffer_race : unit -> Diagnostic.t list
 val lost_completion : unit -> Diagnostic.t list
 val nan_solve : unit -> Diagnostic.t list
 val bad_half_block : unit -> Diagnostic.t list
+val fused_wrong_block : unit -> Diagnostic.t list
+val fused_aliased_output : unit -> Diagnostic.t list
+val fused_untuned_geometry : unit -> Diagnostic.t list
 
 val all : t list
 val find : string -> t option

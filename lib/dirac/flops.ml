@@ -41,9 +41,25 @@ let schur_per_5d_site =
 (* Normal operator = S^dag S = 2 Schur + 2 G5R5 copies (0 flops). *)
 let schur_normal_per_5d_site = 2 * schur_per_5d_site
 
-(* BLAS-1 in CG per iteration per 5D site (3 axpy + 2 reductions over
+(* BLAS-1 in CG per iteration per 5D site, unfused (dot p.Ap, axpy x,
+   axpy r, norm2 r, xpay p — five kernels, each 2 flops per float over
    24 floats): the paper quotes 50-100 flops per site for these. *)
-let cg_blas1_per_5d_site = (3 * 2 * 24) + (2 * 2 * 24)
+let cg_blas1_per_5d_site = 5 * 2 * 24
+
+(* Fused path (Solver.Cg ~fused / Linalg.Fused): same updates plus the
+   p.r orthogonality monitor riding the xpay sweep, 2 extra flops per
+   float. More flops, fewer bytes — the fused trade. *)
+let cg_blas1_fused_per_5d_site = cg_blas1_per_5d_site + (2 * 24)
+
+(* Double-precision bytes the CG BLAS-1 tail moves per iteration per
+   5D site in this implementation. Unfused, 5 kernels: dot (2 reads) +
+   axpy x (2r+1w) + axpy r (2r+1w) + norm2 (1r) + xpay (2r+1w) = 12
+   float-passes. Fused, 3 kernels: dot (2r) + cg_update (4r+2w) +
+   xpay_dot (2r+1w; q = r is one of the reads) = 11. The sweep-count
+   win (5 -> 2 reduction-bearing launches after the dot) is larger
+   than the byte win on a cache-less model — both are reported. *)
+let cg_blas1_bytes_per_5d_site ~fused =
+  (if fused then 11 else 12) * 24 * 8
 
 let cg_iteration_per_5d_site = schur_normal_per_5d_site + cg_blas1_per_5d_site
 

@@ -12,6 +12,16 @@ val hop5_per_5d_site : int
 val schur_per_5d_site : int
 val schur_normal_per_5d_site : int
 val cg_blas1_per_5d_site : int
+(** Unfused CG BLAS-1 flops per iteration per 5D site (5 kernels). *)
+
+val cg_blas1_fused_per_5d_site : int
+(** Fused-path flops: the unfused count plus the p·r orthogonality
+    monitor riding the xpay sweep (2 extra flops per float). *)
+
+val cg_blas1_bytes_per_5d_site : fused:bool -> int
+(** Double-precision bytes the CG BLAS-1 tail moves per iteration per
+    5D site: 12 float-passes unfused, 11 fused. *)
+
 val cg_iteration_per_5d_site : int
 
 val paper_stencil_per_5d_site : float

@@ -26,6 +26,28 @@ val reduce_block : int
     every path — serial and pooled results are bit-identical for any
     pool geometry. *)
 
+val block_fold :
+  Util.Pool.t option ->
+  int option ->
+  n:int ->
+  block:int ->
+  (int -> int -> float) ->
+  float
+(** The canonical blocked-reduction engine behind [norm2]/[dot_re]:
+    cuts [0, n) into [block]-sized blocks, evaluates [term lo hi] per
+    block (in parallel when a pool is given — the slots are disjoint)
+    and folds the partials in block-index order on the calling domain.
+    Exported so the fused solver kernels ([Fused]) share the exact
+    association of the unfused reductions: any [term] that updates a
+    block element-wise and then accumulates it in index order is
+    bit-identical to running the update kernel followed by the
+    standalone reduction, for every pool geometry. *)
+
+val implicit_pool : int -> Util.Pool.t option
+(** The pool the implicit kernels dispatch on: [Util.Pool.get_default]
+    when it has more than one lane and [n] is at least
+    [parallel_cutoff], else [None] (serial). *)
+
 val axpy : float -> t -> t -> unit
 (** [axpy a x y]: y <- y + a·x. *)
 

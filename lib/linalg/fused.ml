@@ -1,0 +1,185 @@
+(* Fused BLAS-1 solver kernels — the QUDA move for a memory-bound CG
+   tail: fold the reduction into the update so each iteration streams
+   the vectors once instead of once per kernel. Every kernel here is
+   defined by an unfused sequence it must match bit-for-bit:
+
+     axpy_norm2  a x y   ==  Field.axpy a x y;  Field.norm2 y
+     xpay_dot    x b p q ==  Field.xpay x b p;  Field.dot_re p q
+     cg_update a p ap x r == Field.axpy a p x; Field.axpy (-a) ap r;
+                             Field.norm2 r     (QUDA tripleCGUpdate)
+     caxpy_norm2 a x y   ==  Field.caxpy a x y; Field.norm2 y
+
+   The identity holds to the bit for any pool geometry because each
+   kernel runs through [Field.block_fold]: the update is element-wise
+   (independent per element, so interleaving it with the reduction
+   changes nothing) and the reduction accumulates each canonical
+   [Field.reduce_block]-float block in index order, with the block
+   partials folded in block-index order on the calling domain — the
+   exact association of the standalone [Field.norm2]/[dot_re].
+
+   The fused contract is stricter than the unfused kernels about
+   aliasing: an output buffer physically equal to a distinct-role
+   input is rejected ([Invalid_argument]). Element-local updates make
+   most aliasings accidentally agree here, but the contract is what a
+   vectorized or accelerator implementation needs, and it is what
+   [Check.Fuse_check] FUSE002 verifies statically. *)
+
+open Bigarray
+
+type t = Field.t
+
+let check2 name a b =
+  if Field.length a <> Field.length b then
+    invalid_arg (name ^ ": length mismatch")
+
+(* Physical-equality aliasing guard: [outs] must not alias any of
+   [ins]. Distinct Bigarray handles over the same data escape this
+   (FUSE002 models the hazard statically); the guard catches the
+   direct misuse. *)
+let no_alias name outs ins =
+  List.iter
+    (fun (o : t) ->
+      List.iter
+        (fun (i : t) ->
+          if o == i then
+            invalid_arg (name ^ ": output aliases an input of a different role"))
+        ins)
+    outs
+
+(* ---- fused range terms: update the block, reduce it, in one pass.
+   Accumulation visits elements in index order, one float at a time —
+   the same association as Field.norm2_term/dot_re_term. ---- *)
+
+let axpy_norm2_term alpha (x : t) (y : t) lo hi =
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    let yi = Array1.unsafe_get y i +. (alpha *. Array1.unsafe_get x i) in
+    Array1.unsafe_set y i yi;
+    acc := !acc +. (yi *. yi)
+  done;
+  !acc
+
+let xpay_dot_term (x : t) beta (p : t) (q : t) lo hi =
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    let pi = Array1.unsafe_get x i +. (beta *. Array1.unsafe_get p i) in
+    Array1.unsafe_set p i pi;
+    acc := !acc +. (pi *. Array1.unsafe_get q i)
+  done;
+  !acc
+
+let cg_update_term alpha (p : t) (ap : t) (x : t) (r : t) lo hi =
+  let nalpha = -.alpha in
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    Array1.unsafe_set x i
+      (Array1.unsafe_get x i +. (alpha *. Array1.unsafe_get p i));
+    let ri = Array1.unsafe_get r i +. (nalpha *. Array1.unsafe_get ap i) in
+    Array1.unsafe_set r i ri;
+    acc := !acc +. (ri *. ri)
+  done;
+  !acc
+
+(* Complex pairs inside [lo, hi) of floats. Block bounds from
+   block_fold are even (reduce_block is), except a final odd [hi] on
+   an odd-length vector: that dangling float is exactly the one
+   Field.caxpy never updates, so it enters the norm read-only. The
+   norm accumulates re then im separately to keep Field.norm2's
+   one-float-at-a-time association. *)
+let caxpy_norm2_term (ar, ai) (x : t) (y : t) lo hi =
+  let acc = ref 0. in
+  for k = lo / 2 to (hi / 2) - 1 do
+    let xr = Array1.unsafe_get x (2 * k)
+    and xi = Array1.unsafe_get x ((2 * k) + 1) in
+    let yr = Array1.unsafe_get y (2 * k) +. ((ar *. xr) -. (ai *. xi)) in
+    let yi = Array1.unsafe_get y ((2 * k) + 1) +. ((ar *. xi) +. (ai *. xr)) in
+    Array1.unsafe_set y (2 * k) yr;
+    Array1.unsafe_set y ((2 * k) + 1) yi;
+    acc := !acc +. (yr *. yr);
+    acc := !acc +. (yi *. yi)
+  done;
+  if hi land 1 = 1 then begin
+    let v = Array1.unsafe_get y (hi - 1) in
+    acc := !acc +. (v *. v)
+  end;
+  !acc
+
+(* ---- dispatch: implicit (default pool above the cutoff) and
+   explicit [_with] paths, both through the canonical engine ---- *)
+
+let fold pool chunk ~n term =
+  Field.block_fold pool chunk ~n ~block:Field.reduce_block term
+
+let finish kernel (v : t) s =
+  Field.Sanitize.check_vec kernel v;
+  Field.Sanitize.check_scalar kernel s
+
+(* y <- y + alpha x; returns |y|^2 *)
+let axpy_norm2 alpha (x : t) (y : t) =
+  check2 "Fused.axpy_norm2" x y;
+  no_alias "Fused.axpy_norm2" [ y ] [ x ];
+  let n = Field.length x in
+  finish "Fused.axpy_norm2" y
+    (fold (Field.implicit_pool n) None ~n (axpy_norm2_term alpha x y))
+
+let axpy_norm2_with pool ?chunk alpha (x : t) (y : t) =
+  check2 "Fused.axpy_norm2" x y;
+  no_alias "Fused.axpy_norm2" [ y ] [ x ];
+  finish "Fused.axpy_norm2" y
+    (fold (Some pool) chunk ~n:(Field.length x) (axpy_norm2_term alpha x y))
+
+(* p <- x + beta p; returns p.q *)
+let xpay_dot (x : t) beta (p : t) (q : t) =
+  check2 "Fused.xpay_dot" x p;
+  check2 "Fused.xpay_dot" x q;
+  no_alias "Fused.xpay_dot" [ p ] [ x ];
+  let n = Field.length x in
+  finish "Fused.xpay_dot" p
+    (fold (Field.implicit_pool n) None ~n (xpay_dot_term x beta p q))
+
+let xpay_dot_with pool ?chunk (x : t) beta (p : t) (q : t) =
+  check2 "Fused.xpay_dot" x p;
+  check2 "Fused.xpay_dot" x q;
+  no_alias "Fused.xpay_dot" [ p ] [ x ];
+  finish "Fused.xpay_dot" p
+    (fold (Some pool) chunk ~n:(Field.length x) (xpay_dot_term x beta p q))
+
+(* x <- x + alpha p; r <- r - alpha ap; returns |r|^2 *)
+let cg_update alpha (p : t) (ap : t) (x : t) (r : t) =
+  check2 "Fused.cg_update" p ap;
+  check2 "Fused.cg_update" p x;
+  check2 "Fused.cg_update" p r;
+  no_alias "Fused.cg_update" [ x; r ] [ p; ap ];
+  if (x : t) == r then
+    invalid_arg "Fused.cg_update: output aliases an input of a different role";
+  let n = Field.length p in
+  let s = fold (Field.implicit_pool n) None ~n (cg_update_term alpha p ap x r) in
+  Field.Sanitize.check_vec "Fused.cg_update" x;
+  finish "Fused.cg_update" r s
+
+let cg_update_with pool ?chunk alpha (p : t) (ap : t) (x : t) (r : t) =
+  check2 "Fused.cg_update" p ap;
+  check2 "Fused.cg_update" p x;
+  check2 "Fused.cg_update" p r;
+  no_alias "Fused.cg_update" [ x; r ] [ p; ap ];
+  if (x : t) == r then
+    invalid_arg "Fused.cg_update: output aliases an input of a different role";
+  let s =
+    fold (Some pool) chunk ~n:(Field.length p) (cg_update_term alpha p ap x r)
+  in
+  Field.Sanitize.check_vec "Fused.cg_update" x;
+  finish "Fused.cg_update" r s
+
+(* y <- y + alpha x (complex alpha, interleaved); returns |y|^2 *)
+let caxpy_norm2 alpha (x : t) (y : t) =
+  check2 "Fused.caxpy_norm2" x y;
+  no_alias "Fused.caxpy_norm2" [ y ] [ x ];
+  let n = Field.length x in
+  finish "Fused.caxpy_norm2" y
+    (fold (Field.implicit_pool n) None ~n (caxpy_norm2_term alpha x y))
+
+let caxpy_norm2_with pool ?chunk alpha (x : t) (y : t) =
+  check2 "Fused.caxpy_norm2" x y;
+  no_alias "Fused.caxpy_norm2" [ y ] [ x ];
+  finish "Fused.caxpy_norm2" y
+    (fold (Some pool) chunk ~n:(Field.length x) (caxpy_norm2_term alpha x y))

@@ -1,0 +1,50 @@
+(** Fused BLAS-1 solver kernels: the update and its reduction in one
+    memory sweep (QUDA-style). Each kernel is bit-identical — for any
+    pool geometry, serial or pooled — to the unfused sequence it
+    replaces, because all of them run the canonical
+    [Field.reduce_block]-float blocked, index-ordered reduction
+    ([Field.block_fold]) with the element-wise update folded into the
+    block pass.
+
+    Stricter aliasing contract than the unfused kernels: an output
+    vector that is physically the same buffer as an input of a
+    different role raises [Invalid_argument] (a real fused kernel
+    caches in registers; see [Check.Fuse_check] FUSE002). Passing the
+    same vector where the *spec* says so — e.g. [xpay_dot r beta p r],
+    the CG orthogonality monitor — is fine: [q] and [x] are read-only
+    roles. *)
+
+type t = Field.t
+
+val axpy_norm2 : float -> t -> t -> float
+(** [axpy_norm2 a x y]: y <- y + a·x; returns |y|².
+    ≡ [Field.axpy a x y; Field.norm2 y] bit-for-bit. *)
+
+val xpay_dot : t -> float -> t -> t -> float
+(** [xpay_dot x beta p q]: p <- x + β·p; returns p·q (real part under
+    the flat-float view, i.e. [Field.dot_re]).
+    ≡ [Field.xpay x beta p; Field.dot_re p q] bit-for-bit. *)
+
+val cg_update : float -> t -> t -> t -> t -> float
+(** [cg_update alpha p ap x r]: x <- x + α·p; r <- r − α·Ap; returns
+    |r|² — QUDA's tripleCGUpdate, the whole CG vector tail in one
+    sweep. ≡ [Field.axpy alpha p x; Field.axpy (−alpha) ap r;
+    Field.norm2 r] bit-for-bit (IEEE negation is exact). *)
+
+val caxpy_norm2 : float * float -> t -> t -> float
+(** [caxpy_norm2 (re, im) x y]: y <- y + a·x with complex [a] over the
+    interleaved layout; returns |y|².
+    ≡ [Field.caxpy (re, im) x y; Field.norm2 y] bit-for-bit. *)
+
+(** Explicit pooled variants, mirroring [Field]'s [_with] kernels:
+    same results on a caller-chosen pool and chunk (in floats). These
+    are the autotuner's fused candidates ([Autotune.Variants.fusion]). *)
+
+val axpy_norm2_with : Util.Pool.t -> ?chunk:int -> float -> t -> t -> float
+val xpay_dot_with : Util.Pool.t -> ?chunk:int -> t -> float -> t -> t -> float
+
+val cg_update_with :
+  Util.Pool.t -> ?chunk:int -> float -> t -> t -> t -> t -> float
+
+val caxpy_norm2_with :
+  Util.Pool.t -> ?chunk:int -> float * float -> t -> t -> float

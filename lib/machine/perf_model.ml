@@ -132,6 +132,20 @@ let node_subgrid (m : Spec.t) p grid =
 let fork_join_s = 5e-6
 let chunk_dispatch_s = 2e-7
 
+(* Half-precision storage bytes of one full vector sweep per 5D site:
+   24 reals x 2 bytes (the inner solver's working precision, where the
+   BLAS-1 tail lives). *)
+let blas1_bytes_per_site_sweep = 48.
+
+(* Full-vector memory sweeps of the CG BLAS-1 tail per iteration.
+   Unfused: axpy x, axpy r, norm2 r, xpay p, dot_re p.Ap = 5.
+   Fused: cg_update (x,r,|r|2 in one pass) + xpay_dot = 2, under the
+   model's assumption that the p.Ap reduction rides the stencil tail
+   (QUDA fuses the slash with its dot) — the host implementation keeps
+   it a separate kernel to preserve bit-identity, so its sweep is
+   accounted to the stencil, not here, in both columns. *)
+let blas1_sweeps ~fused = if fused then 2. else 5.
+
 type breakdown = {
   grid : int array;
   local_sites : float;  (* 5D sites per GPU *)
@@ -147,6 +161,16 @@ type breakdown = {
       (* transport extra-copy time: Double_buffered pays one rotation
          copy of the halo payload against GPU memory bandwidth; zero
          for Staged/Zero_copy *)
+  blas1_sweeps_per_iter : float;
+      (* full-vector memory sweeps of the CG BLAS-1 tail per iteration
+         under the priced fusion mode: 5. unfused, 2. fused; 0. when
+         ?fusion is not passed *)
+  blas1_bytes : float;
+      (* bytes those sweeps move per iteration (half-precision
+         storage); 0. when ?fusion is not passed *)
+  t_blas1 : float;
+      (* blas1_bytes at solver bandwidth + one launch per sweep; added
+         to t_total only when ?fusion is passed *)
   t_total : float;  (* per stencil application *)
   halo_bytes_intra : float;
   halo_bytes_inter : float;
@@ -172,9 +196,13 @@ type result = {
    [transport] prices the halo buffer management: Double_buffered pays
    one extra copy of the full halo payload against GPU memory
    bandwidth; Staged (default) and Zero_copy pay none, keeping the
-   calibrated numbers unchanged. *)
-let stencil_breakdown ?(transport = Transport.Staged) ?pool (m : Spec.t)
-    (policy : Policy.t) p ~n_gpus =
+   calibrated numbers unchanged. [fusion] (when passed) additionally
+   prices the CG iteration's BLAS-1 tail into t_blas1/t_total —
+   [Some true] at the fused sweep count, [Some false] unfused; omitted
+   (the default), the BLAS-1 fields are zero and t_total is the bare
+   stencil time as before. *)
+let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
+    (m : Spec.t) (policy : Policy.t) p ~n_gpus =
   match best_grid p n_gpus with
   | None -> None
   | Some grid ->
@@ -253,6 +281,16 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool (m : Spec.t)
         fork_join_s +. (n_chunks *. chunk_dispatch_s)
       | _ -> 0.
     in
+    let sweeps, blas1_bytes, t_blas1 =
+      match fusion with
+      | None -> (0., 0., 0.)
+      | Some fused ->
+        let sweeps = blas1_sweeps ~fused in
+        let bytes = sweeps *. local_sites *. blas1_bytes_per_site_sweep in
+        ( sweeps,
+          bytes,
+          (bytes /. bw) +. (sweeps *. m.Spec.launch_overhead_s) )
+    in
     let t_comm = t_comm_inter +. t_comm_intra +. t_latency in
     let t_total =
       if Policy.overlaps policy && !decomposed > 0 then begin
@@ -272,10 +310,11 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool (m : Spec.t)
             let share = float_of_int (v4 / local.(fid / 2)) /. surf in
             busy := Float.max !busy !arrival +. (t_boundary *. share))
           face_times;
-        (* the rotation copy is pack-side serial work: not hidden *)
-        !busy +. t_copy +. t_sync +. t_overhead
+        (* the rotation copy is pack-side serial work: not hidden;
+           the BLAS-1 tail is serial stream work after the stencil *)
+        !busy +. t_copy +. t_sync +. t_overhead +. t_blas1
       end
-      else t_stencil +. t_comm +. t_copy +. t_sync +. t_overhead
+      else t_stencil +. t_comm +. t_copy +. t_sync +. t_overhead +. t_blas1
     in
     Some
       {
@@ -288,15 +327,18 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool (m : Spec.t)
         t_overhead;
         t_sync;
         t_copy;
+        blas1_sweeps_per_iter = sweeps;
+        blas1_bytes;
+        t_blas1;
         t_total;
         halo_bytes_intra = !bytes_intra;
         halo_bytes_inter = !bytes_inter;
         face_times;
       }
 
-let solver_performance ?(transport = Transport.Staged) ?pool (m : Spec.t)
-    (policy : Policy.t) p ~n_gpus =
-  match stencil_breakdown ~transport ?pool m policy p ~n_gpus with
+let solver_performance ?(transport = Transport.Staged) ?pool ?fusion
+    (m : Spec.t) (policy : Policy.t) p ~n_gpus =
+  match stencil_breakdown ~transport ?pool ?fusion m policy p ~n_gpus with
   | None -> None
   | Some b ->
     let flops_app = b.local_sites *. flops_per_site in

@@ -36,6 +36,17 @@ val fork_join_s : float
 val chunk_dispatch_s : float
 (** Per-chunk dispatch through the pool's atomic counter. *)
 
+val blas1_bytes_per_site_sweep : float
+(** Bytes one full-vector BLAS-1 sweep moves per 5D site in the inner
+    solver's half-precision storage (24 reals × 2 bytes). *)
+
+val blas1_sweeps : fused:bool -> float
+(** Full-vector memory sweeps of the CG BLAS-1 tail per iteration:
+    5 unfused (axpy x, axpy r, norm2 r, xpay p, p·Ap), 2 fused
+    (cg_update + xpay_dot; the model assumes the p·Ap reduction rides
+    the stencil tail as in QUDA, so its sweep is accounted to the
+    stencil in both columns). *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;
@@ -51,6 +62,15 @@ type breakdown = {
       (** transport extra-copy time ([Transport.Double_buffered] pays
           one rotation copy of the halo payload at GPU memory
           bandwidth; zero for [Staged]/[Zero_copy]) *)
+  blas1_sweeps_per_iter : float;
+      (** CG BLAS-1 tail sweeps per iteration under the priced fusion
+          mode (5 unfused / 2 fused); 0 when [?fusion] is omitted *)
+  blas1_bytes : float;
+      (** bytes those sweeps move per iteration; 0 when [?fusion] is
+          omitted *)
+  t_blas1 : float;
+      (** [blas1_bytes] at solver bandwidth plus one kernel launch per
+          sweep; included in [t_total] only when [?fusion] is passed *)
   t_total : float;
   halo_bytes_intra : float;
   halo_bytes_inter : float;
@@ -78,6 +98,7 @@ type result = {
 val stencil_breakdown :
   ?transport:Transport.t ->
   ?pool:int * int ->
+  ?fusion:bool ->
   Spec.t ->
   Policy.t ->
   problem ->
@@ -85,12 +106,15 @@ val stencil_breakdown :
   breakdown option
 (** [transport] (default [Staged]) prices the halo buffer management
     into [t_copy]; [pool] (a [(domains, chunk)] geometry) prices the
-    host pool's fork/join into [t_sync]. The defaults leave the
-    calibrated numbers unchanged. *)
+    host pool's fork/join into [t_sync]; [fusion] prices the CG
+    iteration's BLAS-1 memory traffic into [t_blas1] at the fused
+    ([Some true], 2 sweeps) or unfused ([Some false], 5 sweeps) rate.
+    The defaults leave the calibrated numbers unchanged. *)
 
 val solver_performance :
   ?transport:Transport.t ->
   ?pool:int * int ->
+  ?fusion:bool ->
   Spec.t ->
   Policy.t ->
   problem ->

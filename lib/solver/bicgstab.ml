@@ -44,8 +44,9 @@ let stats ~iterations ~converged ~rel ~true_rel ~flops ~t_start =
     reliable_updates = 0;
   }
 
-let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
-    ~flops_per_apply () =
+let solve ?(x0 : Field.t option) ?(fused = false) ?trace ~apply ~(b : Field.t)
+    ~tol ~max_iter ~flops_per_apply () =
+  let emit v = match trace with Some f -> f v | None -> () in
   let n = Field.length b in
   let t_start = Unix.gettimeofday () in
   let x = match x0 with Some x -> Field.copy x | None -> Field.create n in
@@ -82,10 +83,18 @@ let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
       if cnorm2 rhv < 1e-120 then broken := true
       else begin
         let alpha = cdiv !rho rhv in
-        (* s = r - alpha v *)
+        (* s = r - alpha v, with |s|² riding the same sweep when
+           fused (caxpy_norm2 ≡ caxpy; norm2 bit-for-bit). *)
         Field.blit r s;
-        Field.caxpy (cneg alpha) v s;
-        if Field.norm2 s <= target then begin
+        let s2 =
+          if fused then Linalg.Fused.caxpy_norm2 (cneg alpha) v s
+          else begin
+            Field.caxpy (cneg alpha) v s;
+            Field.norm2 s
+          end
+        in
+        emit s2;
+        if s2 <= target then begin
           Field.caxpy alpha p x;
           converged := true
         end
@@ -101,8 +110,15 @@ let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
             Field.caxpy omega s x;
             (* r = s - omega t *)
             Field.blit s r;
-            Field.caxpy (cneg omega) t r;
-            if Field.norm2 r <= target then converged := true
+            let r2 =
+              if fused then Linalg.Fused.caxpy_norm2 (cneg omega) t r
+              else begin
+                Field.caxpy (cneg omega) t r;
+                Field.norm2 r
+              end
+            in
+            emit r2;
+            if r2 <= target then converged := true
             else begin
               let rho' = of_cplx (Field.cdot r_hat r) in
               if cnorm2 rho' < 1e-120 || cnorm2 omega < 1e-120 then
@@ -125,7 +141,7 @@ let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
     let true_rel = sqrt (Field.norm2 tmp /. b2) in
     let flops =
       (float_of_int !applies *. flops_per_apply)
-      +. (float_of_int !iters *. 2. *. Cg.blas1_flops n)
+      +. (float_of_int !iters *. 2. *. Cg.blas1_flops ~fused n)
     in
     ( x,
       stats ~iterations:!iters ~converged:!converged

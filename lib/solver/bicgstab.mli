@@ -5,6 +5,8 @@
 
 val solve :
   ?x0:Linalg.Field.t ->
+  ?fused:bool ->
+  ?trace:(float -> unit) ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
   b:Linalg.Field.t ->
   tol:float ->
@@ -13,4 +15,11 @@ val solve :
   unit ->
   Linalg.Field.t * Cg.stats
 (** Converges when |r| ≤ tol·|b|; [converged = false] on breakdown
-    (vanishing ρ or ω) or max_iter. *)
+    (vanishing ρ or ω) or max_iter.
+
+    [fused] (default [false]) computes the two residual updates
+    (s = r − α·v and r = s − ω·t) with [Linalg.Fused.caxpy_norm2],
+    folding the convergence-check norm into the update sweep —
+    bit-identical trajectory for any pool geometry. [trace] receives
+    each residual norm² as it is computed (|s|², then |r|² when the
+    iteration reaches it). *)

@@ -24,12 +24,17 @@ let pp_stats ppf s =
     (Util.Ascii.si_float s.flops)
     (Util.Ascii.seconds s.seconds)
 
-(* Flops of the BLAS-1 work per CG iteration on vectors of n floats:
-   2 reductions (2n each) + 3 axpys (2n each). *)
-let blas1_flops n = float_of_int (10 * n)
+(* Flops of the BLAS-1 work per CG iteration on vectors of n floats.
+   Unfused: dot_re p·Ap (2n) + axpy x (2n) + axpy r (2n) + norm2 r
+   (2n) + xpay p (2n) = 10n. Fused: dot_re (2n) + cg_update
+   (3 ops × 2n) + xpay_dot (2n update + 2n monitor dot) = 12n — the
+   fused path spends two extra flops per float on the free p·r
+   orthogonality monitor while moving fewer bytes. *)
+let blas1_flops ?(fused = false) n =
+  float_of_int ((if fused then 12 else 10) * n)
 
-let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
-    ~flops_per_apply () =
+let solve ?(x0 : Field.t option) ?(fused = false) ?trace ~apply ~(b : Field.t)
+    ~tol ~max_iter ~flops_per_apply () =
   let n = Field.length b in
   let t_start = Unix.gettimeofday () in
   let x = match x0 with Some x -> Field.copy x | None -> Field.create n in
@@ -72,13 +77,22 @@ let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
         iters := max_iter
       else begin
         let alpha = !r2 /. pap in
-        Field.axpy alpha p x;
-        Field.axpy (-.alpha) ap r;
-        let r2_new = Field.norm2 r in
+        let r2_new =
+          if fused then Linalg.Fused.cg_update alpha p ap x r
+          else begin
+            Field.axpy alpha p x;
+            Field.axpy (-.alpha) ap r;
+            Field.norm2 r
+          end
+        in
         let beta = r2_new /. !r2 in
         r2 := r2_new;
-        (* p = r + beta p *)
-        Field.xpay r beta p
+        (* p = r + beta p. The fused kernel also returns p·r — in
+           exact arithmetic |r|², a free orthogonality monitor riding
+           the sweep; the recurrence doesn't consume it. *)
+        if fused then ignore (Linalg.Fused.xpay_dot r beta p r : float)
+        else Field.xpay r beta p;
+        match trace with Some f -> f r2_new | None -> ()
       end
     done;
     (* true residual *)
@@ -88,7 +102,7 @@ let solve ?(x0 : Field.t option) ~apply ~(b : Field.t) ~tol ~max_iter
     let true_res = sqrt (Field.norm2 ap /. b2) in
     let flops =
       (float_of_int !applies *. flops_per_apply)
-      +. (float_of_int !iters *. blas1_flops n)
+      +. (float_of_int !iters *. blas1_flops ~fused n)
     in
     ( x,
       {

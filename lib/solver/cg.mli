@@ -15,11 +15,16 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
-val blas1_flops : int -> float
-(** BLAS-1 flops of one CG iteration on vectors of [n] floats. *)
+val blas1_flops : ?fused:bool -> int -> float
+(** BLAS-1 flops of one CG iteration on vectors of [n] floats: 10n
+    unfused, 12n fused (the single-pass kernels spend 2n extra flops
+    on the free p·r orthogonality monitor while streaming fewer
+    bytes — see [Dirac.Flops] for the bytes side). *)
 
 val solve :
   ?x0:Linalg.Field.t ->
+  ?fused:bool ->
+  ?trace:(float -> unit) ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
   b:Linalg.Field.t ->
   tol:float ->
@@ -29,4 +34,11 @@ val solve :
   Linalg.Field.t * stats
 (** [solve ~apply ~b ~tol ~max_iter ~flops_per_apply ()] solves A x = b
     for a hermitian positive-definite [apply]. Convergence criterion:
-    |r| ≤ tol·|b|. The true residual is recomputed at the end. *)
+    |r| ≤ tol·|b|. The true residual is recomputed at the end.
+
+    [fused] (default [false]) runs the BLAS-1 tail through the
+    single-pass [Linalg.Fused] kernels; the iterate, residual
+    trajectory and iteration count are bit-identical to the unfused
+    path for any pool geometry. [trace] is called with |r|² once per
+    iteration (after the residual update) — the hook the fused≡unfused
+    trajectory tests compare on. *)

@@ -33,8 +33,8 @@ let params_of t = t.params
      1. y'_o = y_o - Hop_oe M5inv y_e
      2. CG on S^dag S x_o = S^dag y'_o
      3. x_e = M5inv (y_e - Hop_eo x_o)  *)
-let solve ?(precision = Double) ?(tol = 1e-10) ?(max_iter = 10_000) t
-    ~(rhs : Field.t) =
+let solve ?(precision = Double) ?(fused = false) ?(tol = 1e-10)
+    ?(max_iter = 10_000) t ~(rhs : Field.t) =
   let l5 = t.params.Mobius.l5 in
   let rhs_even, rhs_odd = Mobius.split_eo t.geom ~l5 rhs in
   let y' = Mobius.prepare_rhs t.eo ~rhs_even ~rhs_odd in
@@ -48,14 +48,19 @@ let solve ?(precision = Double) ?(tol = 1e-10) ?(max_iter = 10_000) t
   let flops_per_apply = n5_half *. float_of_int Dirac.Flops.schur_normal_per_5d_site in
   let x_odd, stats =
     match precision with
-    | Double -> Cg.solve ~apply ~b ~tol ~max_iter ~flops_per_apply ()
+    | Double -> Cg.solve ~fused ~apply ~b ~tol ~max_iter ~flops_per_apply ()
     | Mixed config ->
-      let x, st = Mixed.solve ~config:{ config with tol; max_iter } ~apply ~b ~flops_per_apply () in
+      let x, st =
+        Mixed.solve ~config:{ config with tol; max_iter } ~fused ~apply ~b
+          ~flops_per_apply ()
+      in
       if st.Cg.converged then (x, st)
       else
         (* Half-precision noise floor reached: polish in double from
            the mixed solution, counting both phases. *)
-        let x2, st2 = Cg.solve ~x0:x ~apply ~b ~tol ~max_iter ~flops_per_apply () in
+        let x2, st2 =
+          Cg.solve ~x0:x ~fused ~apply ~b ~tol ~max_iter ~flops_per_apply ()
+        in
         ( x2,
           {
             st2 with

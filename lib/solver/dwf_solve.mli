@@ -24,6 +24,7 @@ val params_of : t -> Dirac.Mobius.params
 
 val solve :
   ?precision:precision ->
+  ?fused:bool ->
   ?tol:float ->
   ?max_iter:int ->
   t ->
@@ -31,7 +32,10 @@ val solve :
   Linalg.Field.t * Cg.stats
 (** Solve D x = rhs through the even/odd Schur complement. A mixed
     solve that hits the half-precision floor is polished in double;
-    the returned stats aggregate both phases. *)
+    the returned stats aggregate both phases. [fused] (default
+    [false]) threads the single-pass [Linalg.Fused] BLAS-1 kernels
+    through every solve phase (inner mixed, outer reliable updates,
+    double polish) — bit-identical results. *)
 
 val solve_full :
   ?tol:float -> ?max_iter:int -> t -> rhs:Linalg.Field.t -> Linalg.Field.t * Cg.stats

@@ -42,7 +42,8 @@ let quantize ~block v =
   Field.Half.encode v h;
   Field.Half.decode h v
 
-let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
+let solve ?(config = default_config) ?(fused = false) ?trace ~apply
+    ~(b : Field.t) ~flops_per_apply () =
   let n = Field.length b in
   (match validate_config ~n config with
   | Ok () -> ()
@@ -83,13 +84,24 @@ let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
         if pap <= 0. then stalled := true
         else begin
           let alpha = !rs2 /. pap in
-          Field.axpy alpha p xs;
-          Field.axpy (-.alpha) ap rs;
+          (if fused then
+             (* cg_update's fused |rs|² is the PRE-quantization norm;
+                the recurrence needs the post-quantization one, so it
+                is discarded and recomputed after the codec pass —
+                the price of keeping bit-identity with the unfused
+                path. The xpay_dot monitor still saves a sweep. *)
+             ignore (Linalg.Fused.cg_update alpha p ap xs rs : float)
+           else begin
+             Field.axpy alpha p xs;
+             Field.axpy (-.alpha) ap rs
+           end);
           quantize ~block rs;
           let rs2_new = Field.norm2 rs in
           let beta = rs2_new /. !rs2 in
           rs2 := rs2_new;
-          Field.xpay rs beta p
+          if fused then ignore (Linalg.Fused.xpay_dot rs beta p rs : float)
+          else Field.xpay rs beta p;
+          match trace with Some f -> f rs2_new | None -> ()
         end
       done;
       (* ---- reliable update: promote and recompute exactly ---- *)
@@ -97,8 +109,18 @@ let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
       Field.axpy 1. xs x;
       apply x ap;
       incr applies;
-      Field.sub b ap r;
-      let r2_new = Field.norm2 r in
+      let r2_new =
+        if fused then begin
+          (* r <- b − Ax and |r|² in one sweep: blit then
+             axpy_norm2 (−1). Bitwise b +. (−1·ap) ≡ b −. ap. *)
+          Field.blit b r;
+          Linalg.Fused.axpy_norm2 (-1.) ap r
+        end
+        else begin
+          Field.sub b ap r;
+          Field.norm2 r
+        end
+      in
       (* If quantization noise floors out before the target, stop:
          the caller can fall back to a pure double solve. *)
       if !stalled || r2_new >= !r2 *. 0.9999 then continue_outer := false;
@@ -106,7 +128,7 @@ let solve ?(config = default_config) ~apply ~(b : Field.t) ~flops_per_apply () =
     done;
     let flops =
       (float_of_int !applies *. flops_per_apply)
-      +. (float_of_int !iters *. Cg.blas1_flops n)
+      +. (float_of_int !iters *. Cg.blas1_flops ~fused n)
     in
     let rel = sqrt (Field.norm2 r /. b2) in
     ( x,

@@ -25,6 +25,8 @@ val quantize : block:int -> Linalg.Field.t -> unit
 
 val solve :
   ?config:config ->
+  ?fused:bool ->
+  ?trace:(float -> unit) ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
   b:Linalg.Field.t ->
   flops_per_apply:float ->
@@ -33,4 +35,11 @@ val solve :
 (** Requires [config.block] to divide the vector length. If the
     half-precision noise floor is reached before [config.tol], returns
     with [converged = false]; callers can polish in double precision
-    (see [Dwf_solve.solve]). *)
+    (see [Dwf_solve.solve]).
+
+    [fused] (default [false]) runs both the inner sloppy loop and the
+    outer reliable-update residual through the single-pass
+    [Linalg.Fused] kernels — bit-identical trajectory, iteration count
+    and reliable-update count vs the unfused path for any pool
+    geometry. [trace] receives the inner |r|² once per inner iteration
+    (post-quantization, the value the recurrence uses). *)

@@ -16,5 +16,6 @@ let () =
       ("check", Test_check.suite);
       ("transport", Test_transport.suite);
       ("pool", Test_pool.suite);
+      ("fused", Test_fused.suite);
       ("properties", Test_properties.suite);
     ]
