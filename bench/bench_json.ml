@@ -69,8 +69,15 @@ let preserved_lines ~file ~replacing =
   end
 
 (* Write [rows] into [file], replacing any existing rows of the
-   kernels in [replacing] and preserving all others. *)
+   kernels in [replacing] and preserving all others. The kernels
+   actually present in [rows] always replace their old rows, whether
+   or not the caller listed them — otherwise a rerun whose [replacing]
+   list lagged behind its measurements would duplicate rows instead of
+   overwriting them. *)
 let write ~file ~replacing rows =
+  let replacing =
+    List.sort_uniq compare (replacing @ List.map (fun r -> r.kernel) rows)
+  in
   let all = preserved_lines ~file ~replacing @ List.map row_line rows in
   let oc = open_out file in
   Fun.protect

@@ -1,0 +1,29 @@
+(** Shared machine-readable output for the kernel benchmarks: one
+    BENCH_kernels.json, one JSON object per line, merged line-wise so
+    an experiment replaces exactly the kernels it re-measured and
+    preserves everyone else's rows verbatim. *)
+
+type row = {
+  kernel : string;
+  n : int;
+  geometry : string;  (** "serial", "d<d>_c<c>", "fused_serial", ... *)
+  ns_per_op : float;
+  speedup : float;  (** vs the baseline row of the same (kernel, n) *)
+}
+
+val row_line : row -> string
+
+val kernel_of_line : string -> string option
+(** The ["kernel"] key of one JSON line, if present. *)
+
+val preserved_lines : file:string -> replacing:string list -> string list
+(** Rows already in [file] whose kernel is not being replaced,
+    normalized (no trailing comma). *)
+
+val write : file:string -> replacing:string list -> row list -> unit
+(** Merge [rows] into [file]: existing rows of the kernels in
+    [replacing] — and of every kernel present in [rows], listed or
+    not — are replaced; all others are preserved. Idempotent under
+    rerun: writing the same experiment twice never duplicates rows. *)
+
+val print_table : row list -> unit

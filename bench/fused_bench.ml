@@ -131,7 +131,14 @@ let run ?(out = "BENCH_kernels.json") () =
      against the always-present serial-unfused baseline *)
   let tuned_rows =
     let tuner = Autotune.Tuner.create () in
-    let winner, plan = Autotune.Variants.tune_fusion tuner ~n in
+    (* every candidate through the static plan analyzer before the
+       tuner prices (and caches) anything *)
+    let lint ~fused ~geometry =
+      match Check.Plan_check.lint_fusion ~n ~fused ~geometry with
+      | [] -> None
+      | d :: _ -> Some (Check.Diagnostic.to_string d)
+    in
+    let winner, plan = Autotune.Variants.tune_fusion ~lint tuner ~n in
     let baseline =
       { Autotune.Variants.fused = false; geometry = None }
     in

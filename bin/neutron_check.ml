@@ -12,6 +12,12 @@
                                    a missed defect)
      neutron_check --rules         print the rule catalog
      neutron_check --list          list the seeded fixtures
+     neutron_check --plan NAME     extract a named solver/transport plan,
+                                   pretty-print it and run the static
+                                   analyzer (exit 1 on errors); NAME=list
+                                   lists the catalog
+     neutron_check --plan-dump NAME  print the plan's exact IR text
+                                   (round-trips through Plan_ir.of_string)
 
    `dune build @check` runs the first and third modes over the build. *)
 
@@ -20,8 +26,8 @@ let verbose = ref false
 let mode = ref `Suite
 
 let usage =
-  "neutron_check [--fixture NAME | --selftest | --rules | --list] [--quiet] \
-   [--verbose]"
+  "neutron_check [--fixture NAME | --selftest | --rules | --list | --plan \
+   NAME | --plan-dump NAME] [--quiet] [--verbose]"
 
 let spec =
   [
@@ -29,6 +35,8 @@ let spec =
     ("--selftest", Arg.Unit (fun () -> mode := `Selftest), " verify every seeded fixture is detected");
     ("--rules", Arg.Unit (fun () -> mode := `Rules), " print the rule catalog");
     ("--list", Arg.Unit (fun () -> mode := `List), " list the seeded fixtures");
+    ("--plan", Arg.String (fun n -> mode := `Plan n), "NAME lint a named plan (NAME=list for the catalog)");
+    ("--plan-dump", Arg.String (fun n -> mode := `Plan_dump n), "NAME print a plan's exact IR text");
     ("--quiet", Arg.Set quiet, " only print the summary and failures");
     ("--verbose", Arg.Set verbose, " also print info-level findings");
   ]
@@ -98,6 +106,51 @@ let run_selftest () =
     (List.length rows);
   exit (if !missed > 0 then 2 else 0)
 
+let plan_catalog () =
+  List.iter
+    (fun (name, build) ->
+      let p = build () in
+      Printf.printf "%-16s %3d step(s), %d buffer(s), n=%d\n" name
+        (List.length p.Check.Plan_ir.steps)
+        (List.length p.Check.Plan_ir.buffers)
+        p.Check.Plan_ir.n)
+    Check.Plan_extract.catalog;
+  exit 0
+
+let find_plan name =
+  match Check.Plan_extract.find name with
+  | Some build -> build ()
+  | None ->
+    Printf.eprintf "unknown plan %S; try --plan list\n" name;
+    exit 2
+
+let run_plan name =
+  if name = "list" then plan_catalog ();
+  let p = find_plan name in
+  if not !quiet then print_string (Check.Plan_ir.pretty p);
+  let ds = Check.solver_plan p in
+  print_diags ds;
+  Printf.printf "plan %s: %d error(s), %d warning(s)\n" name
+    (Check.Diagnostic.count_errors ds)
+    (Check.Diagnostic.count_warnings ds);
+  exit (if Check.Diagnostic.has_errors ds then 1 else 0)
+
+let run_plan_dump name =
+  if name = "list" then plan_catalog ();
+  let p = find_plan name in
+  let text = Check.Plan_ir.to_string p in
+  (* the dump must round-trip: it is the interchange format *)
+  (match Check.Plan_ir.of_string text with
+  | Ok p' when Check.Plan_ir.to_string p' = text -> ()
+  | Ok _ ->
+    Printf.eprintf "internal error: %s does not round-trip exactly\n" name;
+    exit 2
+  | Error e ->
+    Printf.eprintf "internal error: %s does not parse back: %s\n" name e;
+    exit 2);
+  print_string text;
+  exit 0
+
 let run_rules () =
   List.iter
     (fun (pass, rules) ->
@@ -124,3 +177,5 @@ let () =
   | `Selftest -> run_selftest ()
   | `Rules -> run_rules ()
   | `List -> run_list ()
+  | `Plan n -> run_plan n
+  | `Plan_dump n -> run_plan_dump n

@@ -227,8 +227,18 @@ let run_fusion_plan (plan : fusion_plan) ~(p : Field.t) ~(ap : Field.t)
    Same signature discipline as the other axes — and because fused and
    unfused candidates live under distinct labels in ONE search for the
    "cg_blas1" kernel, a fused winner can never be read back as an
-   unfused one (or vice versa): the label is the plan. *)
-let tune_fusion ?max_domains tuner ~n =
+   unfused one (or vice versa): the label is the plan.
+
+   [lint] vets each candidate BEFORE it enters the search: Tuner.tune
+   caches its winner on first encounter, so this is the only point
+   where a statically invalid plan can be kept out of the cache. The
+   callback shape (rather than a direct Check.Plan_check call) is
+   forced by the library graph — check links core links autotune — and
+   callers close the loop with Check.Plan_check.lint_fusion. The
+   serial-unfused baseline is exempt: it must always be in the space
+   (tuner honesty), and a linter rejecting the reference plan is a
+   linter bug, not a tuning outcome. *)
+let tune_fusion ?max_domains ?lint tuner ~n =
   let p = Field.create n and ap = Field.create n in
   let x = Field.create n and r = Field.create n in
   Field.fill p 1e-3;
@@ -239,7 +249,17 @@ let tune_fusion ?max_domains tuner ~n =
     | Some d -> min d Util.Pool.max_domains
     | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
   in
-  let plans = fusion_space ~max_domains:dmax ~n () in
+  let plans =
+    let all = fusion_space ~max_domains:dmax ~n () in
+    match lint with
+    | None -> all
+    | Some vet ->
+      List.filter
+        (fun (_, (plan : fusion_plan)) ->
+          (plan = { fused = false; geometry = None })
+          || vet ~fused:plan.fused ~geometry:plan.geometry = None)
+        all
+  in
   let signature = Printf.sprintf "n%d:dmax%d" n dmax in
   let winner =
     Tuner.tune tuner ~kernel:"cg_blas1" ~signature

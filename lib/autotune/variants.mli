@@ -86,7 +86,19 @@ val run_fusion_plan :
     p = r + β·p) under the plan, returning |r|². All plans are
     bit-identical; only traffic differs. *)
 
-val tune_fusion : ?max_domains:int -> Tuner.t -> n:int -> string * fusion_plan
+val tune_fusion :
+  ?max_domains:int ->
+  ?lint:(fused:bool -> geometry:(int * int) option -> string option) ->
+  Tuner.t ->
+  n:int ->
+  string * fusion_plan
 (** Tune the fusion × geometry space on the CG vector tail for vectors
     of [n] floats (kernel ["cg_blas1"], signature ["n<n>:dmax<cap>"]).
-    Returns the winning label and its plan. *)
+    Returns the winning label and its plan.
+
+    [lint] vets every candidate before the search: a candidate for
+    which it returns [Some reason] is dropped, so it can never be
+    priced — or cached as a winner by [Tuner.tune], which caches on
+    first encounter. Callers close the library-graph loop with
+    [Check.Plan_check.lint_fusion]. The serial-unfused baseline is
+    exempt (it must always be searchable — tuner honesty). *)

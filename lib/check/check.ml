@@ -16,6 +16,9 @@ module Numeric_check = Numeric_check
 module Spec_check = Spec_check
 module Pool_check = Pool_check
 module Fuse_check = Fuse_check
+module Plan_ir = Plan_ir
+module Plan_extract = Plan_extract
+module Plan_check = Plan_check
 module Fixtures = Fixtures
 
 (* ---- pass aliases ---- *)
@@ -30,6 +33,7 @@ let workflow_spec = Spec_check.workflow_spec
 let mixed_config = Spec_check.mixed_config
 let pool_plan = Pool_check.verify_plan
 let fused_plan = Fuse_check.verify_plan
+let solver_plan = Plan_check.verify
 
 let all_rules =
   [
@@ -39,6 +43,7 @@ let all_rules =
     ("spec", Spec_check.rules);
     ("pool", Pool_check.rules);
     ("fuse", Fuse_check.rules);
+    ("plan", Plan_check.rules);
   ]
 
 (* ---- the shipped-example artifacts, verified ---- *)
@@ -205,6 +210,12 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
           ();
       ]
   in
+  (* every extractable solver/transport plan through the static
+     analyzer — effects, windows, sweep pricing, precision flow. The
+     fused CG plans carry the documented PLAN005 stencil-tail warning
+     (model prices 2 fused sweeps, host executes 3): reported, not an
+     error. *)
+  let plan_ds = Plan_check.catalog_diagnostics () in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);
     ("halo schedules (Vrank.Comm)", halo_ds);
@@ -213,6 +224,7 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
     ("numeric sanitizer + half codec", numeric_ds);
     ("pool launch plans", pool_ds);
     ("fused kernel plans", fuse_ds);
+    ("solver plans (static analyzer)", plan_ds);
   ]
 
 (* Selftest: every seeded defect fixture must be detected. Returns

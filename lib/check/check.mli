@@ -11,6 +11,9 @@ module Numeric_check : module type of Numeric_check
 module Spec_check : module type of Spec_check
 module Pool_check : module type of Pool_check
 module Fuse_check : module type of Fuse_check
+module Plan_ir : module type of Plan_ir
+module Plan_extract : module type of Plan_extract
+module Plan_check : module type of Plan_check
 module Fixtures : module type of Fixtures
 
 val campaign : ?n_nodes:int -> Jobman.Pipeline.task list -> Diagnostic.t list
@@ -36,6 +39,9 @@ val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
 val pool_plan : Pool_check.plan -> Diagnostic.t list
 val fused_plan : Fuse_check.plan -> Diagnostic.t list
 
+val solver_plan : Plan_ir.plan -> Diagnostic.t list
+(** The full static analyzer ({!Plan_check.verify}) over one plan. *)
+
 val all_rules : (string * (string * string) list) list
 (** Pass name → its rule catalog. *)
 
@@ -43,8 +49,11 @@ val standard_suite : ?seed:int -> unit -> Diagnostic.report
 (** Verify the shipped example artifacts: the co-scheduling campaign,
     the simple and overlapped halo schedules, a live Comm audit, the
     default workflow specs (double and mixed), an instrumented clean
-    mixed solve, the pool launch plans, and the fused BLAS-1 kernel
-    plans the [~fused] solvers run. Must report zero errors. *)
+    mixed solve, the pool launch plans, the fused BLAS-1 kernel
+    plans the [~fused] solvers run, and every plan in
+    {!Plan_extract.catalog} through the static analyzer. Must report
+    zero errors (the fused CG plans carry the documented PLAN005
+    stencil-tail warning). *)
 
 val selftest : unit -> (Fixtures.t * string list * bool) list
 (** Run every seeded defect fixture; each row is (fixture, error and

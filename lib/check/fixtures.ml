@@ -1,14 +1,17 @@
-(* Seeded defect fixtures: seventeen artifacts, each carrying exactly
-   the class of bug its pass exists to catch (six of them
+(* Seeded defect fixtures: twenty-three artifacts, each carrying
+   exactly the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
    transport/policy mismatch; three pool-determinism defects:
    completion-order reduction, broken chunk partition, under-cutoff
    pooled launch; three fused-kernel defects: non-canonical reduction
-   block, aliased output operand, untuned launch geometry). The CLI's
-   --selftest and the test suite assert every one is detected, which
-   keeps the checker honest — a pass that silently stops firing fails
-   CI. *)
+   block, aliased output operand, untuned launch geometry; six
+   plan-level defects caught statically from the IR alone: partition
+   overlap, aliased fused output, zero-copy window write, model/IR
+   sweep mismatch, half-codec range violation, stale-precision read).
+   The CLI's --selftest and the test suite assert every one is
+   detected, which keeps the checker honest — a pass that silently
+   stops firing fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -238,6 +241,96 @@ let fused_untuned_geometry () =
          ]
        ())
 
+(* ---- 8. plan-level defects: the same bug classes caught statically,
+   from the IR alone, before any kernel runs ---- *)
+
+(* 8a. A pooled launch whose explicit partition double-covers a range:
+   two domains would race on [512, 1024). *)
+let plan_partition_overlap () =
+  let open Plan_ir in
+  let k =
+    kernel
+      ~partition:[| (0, 1024); (512, 2048); (2048, 4096) |]
+      ~args:[ ("x", Read); ("y", Update) ]
+      "axpy"
+  in
+  Plan_check.verify
+    (plan ~n:4096
+       ~buffers:[ buffer ~prec:Double "x"; buffer ~prec:Double "y" ]
+       ~steps:[ Launch k ] "overlap-fixture")
+
+(* 8b. The fused CG tail with the solution output aliasing the Ap
+   input — FUSE002's bug class, caught from the plan. *)
+let plan_aliased_output () =
+  let open Plan_ir in
+  let p = Plan_extract.cg_tail ~fused:true () in
+  let alias = function
+    | Launch k when k.kname = "cg_update" ->
+      Launch
+        {
+          k with
+          args =
+            List.map
+              (fun (name, role) ->
+                if name = "x" then ("ap", role) else (name, role))
+              k.args;
+        }
+    | s -> s
+  in
+  Plan_check.verify { p with steps = List.map alias p.steps }
+
+(* 8c. The zero-copy halo schedule with a kernel writing the posted
+   buffer inside the open window — HALO011/DET002's corruption, from
+   the schedule alone. *)
+let plan_zero_copy_write () =
+  let open Plan_ir in
+  let p = Plan_extract.dd_zero_copy () in
+  let inject = function
+    | Complete _ as s ->
+      [
+        Launch
+          (kernel ~args:[ ("x", Read); ("spinor", Update) ] "axpy");
+        s;
+      ]
+    | s -> [ s ]
+  in
+  let p =
+    {
+      p with
+      buffers = buffer ~prec:Double "x" :: p.buffers;
+      steps = List.concat_map inject p.steps;
+    }
+  in
+  Plan_check.verify p
+
+(* 8d. A fused-tagged plan executing a sweep count the model neither
+   prices nor recognizes as the documented gap: an extra residual
+   norm snuck into the tail. *)
+let plan_sweep_mismatch () =
+  let open Plan_ir in
+  let p = Plan_extract.cg_tail ~fused:true () in
+  let extra = Launch (kernel ~args:[ ("r", Read); ("r2x", Reduce) ] "norm2") in
+  Plan_check.verify { p with steps = p.steps @ [ extra ] }
+
+(* 8e. The mixed solve fed a source whose declared magnitude interval
+   spans 60 decades: the first quantize point cannot represent it in
+   an int16 mantissa. *)
+let plan_half_range () =
+  Plan_check.verify (Plan_extract.mixed ~range:(1e-30, 1e30) ~fused:true ())
+
+(* 8f. The mixed inner iteration with the quantize of Ap dropped after
+   the stencil: dot_re reads stale full-precision data alongside the
+   quantized p. *)
+let plan_stale_precision () =
+  let open Plan_ir in
+  let p = Plan_extract.mixed ~fused:true () in
+  let steps =
+    List.filter
+      (function Quantize { qbuf = "ap"; _ } -> false | _ -> true)
+      p.steps
+  in
+  Plan_check.verify { p with steps }
+
 let all =
   [
     {
@@ -341,6 +434,42 @@ let all =
       defect = "fused launch on a geometry the tuner's winner disagrees with";
       expect = "FUSE003";
       run = fused_untuned_geometry;
+    };
+    {
+      name = "plan-partition-overlap";
+      defect = "pooled plan whose partition double-covers [512, 1024)";
+      expect = "PLAN001";
+      run = plan_partition_overlap;
+    };
+    {
+      name = "plan-aliased-output";
+      defect = "CG tail plan with the solution output aliasing the Ap input";
+      expect = "PLAN002";
+      run = plan_aliased_output;
+    };
+    {
+      name = "plan-zero-copy-write";
+      defect = "zero-copy plan writing the posted buffer inside the window";
+      expect = "PLAN003";
+      run = plan_zero_copy_write;
+    };
+    {
+      name = "plan-sweep-mismatch";
+      defect = "fused plan executing a sweep count the model does not price";
+      expect = "PLAN005";
+      run = plan_sweep_mismatch;
+    };
+    {
+      name = "plan-half-range";
+      defect = "mixed plan whose source range overflows the int16 mantissa";
+      expect = "PREC001";
+      run = plan_half_range;
+    };
+    {
+      name = "plan-stale-precision";
+      defect = "mixed plan reading Ap past a dropped quantize point";
+      expect = "PREC003";
+      run = plan_stale_precision;
     };
   ]
 

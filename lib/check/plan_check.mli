@@ -1,0 +1,43 @@
+(** Static analyses over the plan IR — every rule fires from the plan
+    alone, before a single kernel runs.
+
+    - [PLAN001/002/006] effect and aliasing: pooled partitions must
+      tile [0, n) disjointly, kernel outputs must never alias another
+      operand (static counterpart of FUSE002), steps must reference
+      declared buffers.
+    - [PLAN003/004] transport windows: no write into a buffer whose
+      halo post window is open (an error under zero-copy, where the
+      payload aliases the field in flight — HALO011/DET002 at plan
+      level; a warning under staged), and post/complete must balance.
+    - [PLAN005] model consistency: the IR's BLAS-1 sweep total vs
+      [Machine.Perf_model.blas1_sweeps], with the known stencil-tail
+      gap ([Dirac.Flops.stencil_tail_gap_sweeps]) recognized and
+      reported as a warning instead of a silent mispricing.
+    - [PREC001-004] precision flow: abstract interpretation over a
+      magnitude-interval × quantization-error state per buffer,
+      flagging half-codec overflow, underflow, dynamic-range
+      violations, stale-precision reads and malformed quantize
+      points. The interval propagation assumes no catastrophic
+      cancellation (the reliable-update scheme exists to bound exactly
+      that). *)
+
+val rules : (string * string) list
+
+val verify : Plan_ir.plan -> Diagnostic.t list
+(** All passes over one plan, sorted errors-first. *)
+
+val verify_plans : Plan_ir.plan list -> Diagnostic.t list
+
+val lint_fusion :
+  n:int -> fused:bool -> geometry:(int * int) option -> Diagnostic.t list
+(** Static lint of one fusion-axis candidate: the CG vector tail under
+    the given fused/geometry choice, errors only (the documented
+    PLAN005 stencil-tail warning on fused candidates does not reject).
+    Pass as [Autotune.Variants.tune_fusion ~lint] so no plan the
+    analyzer rejects can be priced or cached. *)
+
+val catalog_diagnostics : unit -> Diagnostic.t list
+(** Verify every plan in {!Plan_extract.catalog} — the standard-suite
+    pass. The fused CG plans carry the documented PLAN005
+    stencil-tail warning; that is the intended "reported as
+    diagnostic" behaviour, not a failure. *)

@@ -1,0 +1,66 @@
+(** Extraction of {!Plan_ir.plan}s from the real front-ends.
+
+    Each builder mirrors the step sequence its front-end executes,
+    with the kernel rows taken from the front-ends' own exports
+    ([Solver.Cg.tail_kernels], [Solver.Mixed.inner_quantizes] /
+    [reliable_update_kernels], [Solver.Bicgstab.tail_kernels],
+    [Linalg.Fused.operand_roles]) so the IR cannot silently drift from
+    the code. Stencil launches carry [sweeps = 0]: the performance
+    model prices their traffic per site, not as BLAS-1 sweeps. *)
+
+val cg_tail :
+  ?n:int -> ?geometry:int * int -> fused:bool -> unit -> Plan_ir.plan
+(** The BLAS-1 tail of one CG iteration on buffers p/ap/x/r — what
+    [Autotune.Variants.tune_fusion] candidates execute and what the
+    PLAN005 sweep cross-check diffs against
+    [Machine.Perf_model.blas1_sweeps]. *)
+
+val cg_iteration :
+  ?n:int -> ?geometry:int * int -> fused:bool -> unit -> Plan_ir.plan
+(** Full CG iteration: Schur-normal stencil followed by the tail. *)
+
+val mixed :
+  ?n:int ->
+  ?range:float * float ->
+  ?block:int ->
+  fused:bool ->
+  unit ->
+  Plan_ir.plan
+(** Double-half solve with reliable updates: outer residual init,
+    inner-cycle seed, one inner iteration with quantize points exactly
+    where [Solver.Mixed.solve] places them, one reliable update (an
+    exact phase — deliberately unquantized). [range] is the abstract
+    magnitude interval of the source at entry, the seed of the
+    precision-flow pass. *)
+
+val bicgstab_iteration : ?n:int -> fused:bool -> unit -> Plan_ir.plan
+(** One full BiCGStab iteration, both stabilizer halves, stencil
+    applies inserted where [Solver.Bicgstab.solve] runs them. *)
+
+val dwf :
+  ?n:int -> ?mixed_precision:bool -> fused:bool -> unit -> Plan_ir.plan
+(** Domain-wall solve as the Schur composition [Solver.Dwf_solve]
+    executes: split, prepare RHS, Schur-dagger, inner solve (plain CG
+    or mixed), reconstruct even sites, merge. *)
+
+val wilson_hop : ?sites:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+val mobius_hop : ?l5:int -> unit -> Plan_ir.plan
+(** Pooled stencil launches; [mobius_hop] parallelizes over s-slices
+    ([n] counts slices, one chunk per slice). *)
+
+val pooled_axpy : ?n:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+
+val dd_overlapped : ?transport:Machine.Transport.t -> unit -> Plan_ir.plan
+(** The fine-grained overlapped hop: post all faces, interior stencil
+    while in flight, per-face-group completes each followed by the
+    boundary sub-stencil reading only landed faces. *)
+
+val dd_zero_copy : unit -> Plan_ir.plan
+(** Zero-copy discipline: window closes before the boundary pass and
+    the posted buffer is never written while in flight. *)
+
+val catalog : (string * (unit -> Plan_ir.plan)) list
+(** Every named plan the analyzer knows how to extract, as exposed by
+    [neutron_check --plan]. *)
+
+val find : string -> (unit -> Plan_ir.plan) option

@@ -183,3 +183,17 @@ let caxpy_norm2_with pool ?chunk alpha (x : t) (y : t) =
   no_alias "Fused.caxpy_norm2" [ y ] [ x ];
   finish "Fused.caxpy_norm2" y
     (fold (Some pool) chunk ~n:(Field.length x) (caxpy_norm2_term alpha x y))
+
+(* Operand-role table, in call order: (formal name, is_output). The
+   ground truth Check.Plan_extract builds fused-launch effects from,
+   and the static mirror of the no_alias guards above — a plan whose
+   output operand shares a buffer with any other position is the
+   FUSE002/PLAN002 hazard. Read/Read repetition (xpay_dot's q = x
+   monitor) is legal and expected. *)
+let operand_roles = function
+  | "axpy_norm2" -> Some [ ("x", false); ("y", true) ]
+  | "xpay_dot" -> Some [ ("x", false); ("p", true); ("q", false) ]
+  | "cg_update" ->
+    Some [ ("p", false); ("ap", false); ("x", true); ("r", true) ]
+  | "caxpy_norm2" -> Some [ ("x", false); ("y", true) ]
+  | _ -> None

@@ -48,3 +48,11 @@ val cg_update_with :
 
 val caxpy_norm2_with :
   Util.Pool.t -> ?chunk:int -> float * float -> t -> t -> float
+
+val operand_roles : string -> (string * bool) list option
+(** Operand-role table of a fused kernel by name, in call order:
+    [(formal, is_output)]. [None] for unknown kernels. The static
+    mirror of the runtime aliasing guards — [Check.Plan_extract]
+    builds fused-launch effects from it, and a plan whose output
+    operand shares a buffer with any other position is the
+    FUSE002/PLAN002 hazard. *)

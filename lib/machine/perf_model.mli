@@ -47,6 +47,13 @@ val blas1_sweeps : fused:bool -> float
     the stencil tail as in QUDA, so its sweep is accounted to the
     stencil in both columns). *)
 
+val blas1_host_sweeps : fused:bool -> float
+(** What the host implementation actually executes: 5 unfused, 3 fused
+    (dot_re stays a separate kernel for bit-identity). The fused
+    difference against {!blas1_sweeps} is
+    [Dirac.Flops.stencil_tail_gap_sweeps] — the known stencil-tail gap
+    [Check.Plan_check]'s sweep-consistency pass reports. *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;

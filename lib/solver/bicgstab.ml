@@ -33,6 +33,19 @@ let xpby (r : Field.t) (br, bi) (p : Field.t) =
       (Bigarray.Array1.unsafe_get r ((2 * k) + 1) +. ((br *. pi) +. (bi *. pr)))
   done
 
+(* One full BiCGStab iteration's BLAS-1 sequence as (kernel, sweeps)
+   rows in launch order, both stabilizer halves included — the ground
+   truth Check.Plan_extract lifts into the plan IR. The fused columns
+   replace each caxpy-then-norm2 pair with the single-pass
+   caxpy_norm2. *)
+let tail_kernels ~fused =
+  let update = if fused then [ ("caxpy_norm2", 1) ] else [ ("caxpy", 1); ("norm2", 1) ] in
+  [ ("cdot", 1); ("blit", 1) ]
+  @ update
+  @ [ ("norm2", 1); ("cdot", 1); ("caxpy", 1); ("caxpy", 1); ("blit", 1) ]
+  @ update
+  @ [ ("cdot", 1); ("caxpy", 1); ("xpby", 1) ]
+
 let stats ~iterations ~converged ~rel ~true_rel ~flops ~t_start =
   {
     Cg.iterations;

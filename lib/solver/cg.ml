@@ -33,6 +33,17 @@ let pp_stats ppf s =
 let blas1_flops ?(fused = false) n =
   float_of_int ((if fused then 12 else 10) * n)
 
+(* The BLAS-1 tail of one CG iteration as (kernel, full-vector sweeps)
+   rows, in launch order — the ground truth Check.Plan_extract lifts
+   into the plan IR. The p·Ap reduction is a separate host kernel in
+   BOTH columns (bit-identity with the unfused path), which is the
+   known stencil-tail gap against Machine.Perf_model.blas1_sweeps:
+   the model assumes it rides the stencil, so the fused column here
+   sums to 3 where the model prices 2. *)
+let tail_kernels ~fused =
+  if fused then [ ("dot_re", 1); ("cg_update", 1); ("xpay_dot", 1) ]
+  else [ ("dot_re", 1); ("axpy", 1); ("axpy", 1); ("norm2", 1); ("xpay", 1) ]
+
 let solve ?(x0 : Field.t option) ?(fused = false) ?trace ~apply ~(b : Field.t)
     ~tol ~max_iter ~flops_per_apply () =
   let n = Field.length b in

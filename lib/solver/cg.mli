@@ -21,6 +21,15 @@ val blas1_flops : ?fused:bool -> int -> float
     on the free p·r orthogonality monitor while streaming fewer
     bytes — see [Dirac.Flops] for the bytes side). *)
 
+val tail_kernels : fused:bool -> (string * int) list
+(** The BLAS-1 tail of one CG iteration as (kernel, full-vector
+    sweeps) rows in launch order — the ground truth
+    [Check.Plan_extract] lifts into the plan IR. The p·Ap reduction is
+    a separate host kernel in both columns (bit-identity with the
+    unfused path), so the fused column sums to 3 sweeps where
+    [Machine.Perf_model.blas1_sweeps] prices 2 — the known stencil-tail
+    gap ([Dirac.Flops.stencil_tail_gap_sweeps]). *)
+
 val solve :
   ?x0:Linalg.Field.t ->
   ?fused:bool ->

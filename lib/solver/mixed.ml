@@ -42,6 +42,20 @@ let quantize ~block v =
   Field.Half.encode v h;
   Field.Half.decode h v
 
+(* The half-stored buffers the inner loop forces through the codec on
+   every iteration, in quantize order: the search direction before the
+   stencil, the stencil result after it, the sloppy residual after the
+   update. Check.Plan_extract lifts these into Quantize steps; the
+   precision-flow pass (PREC rules) verifies every half-read is
+   preceded by one of them. *)
+let inner_quantizes = [ "p"; "ap"; "rs" ]
+
+(* The reliable-update kernels (promote + exact residual), as
+   (kernel, full-vector sweeps) rows in launch order. *)
+let reliable_update_kernels ~fused =
+  if fused then [ ("axpy", 1); ("blit", 1); ("axpy_norm2", 1) ]
+  else [ ("axpy", 1); ("sub", 1); ("norm2", 1) ]
+
 let solve ?(config = default_config) ?(fused = false) ?trace ~apply
     ~(b : Field.t) ~flops_per_apply () =
   let n = Field.length b in

@@ -23,6 +23,17 @@ val quantize : block:int -> Linalg.Field.t -> unit
 (** Round-trip a vector through the half codec in place — the storage
     precision the inner solve sees. *)
 
+val inner_quantizes : string list
+(** The half-stored buffers the inner loop quantizes every iteration,
+    in codec-pass order: [["p"; "ap"; "rs"]]. [Check.Plan_extract]
+    lifts these into the plan IR's [Quantize] steps; the precision-flow
+    pass verifies every half-read is preceded by one. *)
+
+val reliable_update_kernels : fused:bool -> (string * int) list
+(** The reliable-update phase (promote the sloppy solution, recompute
+    the residual exactly) as (kernel, full-vector sweeps) rows in
+    launch order. *)
+
 val solve :
   ?config:config ->
   ?fused:bool ->

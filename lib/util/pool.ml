@@ -217,8 +217,17 @@ let parallel_reduce t ?chunk ?(ordered = true) ~n ~init ~f ~combine () =
 
 let parse_domains s =
   match int_of_string_opt (String.trim s) with
-  | Some d when d >= 1 -> Some (min d max_domains)
-  | _ -> None
+  | Some d when d >= 1 -> Ok (min d max_domains)
+  | Some d ->
+    Error
+      (Printf.sprintf
+         "NEUTRON_DOMAINS must be a positive integer, got %d (use 1 for \
+          serial execution)"
+         d)
+  | None ->
+    Error
+      (Printf.sprintf
+         "NEUTRON_DOMAINS must be a positive integer, got %S" (String.trim s))
 
 let default_pool : t option ref = ref None
 
@@ -230,7 +239,13 @@ let get_default () =
   | None ->
     let domains =
       match Sys.getenv_opt "NEUTRON_DOMAINS" with
-      | Some s -> (match parse_domains s with Some d -> d | None -> 1)
+      | Some s -> (
+        (* a malformed setting must not silently run serial: the user
+           asked for a width and would read parallel timings that are
+           nothing of the sort *)
+        match parse_domains s with
+        | Ok d -> d
+        | Error msg -> invalid_arg ("Pool.get_default: " ^ msg))
       | None -> 1
     in
     let p = create ~domains () in

@@ -66,11 +66,14 @@ val set_default : t -> unit
 val get_default : unit -> t
 (** The process-wide pool the [Field]/[Dirac] kernels dispatch on.
     Created on first use honoring [NEUTRON_DOMAINS] (default 1, i.e.
-    serial — parallel execution is strictly opt-in). *)
+    serial — parallel execution is strictly opt-in). Raises
+    [Invalid_argument] when [NEUTRON_DOMAINS] is set but malformed: a
+    requested width must never silently degrade to serial. *)
 
-val parse_domains : string -> int option
+val parse_domains : string -> (int, string) result
 (** [NEUTRON_DOMAINS] syntax: a positive integer, capped at
-    [max_domains]; anything else is [None]. *)
+    [max_domains]. Malformed or non-positive values are [Error] with a
+    message naming the variable and the offending value. *)
 
 val shared : domains:int -> t
 (** Spawn-once registry keyed by domain count — the autotuner's pooled

@@ -17,5 +17,6 @@ let () =
       ("transport", Test_transport.suite);
       ("pool", Test_pool.suite);
       ("fused", Test_fused.suite);
+      ("plan", Test_plan.suite);
       ("properties", Test_properties.suite);
     ]

@@ -105,12 +105,29 @@ let test_parallel_reduce_ordered_deterministic () =
     [ 2; 3; 4 ]
 
 let test_parse_domains () =
-  Alcotest.(check (option int)) "plain" (Some 4) (Pool.parse_domains "4");
-  Alcotest.(check (option int)) "trimmed" (Some 2) (Pool.parse_domains " 2 ");
-  Alcotest.(check (option int)) "capped" (Some Pool.max_domains)
-    (Pool.parse_domains "100000");
-  Alcotest.(check (option int)) "zero rejected" None (Pool.parse_domains "0");
-  Alcotest.(check (option int)) "junk rejected" None (Pool.parse_domains "fast")
+  let ok = Alcotest.(check (result int string)) in
+  ok "plain" (Ok 4) (Pool.parse_domains "4");
+  ok "trimmed" (Ok 2) (Pool.parse_domains " 2 ");
+  ok "capped" (Ok Pool.max_domains) (Pool.parse_domains "100000");
+  (* rejections must explain themselves: the error names the variable
+     and echoes the offending value, so a botched NEUTRON_DOMAINS in a
+     job script is a one-line diagnosis *)
+  let rejected label input fragment =
+    match Pool.parse_domains input with
+    | Ok d -> Alcotest.failf "%s: %S accepted as %d" label input d
+    | Error msg ->
+      let has needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      if not (has "NEUTRON_DOMAINS" && has fragment) then
+        Alcotest.failf "%s: error %S does not mention %S" label msg fragment
+  in
+  rejected "zero rejected" "0" "0";
+  rejected "negative rejected" "-3" "-3";
+  rejected "junk rejected" "fast" "fast";
+  rejected "empty rejected" "" ""
 
 (* ---- kernel equivalence: qcheck over random geometries ---- *)
 
