@@ -100,7 +100,10 @@ let run ?(out = "BENCH_kernels.json") () =
   (* whole-solve: CG against a diagonal SPD operator big enough that
      the BLAS-1 tail is the entire cost — the end-to-end view of the
      same sweep reduction. Identical trajectories by construction, so
-     both columns run the same iteration count. *)
+     all three columns run the same iteration count. The tail-fused
+     column rides the p·Ap reduction on the operator's own sweep
+     through the canonical 2048-float blocks (Cg.solve's apply_dot),
+     closing the 3→2 sweep gap the separate-dot fallback keeps. *)
   let solve_rows =
     let ns = 1 lsl 18 in
     let apply (src : Field.t) (dst : Field.t) =
@@ -110,20 +113,72 @@ let run ?(out = "BENCH_kernels.json") () =
           *. Bigarray.Array1.unsafe_get src i)
       done
     in
+    let block = Field.reduce_block in
+    let apply_dot (src : Field.t) (dst : Field.t) =
+      let n_blocks = (ns + block - 1) / block in
+      let partials = Array.make n_blocks 0. in
+      for bi = 0 to n_blocks - 1 do
+        let lo = bi * block and hi = min ns ((bi + 1) * block) in
+        let acc = ref 0. in
+        for i = lo to hi - 1 do
+          Bigarray.Array1.unsafe_set dst i
+            ((1.5 +. (float_of_int (i land 63) /. 100.))
+            *. Bigarray.Array1.unsafe_get src i);
+          acc :=
+            !acc
+            +. (Bigarray.Array1.unsafe_get src i
+               *. Bigarray.Array1.unsafe_get dst i)
+        done;
+        partials.(bi) <- !acc
+      done;
+      let acc = ref 0. in
+      Array.iter (fun v -> acc := !acc +. v) partials;
+      !acc
+    in
     let b = mk ns 25 in
-    let solve fused () =
+    let solve ?apply_dot fused () =
       ignore
-        (Solver.Cg.solve ~fused ~apply ~b ~tol:1e-8 ~max_iter:200
+        (Solver.Cg.solve ~fused ?apply_dot ~apply ~b ~tol:1e-8 ~max_iter:200
            ~flops_per_apply:(float_of_int (2 * ns))
            ()
           : Field.t * Solver.Cg.stats)
     in
     let t_unfused = time_ns ~repeats:3 (solve false) in
     let t_fused = time_ns ~repeats:3 (solve true) in
+    let t_tail = time_ns ~repeats:3 (solve ~apply_dot true) in
     [
       { kernel = "cg_solve"; n = ns; geometry = "unfused_serial";
         ns_per_op = t_unfused; speedup = 1. };
       { kernel = "cg_solve"; n = ns; geometry = "fused_serial";
+        ns_per_op = t_fused; speedup = t_unfused /. t_fused };
+      { kernel = "cg_solve"; n = ns; geometry = "tailfused_serial";
+        ns_per_op = t_tail; speedup = t_unfused /. t_tail };
+    ]
+  in
+  (* the tail-fused stencil itself: Wilson hop with the p·Ap-style dot
+     riding its closing sweep vs hop followed by a separate dot_re —
+     the kernel-level view of the PLAN005 gap closing *)
+  let hop_tail_rows =
+    let geom = Lattice.Geometry.create [| 8; 8; 8; 8 |] in
+    let gauge = Lattice.Gauge.warm geom (Util.Rng.create 26) ~eps:0.3 in
+    let w = Dirac.Wilson.of_geometry geom gauge in
+    let vol = Lattice.Geometry.volume geom in
+    let nf = vol * Dirac.Wilson.floats_per_site in
+    let src = mk nf 27 and dst = Field.create nf in
+    let tail = Fused.tail ~dot:src () in
+    let t_unfused =
+      time_ns (fun () ->
+          Dirac.Wilson.hop w ~src ~dst;
+          ignore (Field.dot_re src dst : float))
+    in
+    let t_fused =
+      time_ns (fun () ->
+          ignore (Dirac.Wilson.hop_tail w ~src ~dst ~tail : float))
+    in
+    [
+      { kernel = "wilson_hop_tail"; n = vol; geometry = "hop_then_dot";
+        ns_per_op = t_unfused; speedup = 1. };
+      { kernel = "wilson_hop_tail"; n = vol; geometry = "tailfused";
         ns_per_op = t_fused; speedup = t_unfused /. t_fused };
     ]
   in
@@ -133,14 +188,14 @@ let run ?(out = "BENCH_kernels.json") () =
     let tuner = Autotune.Tuner.create () in
     (* every candidate through the static plan analyzer before the
        tuner prices (and caches) anything *)
-    let lint ~fused ~geometry =
-      match Check.Plan_check.lint_fusion ~n ~fused ~geometry with
+    let lint ~mode ~geometry =
+      match Check.Plan_check.lint_fusion ~n ~mode ~geometry with
       | [] -> None
       | d :: _ -> Some (Check.Diagnostic.to_string d)
     in
     let winner, plan = Autotune.Variants.tune_fusion ~lint tuner ~n in
     let baseline =
-      { Autotune.Variants.fused = false; geometry = None }
+      { Autotune.Variants.mode = Linalg.Fused.Unfused; geometry = None }
     in
     let t_base =
       time_ns (fun () ->
@@ -162,18 +217,18 @@ let run ?(out = "BENCH_kernels.json") () =
   in
   let rows =
     cg_update_rows @ xpay_dot_rows @ axpy_norm2_rows @ caxpy_norm2_rows
-    @ solve_rows @ tuned_rows
+    @ solve_rows @ hop_tail_rows @ tuned_rows
   in
   Bench_json.print_table rows;
   Bench_json.write ~file:out
     ~replacing:
       [
         "cg_update"; "xpay_dot"; "axpy_norm2"; "caxpy_norm2"; "cg_solve";
-        "cg_blas1_tuned";
+        "wilson_hop_tail"; "cg_blas1_tuned";
       ]
     rows;
   Printf.printf
-    "%d rows -> %s (fused vs unfused is the 5->2 sweep trade; pooled rows\n\
-     need hardware lanes to beat serial)\n"
+    "%d rows -> %s (tail-fused vs unfused is the 5->2 sweep trade; pooled\n\
+     rows need hardware lanes to beat serial)\n"
     (List.length rows) out;
   Pool.shutdown_shared ()

@@ -130,10 +130,21 @@ let run_plan name =
   if not !quiet then print_string (Check.Plan_ir.pretty p);
   let ds = Check.solver_plan p in
   print_diags ds;
+  (* Belt and braces on PLAN005: even if the diagnostic pass were ever
+     softened, a model-priced plan whose sweep total disagrees with
+     Perf_model fails the run outright — the gap is derived from the
+     plan, never whitelisted. *)
+  let gap = Check.Plan_check.sweep_gap p in
+  (match gap with
+  | Some g when g <> 0 ->
+    Printf.printf "plan %s: sweep gap %+d vs Perf_model.blas1_sweeps\n" name g
+  | _ -> ());
   Printf.printf "plan %s: %d error(s), %d warning(s)\n" name
     (Check.Diagnostic.count_errors ds)
     (Check.Diagnostic.count_warnings ds);
-  exit (if Check.Diagnostic.has_errors ds then 1 else 0)
+  exit
+    (if Check.Diagnostic.has_errors ds || gap <> None && gap <> Some 0 then 1
+     else 0)
 
 let run_plan_dump name =
   if name = "list" then plan_catalog ();

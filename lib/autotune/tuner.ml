@@ -51,16 +51,21 @@ let default_hook () = ()
 
 (* [tune t ~kernel ~signature candidates] returns the label of the best
    candidate, measuring on first encounter and hitting the cache after.
-   [backup]/[restore] bracket each trial for data-destructive kernels. *)
+   [backup]/[restore] bracket each trial for data-destructive kernels.
+   A cached winner is only served if its label still names a live
+   candidate: a cache loaded from disk (or kept across a variant-space
+   change) may hold a winner the space no longer contains — serving it
+   would hand the caller a label List.assoc cannot resolve. Such stale
+   entries are re-tuned and overwritten, not trusted. *)
 let tune ?(backup = default_hook) ?(restore = default_hook) t ~kernel ~signature
     (candidates : (unit -> unit) candidate list) =
   if candidates = [] then invalid_arg "Tuner.tune: no candidates";
   let key = (kernel, signature) in
   match Hashtbl.find_opt t.cache key with
-  | Some e ->
+  | Some e when List.exists (fun c -> c.label = e.winner) candidates ->
     t.hit_count <- t.hit_count + 1;
     e.winner
-  | None ->
+  | Some _ | None ->
     t.tune_count <- t.tune_count + 1;
     let timed =
       List.map (fun c -> (c.label, time_candidate t ~backup ~restore c)) candidates

@@ -29,7 +29,10 @@ val tune :
   signature:string ->
   (unit -> unit) candidate list ->
   string
-(** Winning label: measured on first encounter, cache hit after.
+(** Winning label: measured on first encounter, cache hit after. A
+    cached winner whose label no longer names a live candidate (a
+    stale tunecache from before a variant-space change) is not served:
+    the search re-runs and overwrites the entry.
     @raise Invalid_argument on an empty candidate list. *)
 
 val lookup : t -> kernel:string -> signature:string -> entry option

@@ -166,68 +166,98 @@ let tune_hop ?max_domains tuner (w : Dirac.Wilson.t) ~(src : Field.t)
   (winner, List.assoc winner plans)
 
 (* ---- fusion axis ----
-   The second launch dimension of the BLAS-1 tail: fused vs unfused,
-   crossed with the pool geometries. A fusion plan is what the tuner
-   settles on for the whole CG vector tail of one iteration
-   (cg_update + xpay_dot); [run_fusion_plan] executes exactly that
-   tail so candidates are priced on the traffic that matters. The
-   serial-unfused baseline is always in the space — the tuner can
+   The second launch dimension of the BLAS-1 tail: the Fused.mode
+   (unfused / fused separate-dot / tail-fused), crossed with the pool
+   geometries. A fusion plan is what the tuner settles on for the
+   whole CG vector tail of one iteration; [run_fusion_plan] executes
+   exactly the tail each mode's solve runs — including the p·Ap dot
+   where the mode pays for it as a tail sweep (Unfused and Fused; in
+   Tail_fused it rides the stencil, so the tail is just cg_update +
+   xpay_dot) — so candidates are priced on the traffic that matters.
+   The serial-unfused baseline is always in the space — the tuner can
    refuse every "optimisation" (see the tuner-honesty regression
    test), and bench rows get an honest 1.0 denominator. *)
 
-type fusion_plan = { fused : bool; geometry : (int * int) option }
+type fusion_plan = {
+  mode : Linalg.Fused.mode;
+  geometry : (int * int) option;
+}
 
 let fusion_label (plan : fusion_plan) =
-  match plan with
-  | { fused = false; geometry = None } -> "unfused_serial"
-  | { fused = true; geometry = None } -> "fused_serial"
-  | { fused; geometry = Some g } ->
-    geom_label (if fused then "fused" else "unfused") g
+  let prefix = Linalg.Fused.mode_name plan.mode in
+  match plan.geometry with
+  | None -> prefix ^ "_serial"
+  | Some g -> geom_label prefix g
 
 let fusion_space ?max_domains ?(chunk_floor = 1024) ~n () =
   let geoms = pool_geometries ?max_domains ~chunk_floor ~n () in
-  let plans fused =
-    { fused; geometry = None }
-    :: List.map (fun g -> { fused; geometry = Some g }) geoms
+  let plans mode =
+    { mode; geometry = None }
+    :: List.map (fun g -> { mode; geometry = Some g }) geoms
   in
-  List.map (fun p -> (fusion_label p, p)) (plans false @ plans true)
+  List.map
+    (fun p -> (fusion_label p, p))
+    (plans Linalg.Fused.Unfused
+    @ plans Linalg.Fused.Fused
+    @ plans Linalg.Fused.Tail_fused)
 
-(* One CG BLAS-1 tail iteration (x += alpha p; r -= alpha Ap; |r|²;
-   p = r + beta p [· monitor dot]) under a fusion plan. alpha/beta are
-   fixed small scalars so repeated timing runs do not drift the data
-   towards overflow. *)
+(* One CG BLAS-1 tail iteration under a fusion plan, sized to what
+   each mode actually executes per iteration on the host: Unfused =
+   dot_re + axpy + axpy + norm2 + xpay (5 sweeps); Fused = dot_re +
+   cg_update + xpay_dot (3 sweeps, the separate-dot fallback);
+   Tail_fused = cg_update + xpay_dot (2 sweeps — p·Ap rode the
+   stencil). alpha/beta are fixed small scalars so repeated timing
+   runs do not drift the data towards overflow. *)
 let run_fusion_plan (plan : fusion_plan) ~(p : Field.t) ~(ap : Field.t)
     ~(x : Field.t) ~(r : Field.t) =
   let alpha = 1e-3 and beta = 0.5 in
-  match plan with
-  | { fused = false; geometry = None } ->
+  match (plan.mode, plan.geometry) with
+  | Linalg.Fused.Unfused, None ->
+    ignore (Field.dot_re p ap : float);
     Field.axpy alpha p x;
     Field.axpy (-.alpha) ap r;
     let r2 = Field.norm2 r in
     Field.xpay r beta p;
     r2
-  | { fused = true; geometry = None } ->
+  | Linalg.Fused.Fused, None ->
+    ignore (Field.dot_re p ap : float);
     let r2 = Linalg.Fused.cg_update alpha p ap x r in
     ignore (Linalg.Fused.xpay_dot r beta p r : float);
     r2
-  | { fused = false; geometry = Some (domains, chunk) } ->
+  | Linalg.Fused.Tail_fused, None ->
+    let r2 = Linalg.Fused.cg_update alpha p ap x r in
+    ignore (Linalg.Fused.xpay_dot r beta p r : float);
+    r2
+  | Linalg.Fused.Unfused, Some (domains, chunk) ->
     let pool = Util.Pool.shared ~domains in
+    ignore (Field.dot_re_with pool ~chunk p ap : float);
     Field.axpy_with pool ~chunk alpha p x;
     Field.axpy_with pool ~chunk (-.alpha) ap r;
     let r2 = Field.norm2_with pool ~chunk r in
     Field.xpay_with pool ~chunk r beta p;
     r2
-  | { fused = true; geometry = Some (domains, chunk) } ->
+  | Linalg.Fused.Fused, Some (domains, chunk) ->
+    let pool = Util.Pool.shared ~domains in
+    ignore (Field.dot_re_with pool ~chunk p ap : float);
+    let r2 = Linalg.Fused.cg_update_with pool ~chunk alpha p ap x r in
+    ignore (Linalg.Fused.xpay_dot_with pool ~chunk r beta p r : float);
+    r2
+  | Linalg.Fused.Tail_fused, Some (domains, chunk) ->
     let pool = Util.Pool.shared ~domains in
     let r2 = Linalg.Fused.cg_update_with pool ~chunk alpha p ap x r in
     ignore (Linalg.Fused.xpay_dot_with pool ~chunk r beta p r : float);
     r2
 
-(* Tune the fused-vs-unfused × geometry space on the CG vector tail.
-   Same signature discipline as the other axes — and because fused and
-   unfused candidates live under distinct labels in ONE search for the
-   "cg_blas1" kernel, a fused winner can never be read back as an
-   unfused one (or vice versa): the label is the plan.
+(* Tune the mode × geometry space on the CG vector tail. Same
+   signature discipline as the other axes — and because the three
+   modes live under distinct label prefixes in ONE search for the
+   "cg_blas1" kernel, a winner can never be read back across the axis:
+   the label is the plan. The signature additionally carries a hash of
+   the candidate label space ("v%x"): when the space itself changes
+   shape (as it did when the tail-fused mode landed), cache entries
+   keyed to the old space go stale instead of serving a winner the
+   space no longer contains — and Tuner.tune independently refuses a
+   cached winner whose label is absent from the live candidates.
 
    [lint] vets each candidate BEFORE it enters the search: Tuner.tune
    caches its winner on first encounter, so this is the only point
@@ -249,18 +279,21 @@ let tune_fusion ?max_domains ?lint tuner ~n =
     | Some d -> min d Util.Pool.max_domains
     | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
   in
+  let all = fusion_space ~max_domains:dmax ~n () in
   let plans =
-    let all = fusion_space ~max_domains:dmax ~n () in
     match lint with
     | None -> all
     | Some vet ->
       List.filter
         (fun (_, (plan : fusion_plan)) ->
-          (plan = { fused = false; geometry = None })
-          || vet ~fused:plan.fused ~geometry:plan.geometry = None)
+          (plan = { mode = Linalg.Fused.Unfused; geometry = None })
+          || vet ~mode:plan.mode ~geometry:plan.geometry = None)
         all
   in
-  let signature = Printf.sprintf "n%d:dmax%d" n dmax in
+  let signature =
+    Printf.sprintf "n%d:dmax%d:v%x" n dmax
+      (Hashtbl.hash (List.map fst all))
+  in
   let winner =
     Tuner.tune tuner ~kernel:"cg_blas1" ~signature
       (List.map

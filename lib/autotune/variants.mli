@@ -56,14 +56,20 @@ val tune_axpy :
     geometries (pools drawn from [Util.Pool.shared]). The cache
     signature is ["n<n>:dmax<cap>"]. *)
 
-(** The fusion launch axis: fused vs unfused BLAS-1 tail, crossed with
+(** The fusion launch axis: the [Linalg.Fused.mode] of the BLAS-1
+    tail ([Unfused] classic 5-sweep / [Fused] separate-dot 3-sweep /
+    [Tail_fused] 2-sweep with p·Ap riding the stencil), crossed with
     the pool geometries. [geometry = None] is a serial plan. *)
-type fusion_plan = { fused : bool; geometry : (int * int) option }
+type fusion_plan = {
+  mode : Linalg.Fused.mode;
+  geometry : (int * int) option;
+}
 
 val fusion_label : fusion_plan -> string
-(** ["unfused_serial"], ["fused_serial"], ["fused_d<d>_c<c>"],
-    ["unfused_d<d>_c<c>"] — fused and unfused candidates are labelled
-    disjointly, so cached winners can never alias across the axis. *)
+(** ["<mode>_serial"] or ["<mode>_d<d>_c<c>"] with the
+    [Linalg.Fused.mode_name] prefix (["unfused"], ["fused"],
+    ["tailfused"]) — the three modes are labelled disjointly, so
+    cached winners can never alias across the axis. *)
 
 val fusion_space :
   ?max_domains:int ->
@@ -71,9 +77,9 @@ val fusion_space :
   n:int ->
   unit ->
   (string * fusion_plan) list
-(** All (label, plan) candidates for vectors of [n] floats. The
-    serial-unfused baseline is always present (tuner honesty: the
-    search may refuse every pooled/fused candidate). *)
+(** All (label, plan) candidates for vectors of [n] floats, all three
+    modes. The serial-unfused baseline is always present (tuner
+    honesty: the search may refuse every pooled/fused candidate). *)
 
 val run_fusion_plan :
   fusion_plan ->
@@ -82,19 +88,28 @@ val run_fusion_plan :
   x:Linalg.Field.t ->
   r:Linalg.Field.t ->
   float
-(** Execute one CG BLAS-1 tail iteration (x += α·p; r −= α·Ap; |r|²;
-    p = r + β·p) under the plan, returning |r|². All plans are
-    bit-identical; only traffic differs. *)
+(** Execute one CG BLAS-1 tail iteration under the plan, returning
+    |r|² — sized to what each mode runs per iteration on the host:
+    [Unfused] dot_re + axpy + axpy + norm2 + xpay (5 sweeps), [Fused]
+    dot_re + cg_update + xpay_dot (3), [Tail_fused] cg_update +
+    xpay_dot (2; p·Ap rides the stencil). All plans are bit-identical
+    in the recurrence; only traffic differs. *)
 
 val tune_fusion :
   ?max_domains:int ->
-  ?lint:(fused:bool -> geometry:(int * int) option -> string option) ->
+  ?lint:
+    (mode:Linalg.Fused.mode ->
+    geometry:(int * int) option ->
+    string option) ->
   Tuner.t ->
   n:int ->
   string * fusion_plan
-(** Tune the fusion × geometry space on the CG vector tail for vectors
-    of [n] floats (kernel ["cg_blas1"], signature ["n<n>:dmax<cap>"]).
-    Returns the winning label and its plan.
+(** Tune the mode × geometry space on the CG vector tail for vectors
+    of [n] floats (kernel ["cg_blas1"], signature
+    ["n<n>:dmax<cap>:v<space-hash>"] — the hash of the candidate label
+    space invalidates cache entries when the space changes shape, and
+    [Tuner.tune] independently refuses a cached winner absent from the
+    live candidates). Returns the winning label and its plan.
 
     [lint] vets every candidate before the search: a candidate for
     which it returns [Some reason] is dropped, so it can never be

@@ -208,13 +208,26 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
         Fuse_check.plan ~kernel:"caxpy_norm2" ~n ~block:blk
           ~buffers:[ ("v", Fuse_check.Read); ("s", Fuse_check.Update) ]
           ();
+        (* the tail-fused hop: stencil dst written, tail xpay output
+           and dot operand distinct — the clean twin of the
+           fuse-tail-aliased fixture *)
+        Fuse_check.plan ~kernel:"hop_tail" ~n ~block:blk
+          ~buffers:
+            [
+              ("u", Fuse_check.Read);
+              ("src", Fuse_check.Read);
+              ("dst", Fuse_check.Update);
+              ("out", Fuse_check.Update);
+              ("q", Fuse_check.Read);
+            ]
+          ();
       ]
   in
   (* every extractable solver/transport plan through the static
-     analyzer — effects, windows, sweep pricing, precision flow. The
-     fused CG plans carry the documented PLAN005 stencil-tail warning
-     (model prices 2 fused sweeps, host executes 3): reported, not an
-     error. *)
+     analyzer — effects, windows, sweep pricing, precision flow. Clean
+     since the stencil-tail fusion closed the PLAN005 gap: the fused
+     CG plans execute exactly the 2 sweeps the model prices, so any
+     diagnostic here (warnings included) is a regression. *)
   let plan_ds = Plan_check.catalog_diagnostics () in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);

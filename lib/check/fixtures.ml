@@ -1,17 +1,18 @@
-(* Seeded defect fixtures: twenty-three artifacts, each carrying
+(* Seeded defect fixtures: twenty-five artifacts, each carrying
    exactly the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
    transport/policy mismatch; three pool-determinism defects:
    completion-order reduction, broken chunk partition, under-cutoff
-   pooled launch; three fused-kernel defects: non-canonical reduction
-   block, aliased output operand, untuned launch geometry; six
-   plan-level defects caught statically from the IR alone: partition
-   overlap, aliased fused output, zero-copy window write, model/IR
-   sweep mismatch, half-codec range violation, stale-precision read).
-   The CLI's --selftest and the test suite assert every one is
-   detected, which keeps the checker honest — a pass that silently
-   stops firing fails CI. *)
+   pooled launch; four fused-kernel defects: non-canonical reduction
+   block, aliased output operand, stencil-tail output aliasing the
+   hop dst, untuned launch geometry; seven plan-level defects caught
+   statically from the IR alone: partition overlap, aliased fused
+   output, tail output aliasing the stencil dst, zero-copy window
+   write, model/IR sweep mismatch, half-codec range violation,
+   stale-precision read). The CLI's --selftest and the test suite
+   assert every one is detected, which keeps the checker honest — a
+   pass that silently stops firing fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -223,6 +224,25 @@ let fused_aliased_output () =
          ]
        ())
 
+(* 7a'. A tail-fused hop whose xpay output is handed the same buffer
+   as the stencil dst: the tail's closing loop reads the freshly
+   written stencil block while overwriting it in place — the runtime
+   guard (Fused.tail_check's same_data probe) rejects the call, and
+   this static plan carries the same duplicate-Update hazard. *)
+let fused_tail_aliased () =
+  Fuse_check.verify_plan
+    (Fuse_check.plan ~kernel:"hop_tail" ~n:(256 * 24)
+       ~block:Linalg.Field.reduce_block
+       ~buffers:
+         [
+           ("u", Fuse_check.Read);
+           ("src", Fuse_check.Read);
+           ("dst", Fuse_check.Update);
+           ("dst", Fuse_check.Update);  (* tail out given the dst buffer *)
+           ("q", Fuse_check.Read);
+         ]
+       ())
+
 (* 7b. A fused launch on a 4-domain geometry when the tuner's recorded
    winner for this kernel and shape is 2 domains: running a plan the
    autotuner never priced. *)
@@ -279,6 +299,27 @@ let plan_aliased_output () =
   in
   Plan_check.verify { p with steps = List.map alias p.steps }
 
+(* 8b'. The tail-fused Wilson hop with the tail's xpay output renamed
+   onto the stencil dst — the plan-level twin of 7a': PLAN002 catches
+   the duplicate name with a writing role from the IR alone. *)
+let plan_tail_aliased () =
+  let open Plan_ir in
+  let p = Plan_extract.wilson_hop_tail () in
+  let alias = function
+    | Launch k when k.kname = "wilson_hop_tail" ->
+      Launch
+        {
+          k with
+          args =
+            List.map
+              (fun (name, role) ->
+                if name = "out" then ("dst", role) else (name, role))
+              k.args;
+        }
+    | s -> s
+  in
+  Plan_check.verify { p with steps = List.map alias p.steps }
+
 (* 8c. The zero-copy halo schedule with a kernel writing the posted
    buffer inside the open window — HALO011/DET002's corruption, from
    the schedule alone. *)
@@ -303,9 +344,9 @@ let plan_zero_copy_write () =
   in
   Plan_check.verify p
 
-(* 8d. A fused-tagged plan executing a sweep count the model neither
-   prices nor recognizes as the documented gap: an extra residual
-   norm snuck into the tail. *)
+(* 8d. A fused-tagged plan executing a sweep count the model does not
+   price: an extra residual norm snuck into the tail, a nonzero
+   Plan_check.sweep_gap. *)
 let plan_sweep_mismatch () =
   let open Plan_ir in
   let p = Plan_extract.cg_tail ~fused:true () in
@@ -430,6 +471,12 @@ let all =
       run = fused_aliased_output;
     };
     {
+      name = "fuse-tail-aliased";
+      defect = "tail-fused hop with the xpay output aliasing the stencil dst";
+      expect = "FUSE002";
+      run = fused_tail_aliased;
+    };
+    {
       name = "fuse-untuned-geometry";
       defect = "fused launch on a geometry the tuner's winner disagrees with";
       expect = "FUSE003";
@@ -446,6 +493,12 @@ let all =
       defect = "CG tail plan with the solution output aliasing the Ap input";
       expect = "PLAN002";
       run = plan_aliased_output;
+    };
+    {
+      name = "plan-tail-aliased";
+      defect = "hop-tail plan with the xpay output aliasing the stencil dst";
+      expect = "PLAN002";
+      run = plan_tail_aliased;
     };
     {
       name = "plan-zero-copy-write";

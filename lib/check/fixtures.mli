@@ -19,9 +19,11 @@ val nan_solve : unit -> Diagnostic.t list
 val bad_half_block : unit -> Diagnostic.t list
 val fused_wrong_block : unit -> Diagnostic.t list
 val fused_aliased_output : unit -> Diagnostic.t list
+val fused_tail_aliased : unit -> Diagnostic.t list
 val fused_untuned_geometry : unit -> Diagnostic.t list
 val plan_partition_overlap : unit -> Diagnostic.t list
 val plan_aliased_output : unit -> Diagnostic.t list
+val plan_tail_aliased : unit -> Diagnostic.t list
 val plan_zero_copy_write : unit -> Diagnostic.t list
 val plan_sweep_mismatch : unit -> Diagnostic.t list
 val plan_half_range : unit -> Diagnostic.t list

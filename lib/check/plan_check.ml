@@ -12,10 +12,11 @@
      the post/complete protocol must balance.
 
    - PLAN005: model consistency — the IR's BLAS-1 sweep total must
-     match what Machine.Perf_model prices, with the one known
-     stencil-tail gap (model 2 fused sweeps, host executes 3; see
-     Dirac.Flops.stencil_tail_gap_sweeps) recognized and reported as a
-     diagnostic instead of a silent mispricing.
+     equal what Machine.Perf_model prices, exactly. The old
+     stencil-tail exemption (model 2 fused sweeps, host executed 3) is
+     gone: Wilson.hop_tail / Mobius.apply_schur_normal_tail ride the
+     p·Ap reduction on the stencil's closing sweep, so any nonzero gap
+     (sweep_gap below) is a live regression and errors.
 
    - PREC001-004: precision flow — an abstract interpretation over a
      magnitude-interval x quantization-error state per buffer,
@@ -277,52 +278,39 @@ let check_windows p =
 
 (* ---- PLAN005: sweep consistency against the performance model ---- *)
 
-let check_sweeps p =
+(* Derived, not hardcoded: IR sweep total minus the model's price for
+   the plan's declared fusion mode. None when the plan is not
+   model-priced. The stencil-tail fusion closed the one historically
+   whitelisted gap, so the check below errors on ANY nonzero value —
+   and neutron_check --plan fails the run on it too. *)
+let sweep_gap p =
   match p.fusion with
-  | None -> []
+  | None -> None
   | Some fused ->
     let ir =
       List.fold_left
         (fun acc -> function Launch k -> acc + k.sweeps | _ -> acc)
         0 p.steps
     in
-    let model =
-      int_of_float (Machine.Perf_model.blas1_sweeps ~fused)
-    in
-    let separate_dot =
-      List.exists
-        (function Launch k -> k.kname = "dot_re" | _ -> false)
-        p.steps
-    in
-    if ir = model then []
-    else if
-      fused
-      && ir = model + Dirac.Flops.stencil_tail_gap_sweeps
-      && separate_dot
-    then
-      [
-        D.warning ~rule:"PLAN005" ~loc:p.pname
-          (Printf.sprintf
-             "known stencil-tail gap: the model prices %d fused sweeps but \
-              the plan executes %d (dot_re stays a separate kernel for \
-              bit-identity)"
-             model ir)
-          ~hint:
-            "Perf_model.blas1_host_sweeps prices what the host actually \
-             runs; fuse the dot into the stencil tail to close the gap";
-      ]
-    else
-      [
-        D.error ~rule:"PLAN005" ~loc:p.pname
-          (Printf.sprintf
-             "IR executes %d full-vector sweeps but the model prices %d \
-              (%s)"
-             ir model
-             (if fused then "fused" else "unfused"))
-          ~hint:
-            "the autotuner would mis-rank this plan: align the kernel \
-             sweeps with Perf_model.blas1_sweeps or document the gap";
-      ]
+    let model = int_of_float (Machine.Perf_model.blas1_sweeps ~fused) in
+    Some (ir - model)
+
+let check_sweeps p =
+  match (p.fusion, sweep_gap p) with
+  | None, _ | _, None | _, Some 0 -> []
+  | Some fused, Some gap ->
+    let model = int_of_float (Machine.Perf_model.blas1_sweeps ~fused) in
+    [
+      D.error ~rule:"PLAN005" ~loc:p.pname
+        (Printf.sprintf
+           "IR executes %d full-vector sweeps but the model prices %d (%s)"
+           (model + gap) model
+           (if fused then "fused" else "unfused"))
+        ~hint:
+          "the autotuner would mis-rank this plan: align the kernel sweeps \
+           with Perf_model.blas1_sweeps (fused p·Ap must ride the stencil \
+           tail, not run as a separate dot_re)";
+    ]
 
 (* ---- PREC001-004: precision flow ---- *)
 
@@ -499,19 +487,28 @@ let verify_plans plans =
   List.concat_map (fun p -> verify p) plans
 
 (* Lint one fusion-axis candidate (the CG vector tail under a
-   fused/geometry choice) and keep only the errors: the documented
-   PLAN005 stencil-tail warning on fused candidates must not reject a
-   legitimate plan. Autotune.Variants.tune_fusion runs this over its
+   mode/geometry choice) and keep only the errors — stylistic warnings
+   must not reject a legitimate plan. The three modes map to three
+   extracted tails: Unfused = the 5-sweep classic tail, Tail_fused =
+   the 2-sweep model-priced tail (PLAN005 strict), Fused = the 3-sweep
+   separate-dot fallback (not model-priced; PLAN001/002 still vet the
+   fused kernels). Autotune.Variants.tune_fusion runs this over its
    candidate space BEFORE Tuner.tune prices and caches a winner, so a
    plan the analyzer rejects can never be cached. (The dependency
    points this way — autotune cannot link check without a cycle
    through core, so the tuner takes the linter as a callback.) *)
-let lint_fusion ~n ~fused ~geometry =
-  List.filter D.is_error
-    (verify (Plan_extract.cg_tail ~n ?geometry ~fused ()))
+let lint_fusion ~n ~(mode : Linalg.Fused.mode) ~geometry =
+  let plan =
+    match mode with
+    | Linalg.Fused.Unfused -> Plan_extract.cg_tail ~n ?geometry ~fused:false ()
+    | Linalg.Fused.Tail_fused -> Plan_extract.cg_tail ~n ?geometry ~fused:true ()
+    | Linalg.Fused.Fused -> Plan_extract.cg_tail_separate ~n ?geometry ()
+  in
+  List.filter D.is_error (verify plan)
 
-(* The standard-suite pass: every catalog plan must verify. The fused
-   CG plans carry the documented PLAN005 stencil-tail warning — that
-   is the "reported as diagnostic" behaviour, not a failure. *)
+(* The standard-suite pass: every catalog plan must verify. Since the
+   stencil-tail fusion closed the PLAN005 gap, a clean catalog means
+   zero diagnostics — the fused CG plans no longer carry a documented
+   warning. *)
 let catalog_diagnostics () =
   verify_plans (List.map (fun (_, build) -> build ()) Plan_extract.catalog)

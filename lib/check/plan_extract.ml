@@ -48,13 +48,14 @@ let fused_args name ~buffers ~reduce =
 (* ---- CG ---- *)
 
 (* The BLAS-1 tail of one CG iteration on buffers p/ap/x/r, driven by
-   Cg.tail_kernels. *)
+   Cg.tail_kernels. Fused, the p·Ap reduction is NOT a tail row: it
+   rides the stencil's closing sweep (Cg.solve's apply_dot), so the
+   fused tail is exactly cg_update + xpay_dot. *)
 let cg_tail_launches ~fused ?geometry () =
   let rows = Solver.Cg.tail_kernels ~fused in
   let argss =
     if fused then
       [
-        ([ ("p", r_); ("ap", r_); ("pap", red) ], 1.0);
         (fused_args "cg_update" ~buffers:[ "p"; "ap"; "x"; "r" ] ~reduce:"r2", 1.0);
         (fused_args "xpay_dot" ~buffers:[ "r"; "p"; "r" ] ~reduce:"pr", 1.0);
       ]
@@ -81,21 +82,51 @@ let cg_buffers =
 
 (* Just the vector tail, model-priced: what Autotune.Variants.tune_fusion
    candidates execute, and what the PLAN005 sweep cross-check diffs
-   against Perf_model.blas1_sweeps. *)
+   against Perf_model.blas1_sweeps — strict equality, both columns. *)
 let cg_tail ?(n = 1 lsl 16) ?geometry ~fused () =
   plan ~fusion:fused ~n ~buffers:cg_buffers
     ~steps:(cg_tail_launches ~fused ?geometry ())
     (if fused then "cg-tail-fused" else "cg-tail")
 
+(* The separate-dot fallback tail Autotune.Variants runs as its Fused
+   (3-sweep) candidate: a fused solve without a tail-capable operator
+   keeps the p·Ap dot as its own sweep. Not model-priced (fusion =
+   None — Perf_model has no 3-sweep column), but PLAN001/002 still vet
+   the fused kernels' aliasing and association. *)
+let cg_tail_separate ?(n = 1 lsl 16) ?geometry () =
+  let rows =
+    [ ("dot_re", 1); ("cg_update", 1); ("xpay_dot", 1) ]
+  in
+  let argss =
+    [
+      ([ ("p", r_); ("ap", r_); ("pap", red) ], 1.0);
+      (fused_args "cg_update" ~buffers:[ "p"; "ap"; "x"; "r" ] ~reduce:"r2", 1.0);
+      (fused_args "xpay_dot" ~buffers:[ "r"; "p"; "r" ] ~reduce:"pr", 1.0);
+    ]
+  in
+  let steps =
+    List.map
+      (fun k -> Launch { k with geometry })
+      (zip_args "cg_tail_separate" rows argss)
+  in
+  plan ~n ~buffers:cg_buffers ~steps "cg-tail-separate"
+
 (* One full CG iteration: the Schur-normal stencil (sweeps=0 — its
    traffic is priced per site by the model, not as a BLAS-1 sweep)
-   followed by the tail. *)
+   followed by the tail. Fused, the stencil is the tail-capable
+   variant: it additionally reduces p·Ap through the canonical blocked
+   reduction in its closing sweep (Mobius.apply_schur_normal_tail). *)
+let cg_stencil ~fused =
+  if fused then
+    Launch
+      (kernel ~sweeps:0 ~block:Linalg.Field.reduce_block
+         ~args:[ ("p", r_); ("ap", w_); ("pap", red) ]
+         "schur_normal_tail")
+  else Launch (kernel ~sweeps:0 ~args:[ ("p", r_); ("ap", w_) ] "schur_normal")
+
 let cg_iteration ?(n = 1 lsl 16) ?geometry ~fused () =
-  let stencil =
-    Launch (kernel ~sweeps:0 ~args:[ ("p", r_); ("ap", w_) ] "schur_normal")
-  in
   plan ~fusion:fused ~n ~buffers:cg_buffers
-    ~steps:(stencil :: cg_tail_launches ~fused ?geometry ())
+    ~steps:(cg_stencil ~fused :: cg_tail_launches ~fused ?geometry ())
     (if fused then "cg-fused" else "cg")
 
 (* ---- Mixed (double-half with reliable updates) ---- *)
@@ -285,9 +316,7 @@ let dwf ?(n = 24 * 4096) ?(mixed_precision = false) ~fused () =
       ]
       @ mixed_inner_steps ~fused ~block
       @ mixed_reliable_steps ~fused
-    else
-      Launch (kernel ~sweeps:0 ~args:[ ("p", r_); ("ap", w_) ] "schur_normal")
-      :: cg_tail_launches ~fused ()
+    else cg_stencil ~fused :: cg_tail_launches ~fused ()
   in
   let post =
     [
@@ -331,6 +360,43 @@ let wilson_hop ?(sites = 256) ?(geometry = (4, 1536)) () =
              "wilson_hop");
       ]
     "wilson-hop"
+
+(* The tail-fused Wilson hop (Wilson.hop_tail): one launch that writes
+   the stencil result and, per 256-site tile, applies the optional
+   xpay to a separate output buffer and reduces the dot against q
+   through the canonical 2048-float blocks — sweeps stay 0 (stencil
+   traffic is priced per site; the tail reads ride its closing sweep).
+   [out] must be a distinct buffer from [dst]: the fused loop reads
+   the freshly written stencil block while updating out, so aliasing
+   them is a read-write hazard (the seeded plan_tail_aliased fixture,
+   PLAN002). *)
+let wilson_hop_tail ?(sites = 256) ?(geometry = (4, 6144)) () =
+  let n = sites * 24 in
+  plan ~n
+    ~buffers:
+      [
+        buffer ~prec:Double "u";
+        buffer ~prec:Double "src";
+        buffer ~prec:Double "dst";
+        buffer ~prec:Double "out";
+        buffer ~prec:Double "q";
+      ]
+    ~steps:
+      [
+        Launch
+          (kernel ~geometry ~sweeps:0 ~block:Linalg.Field.reduce_block
+             ~args:
+               [
+                 ("u", r_);
+                 ("src", r_);
+                 ("dst", w_);
+                 ("out", u_);
+                 ("q", r_);
+                 ("dot", red);
+               ]
+             "wilson_hop_tail");
+      ]
+    "wilson-hop-tail"
 
 (* The Mobius 5D hop parallelizes over s-slices: n counts slices, the
    canonical launch is one chunk per slice. *)
@@ -420,6 +486,7 @@ let catalog : (string * (unit -> plan)) list =
     ("cg-fused", fun () -> cg_iteration ~fused:true ());
     ("cg-tail", fun () -> cg_tail ~fused:false ());
     ("cg-tail-fused", fun () -> cg_tail ~fused:true ());
+    ("cg-tail-separate", fun () -> cg_tail_separate ());
     ("mixed", fun () -> mixed ~fused:false ());
     ("mixed-fused", fun () -> mixed ~fused:true ());
     ("bicgstab", fun () -> bicgstab_iteration ~fused:false ());
@@ -427,6 +494,7 @@ let catalog : (string * (unit -> plan)) list =
     ("dwf", fun () -> dwf ~fused:false ());
     ("dwf-mixed", fun () -> dwf ~mixed_precision:true ~fused:true ());
     ("wilson-hop", fun () -> wilson_hop ());
+    ("wilson-hop-tail", fun () -> wilson_hop_tail ());
     ("mobius-hop", fun () -> mobius_hop ());
     ("pooled-axpy", fun () -> pooled_axpy ());
     ("dd-overlapped", fun () -> dd_overlapped ());

@@ -13,11 +13,22 @@ val cg_tail :
 (** The BLAS-1 tail of one CG iteration on buffers p/ap/x/r — what
     [Autotune.Variants.tune_fusion] candidates execute and what the
     PLAN005 sweep cross-check diffs against
-    [Machine.Perf_model.blas1_sweeps]. *)
+    [Machine.Perf_model.blas1_sweeps] (strict equality: fused is
+    cg_update + xpay_dot, 2 sweeps — the p·Ap reduction rides the
+    stencil). *)
+
+val cg_tail_separate : ?n:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+(** The separate-dot fallback tail (dot_re + cg_update + xpay_dot,
+    3 sweeps): what a fused solve without a tail-capable operator
+    executes, and [Autotune.Variants]' [Fused] candidate. Not
+    model-priced ([fusion = None]); PLAN001/002 still vet it. *)
 
 val cg_iteration :
   ?n:int -> ?geometry:int * int -> fused:bool -> unit -> Plan_ir.plan
-(** Full CG iteration: Schur-normal stencil followed by the tail. *)
+(** Full CG iteration: Schur-normal stencil followed by the tail.
+    Fused, the stencil launch is the tail-capable [schur_normal_tail]
+    carrying the p·Ap [Reduce] operand and the canonical reduction
+    block. *)
 
 val mixed :
   ?n:int ->
@@ -44,6 +55,13 @@ val dwf :
     or mixed), reconstruct even sites, merge. *)
 
 val wilson_hop : ?sites:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+
+val wilson_hop_tail : ?sites:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+(** The tail-fused Wilson hop ([Dirac.Wilson.hop_tail]): stencil write
+    plus per-tile xpay into a separate [out] buffer and a dot against
+    [q] reduced through the canonical blocks. [out] aliasing [dst] is
+    the seeded [Fixtures.plan_tail_aliased] hazard. *)
+
 val mobius_hop : ?l5:int -> unit -> Plan_ir.plan
 (** Pooled stencil launches; [mobius_hop] parallelizes over s-slices
     ([n] counts slices, one chunk per slice). *)

@@ -54,24 +54,18 @@ let cg_blas1_fused_per_5d_site = cg_blas1_per_5d_site + (2 * 24)
 (* Double-precision bytes the CG BLAS-1 tail moves per iteration per
    5D site in this implementation. Unfused, 5 kernels: dot (2 reads) +
    axpy x (2r+1w) + axpy r (2r+1w) + norm2 (1r) + xpay (2r+1w) = 12
-   float-passes. Fused, 3 kernels: dot (2r) + cg_update (4r+2w) +
-   xpay_dot (2r+1w; q = r is one of the reads) = 11. The sweep-count
-   win (5 -> 2 reduction-bearing launches after the dot) is larger
-   than the byte win on a cache-less model — both are reported. *)
+   float-passes. Fused, 2 kernels: cg_update (4r+2w) + xpay_dot
+   (2r+1w; q = r is one of the reads) = 9 — the p·Ap reads ride the
+   stencil's tail (Wilson.hop_tail / Mobius.apply_schur_normal_tail),
+   so they are priced with the stencil traffic, not the BLAS-1 tail.
+   There is no whitelisted gap between this accounting and
+   Machine.Perf_model's sweep pricing any more: Check.Plan_check
+   PLAN005 derives the gap from the extracted plan and errors on any
+   nonzero value. *)
 let cg_blas1_bytes_per_5d_site ~fused =
-  (if fused then 11 else 12) * 24 * 8
+  (if fused then 9 else 12) * 24 * 8
 
 let cg_iteration_per_5d_site = schur_normal_per_5d_site + cg_blas1_per_5d_site
-
-(* The stencil-tail gap, in full-vector sweeps: the performance model
-   assumes the p·Ap reduction rides the stencil tail (QUDA fuses the
-   slash with its dot), so Perf_model.blas1_sweeps ~fused:true prices
-   2 sweeps — but the host implementation keeps dot_re a separate
-   kernel to preserve bit-identity with the unfused path, executing 3.
-   Check.Plan_check's sweep-consistency pass (PLAN005) uses this
-   constant to recognize the known, documented gap and report it as a
-   warning instead of a mispricing error. *)
-let stencil_tail_gap_sweeps = 1
 
 (* ---- Paper conventions ---- *)
 

@@ -20,17 +20,11 @@ val cg_blas1_fused_per_5d_site : int
 
 val cg_blas1_bytes_per_5d_site : fused:bool -> int
 (** Double-precision bytes the CG BLAS-1 tail moves per iteration per
-    5D site: 12 float-passes unfused, 11 fused. *)
+    5D site: 12 float-passes unfused, 9 fused — the p·Ap reads ride
+    the stencil tail ([Dirac.Wilson.hop_tail]), so they are priced
+    with the stencil traffic. *)
 
 val cg_iteration_per_5d_site : int
-
-val stencil_tail_gap_sweeps : int
-(** Full-vector sweeps the host fused CG tail executes beyond what
-    [Machine.Perf_model.blas1_sweeps ~fused:true] prices (= 1): the
-    model assumes the p·Ap reduction rides the stencil tail as in
-    QUDA, while the host keeps [dot_re] a separate kernel for
-    bit-identity. [Check.Plan_check] PLAN005 uses this constant to
-    report the known gap as a warning, not a mispricing error. *)
 
 val paper_stencil_per_5d_site : float
 (** "10,000–12,000 flops per five-dimensional lattice point". *)

@@ -443,7 +443,50 @@ let hop_eo_dagger eo ~from_parity ~src ~dst =
   apply_hop_dagger eo.p kernel ~n4_src:eo.half ~n4_dst:eo.half ~src ~dst
     ~accumulate:false
 
-let apply_schur_dagger eo ~src ~dst =
+(* The dagger's finishing pass (dst <- M5d^dag src - t1), with the
+   optional output tail fused into the same sweep: the subtraction and
+   the tail's xpay/dot run per canonical [Field.reduce_block] while
+   the block is hot, partials folded in index order — the exact
+   association of the standalone [Field.dot_re], so the fused chain is
+   bit-identical to apply_schur_dagger-then-dot for any geometry (the
+   subtraction itself is element-local and unchanged). This is the 5d
+   analogue of [Wilson.hop_tail]: it is where the CG p·Ap reduction
+   rides the Schur-normal stencil instead of costing its own
+   full-vector sweep. *)
+let schur_dagger_finish ?tail (dst : Linalg.Field.t) (t1 : Linalg.Field.t) len =
+  match tail with
+  | None ->
+    for k = 0 to len - 1 do
+      Array1.unsafe_set dst k
+        (Array1.unsafe_get dst k -. Array1.unsafe_get t1 k)
+    done;
+    0.
+  | Some tl ->
+    Linalg.Fused.tail_check "Mobius.apply_schur_dagger_tail" ~n:len ~dst tl;
+    let block = Linalg.Field.reduce_block in
+    let n_blocks = max 1 ((len + block - 1) / block) in
+    let partials = Array.make n_blocks 0. in
+    for b = 0 to n_blocks - 1 do
+      let lo = b * block and hi = min len ((b + 1) * block) in
+      for k = lo to hi - 1 do
+        Array1.unsafe_set dst k
+          (Array1.unsafe_get dst k -. Array1.unsafe_get t1 k)
+      done;
+      partials.(b) <- Linalg.Fused.tail_term tl ~dst lo hi
+    done;
+    let s =
+      if n_blocks <= 1 then partials.(0)
+      else begin
+        let acc = ref 0. in
+        for b = 0 to n_blocks - 1 do
+          acc := !acc +. partials.(b)
+        done;
+        !acc
+      end
+    in
+    Linalg.Field.Sanitize.check_scalar "Mobius.apply_schur_dagger_tail" s
+
+let apply_schur_dagger_gen ?tail eo ~src ~dst =
   let t1 = create_eo_field eo in
   let t2 = create_eo_field eo in
   (* (Hop_oe)^dag : odd -> even *)
@@ -452,14 +495,26 @@ let apply_schur_dagger eo ~src ~dst =
   (* (Hop_eo)^dag : even -> odd *)
   hop_eo_dagger eo ~from_parity:0 ~src:t2 ~dst:t1;
   apply_m5_dagger eo.p ~n4:eo.half ~src ~dst;
-  for k = 0 to eo_field_length eo - 1 do
-    Array1.unsafe_set dst k (Array1.unsafe_get dst k -. Array1.unsafe_get t1 k)
-  done
+  schur_dagger_finish ?tail dst t1 (eo_field_length eo)
+
+let apply_schur_dagger eo ~src ~dst =
+  ignore (apply_schur_dagger_gen eo ~src ~dst : float)
+
+let apply_schur_dagger_tail eo ~src ~dst ~tail =
+  apply_schur_dagger_gen ~tail eo ~src ~dst
 
 let apply_schur_normal eo ~src ~dst =
   let tmp = create_eo_field eo in
   apply_schur eo ~src ~dst:tmp;
   apply_schur_dagger eo ~src:tmp ~dst
+
+(* S^dag S with the tail riding the closing dagger sweep — what
+   [Solver.Dwf_solve] hands [Solver.Cg]'s [apply_dot] so the fused CG
+   iteration executes the 2-sweep BLAS-1 plan the model prices. *)
+let apply_schur_normal_tail eo ~src ~dst ~tail =
+  let tmp = create_eo_field eo in
+  apply_schur eo ~src ~dst:tmp;
+  apply_schur_dagger_tail eo ~src:tmp ~dst ~tail
 
 (* ---- full <-> checkerboard field conversion ---- *)
 

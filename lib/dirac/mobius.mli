@@ -72,6 +72,31 @@ val apply_schur : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 val apply_schur_dagger : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 val apply_schur_normal : eo -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 
+val apply_schur_dagger_tail :
+  eo ->
+  src:Linalg.Field.t ->
+  dst:Linalg.Field.t ->
+  tail:Linalg.Fused.tail ->
+  float
+(** [apply_schur_dagger] with the output tail (optional xpay + dot,
+    [Linalg.Fused.tail]) fused into the closing
+    [dst <- M5d† src − hop-chain] sweep, per canonical
+    [Field.reduce_block] while each block is hot. Returns the dot —
+    bit-identical to running the dagger then [Field.dot_re q dst]
+    (resp. [Fused.xpay_dot dst beta out q]) for any pool geometry.
+    The tail output must not alias [dst] ([Invalid_argument]). *)
+
+val apply_schur_normal_tail :
+  eo ->
+  src:Linalg.Field.t ->
+  dst:Linalg.Field.t ->
+  tail:Linalg.Fused.tail ->
+  float
+(** S†S with the tail riding the closing dagger sweep — with
+    [~tail:(Fused.tail ~dot:src ())] this returns src·(S†S src), the
+    CG p·Ap, without the separate full-vector reduction sweep
+    ([Solver.Cg]'s [apply_dot]). *)
+
 val split_eo :
   Lattice.Geometry.t -> l5:int -> Linalg.Field.t -> Linalg.Field.t * Linalg.Field.t
 (** Full field → (even, odd) checkerboard fields. *)

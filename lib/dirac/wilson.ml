@@ -230,6 +230,99 @@ let hop t ~src ~dst =
   then Util.Pool.parallel_for pool ~n:t.n_sites (hop_range t ~src ~dst)
   else hop_range t ~src ~dst 0 t.n_sites
 
+(* ---- tail-fused hop: stencil + output tail in one pass ----
+   The tail (optional xpay + dot, Linalg.Fused.tail) runs per tile
+   right after the stencil writes it, while the tile is hot — the QUDA
+   move of fusing trailing linear algebra into the dslash, which is
+   what lets the CG p·Ap reduction stop being a separate full-vector
+   sweep. Bit-identity with hop-then-xpay_dot/dot_re needs the
+   canonical reduction association, so the tail is tiled at the
+   smallest site count whose float span is a whole number of
+   [Field.reduce_block]s (lcm(24, 2048)/24 = 256 sites = 3 blocks):
+   chunk boundaries rounded to tiles can never split a reduction
+   block, each block partial is accumulated serially in index order by
+   exactly one worker, and the partials fold in block order on the
+   caller — [Field.block_fold]'s association for every geometry. *)
+
+let tail_tile_sites =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  Linalg.Field.reduce_block / gcd floats_per_site Linalg.Field.reduce_block
+
+let hop_tail_range t ~src ~dst ~tail ~(partials : float array) lo hi =
+  let do_site = make_do_site t ~src ~dst in
+  let block = Linalg.Field.reduce_block in
+  let s = ref lo in
+  while !s < hi do
+    let s1 = min hi (!s + tail_tile_sites) in
+    for x = !s to s1 - 1 do
+      do_site x
+    done;
+    let f1 = s1 * floats_per_site in
+    let b = ref (!s * floats_per_site / block) in
+    while !b * block < f1 do
+      let blo = !b * block in
+      partials.(!b) <-
+        Linalg.Fused.tail_term tail ~dst blo (min f1 ((!b + 1) * block));
+      incr b
+    done;
+    s := s1
+  done
+
+(* Fold the block partials in index order on the calling domain —
+   including block_fold's single-block shortcut (the raw partial, no
+   0-seeded fold), so the result is the standalone reduction's bits. *)
+let tail_fold (partials : float array) n_blocks =
+  if n_blocks <= 1 then partials.(0)
+  else begin
+    let acc = ref 0. in
+    for b = 0 to n_blocks - 1 do
+      acc := !acc +. partials.(b)
+    done;
+    !acc
+  end
+
+let round_to_tiles c = (max 1 c + tail_tile_sites - 1) / tail_tile_sites * tail_tile_sites
+
+let hop_tail_launch pool chunk t ~src ~dst ~tail =
+  check_dst t dst;
+  let n_floats = t.n_sites * floats_per_site in
+  Linalg.Fused.tail_check "Wilson.hop_tail" ~n:n_floats ~dst tail;
+  let n_blocks =
+    max 1 ((n_floats + Linalg.Field.reduce_block - 1) / Linalg.Field.reduce_block)
+  in
+  let partials = Array.make n_blocks 0. in
+  (match pool with
+  | Some pool ->
+    let chunk =
+      round_to_tiles
+        (match chunk with
+        | Some c -> c
+        | None -> Util.Pool.default_chunk pool t.n_sites)
+    in
+    Util.Pool.parallel_for pool ~chunk ~n:t.n_sites
+      (hop_tail_range t ~src ~dst ~tail ~partials)
+  | None -> hop_tail_range t ~src ~dst ~tail ~partials 0 t.n_sites);
+  let s = tail_fold partials n_blocks in
+  Linalg.Field.Sanitize.check_vec "Wilson.hop_tail" dst;
+  (match tail.Linalg.Fused.t_xpay with
+  | Some (out, _) -> Linalg.Field.Sanitize.check_vec "Wilson.hop_tail" out
+  | None -> ());
+  Linalg.Field.Sanitize.check_scalar "Wilson.hop_tail" s
+
+let hop_tail_with pool ?chunk t ~src ~dst ~tail =
+  hop_tail_launch (Some pool) chunk t ~src ~dst ~tail
+
+let hop_tail t ~src ~dst ~tail =
+  let pool = Util.Pool.get_default () in
+  let pooled =
+    if
+      Util.Pool.size pool > 1
+      && t.n_sites * floats_per_site >= Linalg.Field.parallel_cutoff
+    then Some pool
+    else None
+  in
+  hop_tail_launch pooled None t ~src ~dst ~tail
+
 (* Full Wilson operator: M psi = (4 + mass) psi - (1/2) H psi.
    src and dst must not alias. *)
 let apply t ~mass ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =

@@ -28,6 +28,37 @@ val hop_with :
 (** [hop] on an explicit pool with an explicit chunk (in sites) — the
     autotuner's pooled hop candidates. *)
 
+val hop_tail :
+  t ->
+  src:Linalg.Field.t ->
+  dst:Linalg.Field.t ->
+  tail:Linalg.Fused.tail ->
+  float
+(** [hop] with the output tail fused into the stencil pass: per
+    site-tile, right after the stencil result is written, the tail's
+    optional xpay ([out <- dst + beta·out]) and dot accumulation run
+    while the tile is hot — the QUDA move of folding trailing linear
+    algebra into the dslash, which removes the separate full-vector
+    sweep the p·Ap reduction otherwise costs ([Check.Plan_check]
+    PLAN005). Returns the dot. Bit-identical to
+    [hop; Fused.xpay_dot dst beta out q] (resp. [hop; Field.dot_re q
+    dst] without the xpay) for any pool geometry: the tail is tiled at
+    whole [Field.reduce_block]s and the block partials fold in index
+    order — the canonical reduction association. The tail output must
+    not alias [dst] ([Invalid_argument], probed through the data). *)
+
+val hop_tail_with :
+  Util.Pool.t ->
+  ?chunk:int ->
+  t ->
+  src:Linalg.Field.t ->
+  dst:Linalg.Field.t ->
+  tail:Linalg.Fused.tail ->
+  float
+(** [hop_tail] on an explicit pool; [chunk] (in sites) is rounded up
+    to whole reduction tiles (256 sites) so a chunk boundary can never
+    split a canonical block. *)
+
 val hop_sites :
   t -> ?sites:int array -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit -> unit
 (** Restrict the stencil to [sites] (interior/boundary split for

@@ -18,30 +18,69 @@
    exact association of the standalone [Field.norm2]/[dot_re].
 
    The fused contract is stricter than the unfused kernels about
-   aliasing: an output buffer physically equal to a distinct-role
-   input is rejected ([Invalid_argument]). Element-local updates make
-   most aliasings accidentally agree here, but the contract is what a
-   vectorized or accelerator implementation needs, and it is what
-   [Check.Fuse_check] FUSE002 verifies statically. *)
+   aliasing: an output buffer sharing data with a distinct-role input
+   is rejected ([Invalid_argument]) — the guard probes the underlying
+   storage, so distinct Bigarray handles over the same data are caught
+   too. Element-local updates make most aliasings accidentally agree
+   here, but the contract is what a vectorized or accelerator
+   implementation needs, and it is what [Check.Fuse_check] FUSE002
+   verifies statically. *)
 
 open Bigarray
 
 type t = Field.t
 
+(* How a solver's BLAS-1 tail is fused per iteration — the launch axis
+   Autotune.Variants tunes and Check.Plan_check lints. [Fused] keeps
+   the p·Ap reduction a separate host kernel (the fallback when the
+   operator cannot carry a tail); [Tail_fused] rides it on the stencil
+   through the [tail] closure below, the 2-sweep plan the performance
+   model prices. *)
+type mode = Unfused | Fused | Tail_fused
+
+let mode_name = function
+  | Unfused -> "unfused"
+  | Fused -> "fused"
+  | Tail_fused -> "tailfused"
+
 let check2 name a b =
   if Field.length a <> Field.length b then
     invalid_arg (name ^ ": length mismatch")
 
-(* Physical-equality aliasing guard: [outs] must not alias any of
-   [ins]. Distinct Bigarray handles over the same data escape this
-   (FUSE002 models the hazard statically); the guard catches the
-   direct misuse. *)
+(* Aliasing probe: do two fields share their underlying data? Physical
+   equality catches the direct misuse; for distinct Bigarray handles
+   over the same storage (Array1.sub, a re-wrapped pointer) we write a
+   bit-distinguishable marker through [a.{0}] and watch whether
+   [b.{0}] observes it, restoring [a.{0}] afterwards. The marker
+   differs from [b.{0}]'s current bits by construction (lowest
+   mantissa bit flipped), so a non-aliasing pair can never test
+   positive. Overlaps that do not cover both elements 0 (staggered
+   sub-windows) still escape — FUSE002 models the full hazard
+   statically. *)
+let same_data (a : t) (b : t) =
+  a == b
+  || Field.length a > 0
+     && Field.length b > 0
+     &&
+     let va = Array1.unsafe_get a 0 in
+     let vb = Array1.unsafe_get b 0 in
+     let marker =
+       Int64.float_of_bits (Int64.logxor (Int64.bits_of_float vb) 1L)
+     in
+     Array1.unsafe_set a 0 marker;
+     let aliased =
+       Int64.bits_of_float (Array1.unsafe_get b 0) = Int64.bits_of_float marker
+     in
+     Array1.unsafe_set a 0 va;
+     aliased
+
+(* Aliasing guard: [outs] must not share data with any of [ins]. *)
 let no_alias name outs ins =
   List.iter
     (fun (o : t) ->
       List.iter
         (fun (i : t) ->
-          if o == i then
+          if same_data o i then
             invalid_arg (name ^ ": output aliases an input of a different role"))
         ins)
     outs
@@ -150,7 +189,7 @@ let cg_update alpha (p : t) (ap : t) (x : t) (r : t) =
   check2 "Fused.cg_update" p x;
   check2 "Fused.cg_update" p r;
   no_alias "Fused.cg_update" [ x; r ] [ p; ap ];
-  if (x : t) == r then
+  if same_data x r then
     invalid_arg "Fused.cg_update: output aliases an input of a different role";
   let n = Field.length p in
   let s = fold (Field.implicit_pool n) None ~n (cg_update_term alpha p ap x r) in
@@ -162,7 +201,7 @@ let cg_update_with pool ?chunk alpha (p : t) (ap : t) (x : t) (r : t) =
   check2 "Fused.cg_update" p x;
   check2 "Fused.cg_update" p r;
   no_alias "Fused.cg_update" [ x; r ] [ p; ap ];
-  if (x : t) == r then
+  if same_data x r then
     invalid_arg "Fused.cg_update: output aliases an input of a different role";
   let s =
     fold (Some pool) chunk ~n:(Field.length p) (cg_update_term alpha p ap x r)
@@ -183,6 +222,70 @@ let caxpy_norm2_with pool ?chunk alpha (x : t) (y : t) =
   no_alias "Fused.caxpy_norm2" [ y ] [ x ];
   finish "Fused.caxpy_norm2" y
     (fold (Some pool) chunk ~n:(Field.length x) (caxpy_norm2_term alpha x y))
+
+(* ---- stencil output tail ----
+   The closure a hop kernel applies per site-block right after the
+   stencil result lands, while the block is still hot: an optional
+   xpay into a separate output ([out <- dst + beta*out]) followed by a
+   dot accumulation against [q]. Defined, like every kernel here, by
+   the unfused sequence it must match bit-for-bit:
+
+     hop ~tail:{xpay = Some (out, beta); dot = q}
+       ==  hop; xpay_dot dst beta out q
+     hop ~tail:{xpay = None; dot = q}
+       ==  hop; Field.dot_re q dst
+
+   The dot pairs [q] with the tail result (out when the xpay runs, the
+   raw stencil output otherwise). Bit-identity holds for any pool
+   geometry because the stencil callers tile the tail at whole
+   [Field.reduce_block]s and fold the block partials in index order —
+   [Field.block_fold]'s canonical association. *)
+type tail = {
+  t_xpay : (t * float) option;  (* (out, beta): out <- dst + beta*out *)
+  t_dot : t;  (* q: the reduction operand *)
+}
+
+let tail ?xpay ~dot () = { t_xpay = xpay; t_dot = dot }
+
+(* Guard + shape check, called by the stencil front-ends before the
+   launch: every tail operand spans the stencil output, and the xpay
+   output must not alias the stencil's dst — the fused pass reads dst
+   as the xpay x-operand while writing out, the FUSE002 hazard the
+   probing [same_data] rejects even across distinct handles. [q]
+   aliasing dst or out is legal (read-only role — the monitor-dot
+   idiom). *)
+let tail_check name ~n ~(dst : t) tl =
+  let len what (v : t) =
+    if Field.length v <> n then
+      invalid_arg (Printf.sprintf "%s: tail %s length mismatch" name what)
+  in
+  len "dot" tl.t_dot;
+  match tl.t_xpay with
+  | None -> ()
+  | Some (out, _) ->
+    len "xpay output" out;
+    if same_data out dst then
+      invalid_arg (name ^ ": tail output aliases the stencil dst")
+
+(* The serial per-block term: callers hand it canonical-block [lo, hi)
+   float ranges of dst in index order and fold the results in block
+   order. Accumulation is one float at a time — Field.dot_re_term's
+   association; the xpay matches Fused.xpay_dot_term element-wise. *)
+let tail_term tl ~(dst : t) lo hi =
+  let q = tl.t_dot in
+  let acc = ref 0. in
+  (match tl.t_xpay with
+  | Some (out, beta) ->
+    for i = lo to hi - 1 do
+      let oi = Array1.unsafe_get dst i +. (beta *. Array1.unsafe_get out i) in
+      Array1.unsafe_set out i oi;
+      acc := !acc +. (oi *. Array1.unsafe_get q i)
+    done
+  | None ->
+    for i = lo to hi - 1 do
+      acc := !acc +. (Array1.unsafe_get q i *. Array1.unsafe_get dst i)
+    done);
+  !acc
 
 (* Operand-role table, in call order: (formal name, is_output). The
    ground truth Check.Plan_extract builds fused-launch effects from,

@@ -7,14 +7,66 @@
     block pass.
 
     Stricter aliasing contract than the unfused kernels: an output
-    vector that is physically the same buffer as an input of a
-    different role raises [Invalid_argument] (a real fused kernel
-    caches in registers; see [Check.Fuse_check] FUSE002). Passing the
+    vector sharing storage with an input of a different role raises
+    [Invalid_argument] (a real fused kernel caches in registers; see
+    [Check.Fuse_check] FUSE002). The guard probes the underlying data
+    through element 0, so distinct Bigarray handles over the same
+    buffer are rejected too — not just physical equality. Passing the
     same vector where the *spec* says so — e.g. [xpay_dot r beta p r],
     the CG orthogonality monitor — is fine: [q] and [x] are read-only
     roles. *)
 
 type t = Field.t
+
+type mode = Unfused | Fused | Tail_fused
+(** How a solver's BLAS-1 tail runs per iteration — the launch axis
+    [Autotune.Variants] tunes and [Check.Plan_check] lints. [Fused]
+    keeps the p·Ap reduction a separate host kernel (3 sweeps, the
+    fallback when the operator cannot carry a tail); [Tail_fused]
+    rides it on the stencil through {!tail} — the 2-sweep plan
+    [Machine.Perf_model.blas1_sweeps] prices. *)
+
+val mode_name : mode -> string
+(** ["unfused"] / ["fused"] / ["tailfused"] — the label prefixes the
+    autotuner caches winners under. *)
+
+val same_data : t -> t -> bool
+(** Do the two fields share their underlying storage? Physical
+    equality, or a write-probe through element 0 that catches distinct
+    Bigarray handles over the same data. Staggered overlaps that cover
+    neither element 0 escape (modeled statically by FUSE002). *)
+
+(** {2 Stencil output tail}
+
+    The closure a hop kernel applies per site-block right after the
+    stencil result lands: an optional xpay into a separate output
+    ([out <- dst + beta·out]) followed by a dot accumulation against a
+    read-only [q] — [Wilson.hop_tail] and the Möbius Schur chain
+    execute it through the canonical blocked reduction, so
+    [hop_tail ~tail:(tail ~xpay:(out, beta) ~dot:q ())] is
+    bit-identical to [hop; xpay_dot dst beta out q] and the dot-only
+    form to [hop; Field.dot_re q dst], for any pool geometry. *)
+
+type tail = {
+  t_xpay : (t * float) option;  (** (out, beta): out <- dst + beta·out *)
+  t_dot : t;  (** q: the reduction operand *)
+}
+
+val tail : ?xpay:t * float -> dot:t -> unit -> tail
+
+val tail_check : string -> n:int -> dst:t -> tail -> unit
+(** Shape and aliasing guard, run by the stencil front-ends before the
+    launch: every tail operand must span the [n]-float stencil output,
+    and the xpay output must not alias the stencil [dst] (probed via
+    {!same_data}; raises [Invalid_argument] — the runtime counterpart
+    of the FUSE002/PLAN002 tail-alias hazard). *)
+
+val tail_term : tail -> dst:t -> int -> int -> float
+(** [tail_term tl ~dst lo hi]: the serial per-block pass over floats
+    [lo, hi) of the written stencil output — xpay (if any) then the
+    dot partial, one element at a time in index order. Callers hand it
+    canonical [Field.reduce_block] ranges and fold the partials in
+    block order ([Field.block_fold]'s association). *)
 
 val axpy_norm2 : float -> t -> t -> float
 (** [axpy_norm2 a x y]: y <- y + a·x; returns |y|².

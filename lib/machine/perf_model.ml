@@ -139,20 +139,24 @@ let blas1_bytes_per_site_sweep = 48.
 
 (* Full-vector memory sweeps of the CG BLAS-1 tail per iteration.
    Unfused: axpy x, axpy r, norm2 r, xpay p, dot_re p.Ap = 5.
-   Fused: cg_update (x,r,|r|2 in one pass) + xpay_dot = 2, under the
-   model's assumption that the p.Ap reduction rides the stencil tail
-   (QUDA fuses the slash with its dot) — the host implementation keeps
-   it a separate kernel to preserve bit-identity, so its sweep is
-   accounted to the stencil, not here, in both columns. *)
+   Fused: cg_update (x,r,|r|2 in one pass) + xpay_dot = 2 — the p.Ap
+   reduction rides the stencil tail (QUDA fuses the slash with its
+   dot), so its sweep is accounted to the stencil, not here, in both
+   columns. *)
 let blas1_sweeps ~fused = if fused then 2. else 5.
 
-(* What the host actually executes: the fused path keeps dot_re a
-   separate kernel (bit-identity with the unfused sequence), so it
-   runs 3 sweeps where the model prices 2. The difference is
-   Dirac.Flops.stencil_tail_gap_sweeps; Check.Plan_check's
-   sweep-consistency pass diffs extracted plans against blas1_sweeps
-   and recognizes exactly this gap as the known, documented one. *)
-let blas1_host_sweeps ~fused = if fused then 3. else 5.
+(* What the host actually executes — since the stencil tail fusion
+   (Dirac.Wilson.hop_tail / Mobius.apply_schur_normal_tail, threaded
+   through Solver.Cg's apply_dot) this matches blas1_sweeps: the fused
+   p.Ap is computed inside the stencil's closing sweep, bit-identical
+   to the standalone dot_re. The function survives as the host-side
+   cross-check Check.Plan_check's PLAN005 pass keeps honest: any drift
+   between an extracted plan's sweep total and blas1_sweeps is now an
+   error, not a whitelisted gap. (An operator that cannot carry the
+   tail — Mixed's inner half-precision loop, a bare closure without
+   apply_dot — falls back to a separate monitor dot at 3 sweeps; those
+   plans are not model-priced.) *)
+let blas1_host_sweeps ~fused = if fused then 2. else 5.
 
 type breakdown = {
   grid : int array;

@@ -48,11 +48,13 @@ val blas1_sweeps : fused:bool -> float
     stencil in both columns). *)
 
 val blas1_host_sweeps : fused:bool -> float
-(** What the host implementation actually executes: 5 unfused, 3 fused
-    (dot_re stays a separate kernel for bit-identity). The fused
-    difference against {!blas1_sweeps} is
-    [Dirac.Flops.stencil_tail_gap_sweeps] — the known stencil-tail gap
-    [Check.Plan_check]'s sweep-consistency pass reports. *)
+(** What the host implementation actually executes: 5 unfused, 2
+    fused — equal to {!blas1_sweeps} since the stencil-tail fusion
+    ([Dirac.Wilson.hop_tail], [Solver.Cg]'s [apply_dot]) moved the
+    p·Ap reduction into the stencil's closing sweep. Kept as the
+    host-side cross-check behind [Check.Plan_check]'s PLAN005 pass,
+    which now errors on any nonzero gap between an extracted plan and
+    {!blas1_sweeps}. *)
 
 type breakdown = {
   grid : int array;

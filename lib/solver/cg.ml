@@ -35,17 +35,19 @@ let blas1_flops ?(fused = false) n =
 
 (* The BLAS-1 tail of one CG iteration as (kernel, full-vector sweeps)
    rows, in launch order — the ground truth Check.Plan_extract lifts
-   into the plan IR. The p·Ap reduction is a separate host kernel in
-   BOTH columns (bit-identity with the unfused path), which is the
-   known stencil-tail gap against Machine.Perf_model.blas1_sweeps:
-   the model assumes it rides the stencil, so the fused column here
-   sums to 3 where the model prices 2. *)
+   into the plan IR and Plan_check's PLAN005 pass diffs against
+   Machine.Perf_model.blas1_sweeps. Unfused, the p·Ap reduction is the
+   leading host kernel. Fused, it is NOT a tail kernel at all: it
+   rides the stencil's closing sweep ([apply_dot] below, built on
+   Wilson.hop_tail / Mobius.apply_schur_normal_tail), so the fused
+   tail is exactly cg_update + xpay_dot — the 2-sweep plan the model
+   prices, with no whitelisted gap left. *)
 let tail_kernels ~fused =
-  if fused then [ ("dot_re", 1); ("cg_update", 1); ("xpay_dot", 1) ]
+  if fused then [ ("cg_update", 1); ("xpay_dot", 1) ]
   else [ ("dot_re", 1); ("axpy", 1); ("axpy", 1); ("norm2", 1); ("xpay", 1) ]
 
-let solve ?(x0 : Field.t option) ?(fused = false) ?trace ~apply ~(b : Field.t)
-    ~tol ~max_iter ~flops_per_apply () =
+let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
+    ~(b : Field.t) ~tol ~max_iter ~flops_per_apply () =
   let n = Field.length b in
   let t_start = Unix.gettimeofday () in
   let x = match x0 with Some x -> Field.copy x | None -> Field.create n in
@@ -79,9 +81,21 @@ let solve ?(x0 : Field.t option) ?(fused = false) ?trace ~apply ~(b : Field.t)
     let applies = ref (match x0 with None -> 0 | Some _ -> 1) in
     while !r2 > target && !iters < max_iter do
       incr iters;
-      apply p ap;
-      incr applies;
-      let pap = Field.dot_re p ap in
+      (* ap = A p and pap = p·Ap. With a tail-capable operator the
+         fused path computes the dot inside the stencil's closing
+         sweep (no separate full-vector reduction — the 2-sweep plan
+         Perf_model prices); the canonical blocked reduction makes it
+         bit-identical to the dot_re below. *)
+      let pap =
+        match apply_dot with
+        | Some f when fused ->
+          incr applies;
+          (f p ap : float)
+        | _ ->
+          apply p ap;
+          incr applies;
+          Field.dot_re p ap
+      in
       if pap <= 0. then
         (* Operator not positive along p: bail out (caller sees
            converged=false). Normal equations should not hit this. *)

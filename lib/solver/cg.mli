@@ -24,15 +24,17 @@ val blas1_flops : ?fused:bool -> int -> float
 val tail_kernels : fused:bool -> (string * int) list
 (** The BLAS-1 tail of one CG iteration as (kernel, full-vector
     sweeps) rows in launch order — the ground truth
-    [Check.Plan_extract] lifts into the plan IR. The p·Ap reduction is
-    a separate host kernel in both columns (bit-identity with the
-    unfused path), so the fused column sums to 3 sweeps where
-    [Machine.Perf_model.blas1_sweeps] prices 2 — the known stencil-tail
-    gap ([Dirac.Flops.stencil_tail_gap_sweeps]). *)
+    [Check.Plan_extract] lifts into the plan IR. Unfused: dot_re +
+    axpy + axpy + norm2 + xpay (5 sweeps). Fused: cg_update + xpay_dot
+    (2 sweeps) — the p·Ap reduction rides the stencil's closing sweep
+    via [apply_dot], so the fused column matches
+    [Machine.Perf_model.blas1_sweeps] exactly and
+    [Check.Plan_check]'s PLAN005 pass errors on any drift. *)
 
 val solve :
   ?x0:Linalg.Field.t ->
   ?fused:bool ->
+  ?apply_dot:(Linalg.Field.t -> Linalg.Field.t -> float) ->
   ?trace:(float -> unit) ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
   b:Linalg.Field.t ->
@@ -48,6 +50,18 @@ val solve :
     [fused] (default [false]) runs the BLAS-1 tail through the
     single-pass [Linalg.Fused] kernels; the iterate, residual
     trajectory and iteration count are bit-identical to the unfused
-    path for any pool geometry. [trace] is called with |r|² once per
-    iteration (after the residual update) — the hook the fused≡unfused
-    trajectory tests compare on. *)
+    path for any pool geometry.
+
+    [apply_dot src dst] is the tail-capable operator: dst = A src AND
+    the return of src·dst, computed inside the operator's closing
+    sweep through the canonical blocked reduction
+    ([Dirac.Wilson.hop_tail], [Dirac.Mobius.apply_schur_normal_tail])
+    so it is bit-identical to [apply src dst; Field.dot_re src dst].
+    Consumed only when [fused] — together they execute the 2-sweep
+    BLAS-1 plan [Machine.Perf_model.blas1_sweeps] prices; a fused
+    solve without [apply_dot] keeps the dot as a separate monitor
+    sweep (same bits, one more sweep, not model-priced).
+
+    [trace] is called with |r|² once per iteration (after the residual
+    update) — the hook the fused≡unfused trajectory tests compare
+    on. *)

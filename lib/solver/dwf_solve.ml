@@ -42,13 +42,21 @@ let solve ?(precision = Double) ?(fused = false) ?(tol = 1e-10)
   let b = Mobius.create_eo_field t.eo in
   Mobius.apply_schur_dagger t.eo ~src:y' ~dst:b;
   let apply src dst = Mobius.apply_schur_normal t.eo ~src ~dst in
+  (* Tail-capable operator for the fused path: the p·Ap reduction of
+     the CG iteration rides the Schur chain's closing sweep
+     (Mobius.apply_schur_normal_tail) instead of a separate dot_re —
+     the 2-sweep BLAS-1 plan. Bit-identical to apply + dot_re. *)
+  let apply_dot src dst =
+    Mobius.apply_schur_normal_tail t.eo ~src ~dst
+      ~tail:(Linalg.Fused.tail ~dot:src ())
+  in
   let n5_half =
     float_of_int (l5 * Lattice.Geometry.half_volume t.geom)
   in
   let flops_per_apply = n5_half *. float_of_int Dirac.Flops.schur_normal_per_5d_site in
   let x_odd, stats =
     match precision with
-    | Double -> Cg.solve ~fused ~apply ~b ~tol ~max_iter ~flops_per_apply ()
+    | Double -> Cg.solve ~fused ~apply ~apply_dot ~b ~tol ~max_iter ~flops_per_apply ()
     | Mixed config ->
       let x, st =
         Mixed.solve ~config:{ config with tol; max_iter } ~fused ~apply ~b
@@ -59,7 +67,8 @@ let solve ?(precision = Double) ?(fused = false) ?(tol = 1e-10)
         (* Half-precision noise floor reached: polish in double from
            the mixed solution, counting both phases. *)
         let x2, st2 =
-          Cg.solve ~x0:x ~fused ~apply ~b ~tol ~max_iter ~flops_per_apply ()
+          Cg.solve ~x0:x ~fused ~apply ~apply_dot ~b ~tol ~max_iter
+            ~flops_per_apply ()
         in
         ( x2,
           {

@@ -35,7 +35,11 @@ val solve :
     the returned stats aggregate both phases. [fused] (default
     [false]) threads the single-pass [Linalg.Fused] BLAS-1 kernels
     through every solve phase (inner mixed, outer reliable updates,
-    double polish) — bit-identical results. *)
+    double polish), and in the double phases additionally rides the
+    p·Ap reduction on the Schur chain's closing sweep
+    ([Dirac.Mobius.apply_schur_normal_tail] via [Cg.solve]'s
+    [apply_dot]) — the 2-sweep BLAS-1 plan — with bit-identical
+    results. *)
 
 val solve_full :
   ?tol:float -> ?max_iter:int -> t -> rhs:Linalg.Field.t -> Linalg.Field.t * Cg.stats

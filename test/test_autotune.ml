@@ -71,11 +71,21 @@ let test_tuner_save_load () =
   (match Tuner.lookup t2 ~kernel:"k1" ~signature:"s1" with
   | Some e -> Alcotest.(check string) "winner persisted" "w" e.Tuner.winner
   | None -> Alcotest.fail "entry lost");
-  (* and a lookup hits the cache, no re-search *)
+  (* a lookup over candidates that still contain the persisted winner
+     hits the cache, no re-search *)
   ignore
     (Tuner.tune t2 ~kernel:"k1" ~signature:"s1"
-       [ Tuner.candidate "other" (fun () -> ()) ]);
-  Alcotest.(check int) "no search after load" 0 (Tuner.tune_count t2)
+       [ Tuner.candidate "w" (fun () -> ()) ]);
+  Alcotest.(check int) "no search after load" 0 (Tuner.tune_count t2);
+  (* but a persisted winner absent from the live candidates — a stale
+     tunecache from before a variant-space change — is refused: the
+     search re-runs instead of serving a label nothing can execute *)
+  let w' =
+    Tuner.tune t2 ~kernel:"k1" ~signature:"s1"
+      [ Tuner.candidate "other" (fun () -> ()) ]
+  in
+  Alcotest.(check string) "stale winner re-tuned" "other" w';
+  Alcotest.(check int) "stale entry forced a search" 1 (Tuner.tune_count t2)
 
 let test_axpy_variants_agree () =
   let rng = Util.Rng.create 5 in

@@ -371,7 +371,7 @@ let test_selftest_detects_all () =
   (* the expected defect-class count is wired here on purpose: a
      fixture silently dropped from the list (so --selftest would print
      n/n for a smaller n) fails the suite *)
-  Alcotest.(check int) "23 seeded defect classes" 23 (List.length rows);
+  Alcotest.(check int) "25 seeded defect classes" 25 (List.length rows);
   List.iter
     (fun (rule : string) ->
       Alcotest.(check bool) (rule ^ " has a fixture") true

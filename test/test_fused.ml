@@ -1,9 +1,12 @@
 (* Fused BLAS-1 solver kernel tests: the central contract is that
    every Linalg.Fused kernel — and every solver running with ~fused —
    is bit-identical to the unfused sequence it replaces, for any pool
-   geometry. Plus the fusion autotuner's bookkeeping (winner honesty,
-   cache-key isolation) and the Perf_model's 5->2 sweep pricing.
-   Pools come from Pool.shared so the file spawns each width once. *)
+   geometry. That now includes the stencil tail: Wilson.hop_tail and
+   Cg.solve's ~apply_dot ride the p·Ap reduction on the stencil's own
+   sweep and must match hop-then-xpay_dot bit-for-bit. Plus the fusion
+   autotuner's bookkeeping (winner honesty, cache-key isolation, stale
+   tunecache refusal) and the Perf_model's 5->2 sweep pricing. Pools
+   come from Pool.shared so the file spawns each width once. *)
 
 module Pool = Util.Pool
 module Field = Linalg.Field
@@ -105,6 +108,62 @@ let prop_fused_kernels_bit_identical =
             (Field.norm2 y, y))
       in
       ok_axpy && ok_xpay && ok_cg && ok_caxpy)
+
+(* ---- the stencil tail: hop_tail vs hop-then-xpay_dot ---- *)
+
+(* The tail-fused Wilson hop against the unfused sequence it replaces,
+   over random pool widths and chunk sizes (in sites, deliberately not
+   tile-aligned — hop_tail_with must round them itself), with and
+   without the xpay half of the tail. The dot must come out
+   bit-identical because the tail folds through the same canonical
+   2048-float blocked reduction Field.dot_re runs. *)
+let prop_hop_tail_bit_identical =
+  let geom = Lattice.Geometry.create [| 8; 8; 4; 4 |] in
+  let gauge = Lattice.Gauge.warm geom (Util.Rng.create 91) ~eps:0.3 in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let nf = Lattice.Geometry.volume geom * Dirac.Wilson.floats_per_site in
+  QCheck.Test.make ~name:"tail-fused hop bit-identical to hop + xpay_dot"
+    ~count:24
+    QCheck.(triple (int_range 1 8) (int_range 1 2000) bool)
+    (fun (domains, chunk, with_xpay) ->
+      let pool = Pool.shared ~domains in
+      let src = mk_vec 92 nf and q = mk_vec 93 nf in
+      let dst_ref = Field.create nf and dst = Field.create nf in
+      Dirac.Wilson.hop w ~src ~dst:dst_ref;
+      if with_xpay then begin
+        let beta = 0.37 in
+        let out_ref = mk_vec 94 nf and out = mk_vec 94 nf in
+        let s_ref = Fused.xpay_dot dst_ref beta out_ref q in
+        let s =
+          Dirac.Wilson.hop_tail_with pool ~chunk w ~src ~dst
+            ~tail:(Fused.tail ~xpay:(out, beta) ~dot:q ())
+        in
+        s = s_ref && bytes_equal dst dst_ref && bytes_equal out out_ref
+      end
+      else begin
+        let s_ref = Field.dot_re q dst_ref in
+        let s =
+          Dirac.Wilson.hop_tail_with pool ~chunk w ~src ~dst
+            ~tail:(Fused.tail ~dot:q ())
+        in
+        s = s_ref && bytes_equal dst dst_ref
+      end)
+
+(* the runtime twin of the FUSE002/PLAN002 tail-alias fixtures: a tail
+   whose xpay output is the stencil dst must be rejected before launch *)
+let test_hop_tail_alias_guard () =
+  let geom = Lattice.Geometry.create [| 4; 4; 4; 4 |] in
+  let gauge = Lattice.Gauge.warm geom (Util.Rng.create 95) ~eps:0.3 in
+  let w = Dirac.Wilson.of_geometry geom gauge in
+  let nf = Lattice.Geometry.volume geom * Dirac.Wilson.floats_per_site in
+  let src = mk_vec 96 nf and dst = Field.create nf in
+  Alcotest.check_raises "tail out == dst rejected"
+    (Invalid_argument "Wilson.hop_tail: tail output aliases the stencil dst")
+    (fun () ->
+      ignore
+        (Dirac.Wilson.hop_tail w ~src ~dst
+           ~tail:(Fused.tail ~xpay:(dst, 0.5) ~dot:src ())
+          : float))
 
 (* ---- solver-level bit-identity over random operators ---- *)
 
@@ -218,6 +277,70 @@ let test_fused_geometry_invariance () =
         true (tr1 = trd))
     [ 2; 4; 8 ]
 
+(* The CG trajectory is invariant across all three tail modes:
+   unfused, fused with the separate monitor dot, and tail-fused with
+   p·Ap riding the operator's own sweep (~apply_dot). The apply_dot
+   here folds the dot through the canonical reduce_block partials —
+   exactly what the Wilson/Möbius tails do — so all three solves are
+   one bit-identical trajectory, serial and pooled. *)
+let test_cg_tail_fused_trajectory () =
+  let n = 1 lsl 16 in
+  let b = mk_vec 45 n in
+  let apply = diag_apply n in
+  let block = Field.reduce_block in
+  let apply_dot (src : Field.t) (dst : Field.t) =
+    apply src dst;
+    let n_blocks = (n + block - 1) / block in
+    let partials = Array.make n_blocks 0. in
+    for bi = 0 to n_blocks - 1 do
+      let lo = bi * block and hi = min n ((bi + 1) * block) in
+      let acc = ref 0. in
+      for i = lo to hi - 1 do
+        acc :=
+          !acc
+          +. (Bigarray.Array1.unsafe_get src i
+             *. Bigarray.Array1.unsafe_get dst i)
+      done;
+      partials.(bi) <- !acc
+    done;
+    let acc = ref 0. in
+    Array.iter (fun v -> acc := !acc +. v) partials;
+    !acc
+  in
+  List.iter
+    (fun domains ->
+      with_default_pool domains (fun () ->
+          let run ?apply_dot fused =
+            trace_of (fun trace ->
+                Cg.solve ~fused ?apply_dot ~trace ~apply ~b ~tol:1e-10
+                  ~max_iter:300 ~flops_per_apply:1. ())
+          in
+          let (xu, su), tru = run false in
+          let (xf, sf), trf = run true in
+          let (xt, st), trt = run ~apply_dot true in
+          Alcotest.(check int)
+            (Printf.sprintf "fused iterations d=%d" domains)
+            su.Cg.iterations sf.Cg.iterations;
+          Alcotest.(check int)
+            (Printf.sprintf "tail-fused iterations d=%d" domains)
+            su.Cg.iterations st.Cg.iterations;
+          Alcotest.(check bool)
+            (Printf.sprintf "fused trajectory d=%d" domains)
+            true (tru = trf);
+          Alcotest.(check bool)
+            (Printf.sprintf "tail-fused trajectory d=%d" domains)
+            true (tru = trt);
+          Alcotest.(check bool)
+            (Printf.sprintf "solutions bit-identical d=%d" domains)
+            true
+            (bytes_equal xu xf && bytes_equal xu xt);
+          Alcotest.(check bool)
+            (Printf.sprintf "residuals identical d=%d" domains)
+            true
+            (sf.Cg.relative_residual = st.Cg.relative_residual
+            && su.Cg.relative_residual = st.Cg.relative_residual)))
+    [ 1; 4 ]
+
 (* Mixed reliable-update count is an invariant of the fusion mode *)
 let test_mixed_reliable_updates_invariant () =
   let n = 24 * 512 in
@@ -285,7 +408,7 @@ let test_tuner_honesty () =
     done;
     !best
   in
-  let baseline = { Variants.fused = false; geometry = None } in
+  let baseline = { Variants.mode = Fused.Unfused; geometry = None } in
   let t_base =
     time (fun () -> ignore (Variants.run_fusion_plan baseline ~p ~ap ~x ~r : float))
   in
@@ -299,21 +422,25 @@ let test_tuner_honesty () =
     (t_win <= t_base *. 1.5)
 
 let test_fusion_space_and_cache_keys () =
-  (* the serial-unfused baseline is always present, labels are unique,
-     and fused/unfused labels are disjoint *)
+  (* all three serial modes are always present, labels are unique, and
+     every label leads with its plan's mode_name — the three modes are
+     labelled disjointly so cached winners can never alias *)
   let space = Variants.fusion_space ~max_domains:4 ~n:(1 lsl 16) () in
   let labels = List.map fst space in
-  Alcotest.(check bool) "baseline present" true
-    (List.mem "unfused_serial" labels);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " present") true (List.mem l labels))
+    [ "unfused_serial"; "fused_serial"; "tailfused_serial" ];
   Alcotest.(check int) "labels unique" (List.length labels)
     (List.length (List.sort_uniq compare labels));
   List.iter
     (fun (label, (plan : Variants.fusion_plan)) ->
-      let prefix_fused =
-        String.length label >= 5 && String.sub label 0 5 = "fused"
-      in
-      Alcotest.(check bool) (label ^ " label encodes plan") plan.Variants.fused
-        prefix_fused)
+      let prefix = Fused.mode_name plan.Variants.mode in
+      let plen = String.length prefix in
+      Alcotest.(check bool) (label ^ " label encodes its mode") true
+        (String.length label > plen
+        && String.sub label 0 plen = prefix
+        && label.[plen] = '_'))
     space;
   (* distinct shapes tune under distinct cache keys: two sizes, two
      entries, and re-tuning the first is a cache hit *)
@@ -326,6 +453,46 @@ let test_fusion_space_and_cache_keys () =
   let w1', _ = Variants.tune_fusion ~max_domains:2 tuner ~n:4096 in
   Alcotest.(check string) "stable winner on re-tune" w1 w1';
   Alcotest.(check int) "cache hit" (hits_before + 1)
+    (Autotune.Tuner.hit_count tuner);
+  (* the signature carries the variant-space hash (":v<hex>") so a
+     cache persisted before a space change never keys the same *)
+  List.iter
+    (fun (e : Autotune.Tuner.entry) ->
+      let has_v =
+        let s = e.Autotune.Tuner.signature in
+        let rec scan i =
+          i + 1 < String.length s
+          && ((s.[i] = ':' && s.[i + 1] = 'v') || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (e.Autotune.Tuner.signature ^ " carries the space hash") true has_v)
+    (Autotune.Tuner.entries tuner)
+
+(* a stale tunecache — an entry cached under the same key before the
+   variant space changed shape — must never serve a winner label that
+   no longer names a live candidate; the search re-runs and overwrites *)
+let test_tuner_stale_cache_refused () =
+  let tuner = Autotune.Tuner.create ~repeats:1 () in
+  let cand l = Autotune.Tuner.candidate l (fun () -> ()) in
+  let old_space = [ cand "old_a"; cand "old_b" ] in
+  let w = Autotune.Tuner.tune tuner ~kernel:"k" ~signature:"s" old_space in
+  Alcotest.(check bool) "first winner from the old space" true
+    (List.mem w [ "old_a"; "old_b" ]);
+  (* same key, renamed candidates: the cached winner is now stale *)
+  let new_space = [ cand "new_a"; cand "new_b" ] in
+  let tunes = Autotune.Tuner.tune_count tuner in
+  let w' = Autotune.Tuner.tune tuner ~kernel:"k" ~signature:"s" new_space in
+  Alcotest.(check bool) "stale winner not served" true
+    (List.mem w' [ "new_a"; "new_b" ]);
+  Alcotest.(check int) "a fresh search ran" (tunes + 1)
+    (Autotune.Tuner.tune_count tuner);
+  (* the overwritten entry is live again: next lookup is a cache hit *)
+  let hits = Autotune.Tuner.hit_count tuner in
+  let w'' = Autotune.Tuner.tune tuner ~kernel:"k" ~signature:"s" new_space in
+  Alcotest.(check string) "refreshed winner served" w' w'';
+  Alcotest.(check int) "cache hit after refresh" (hits + 1)
     (Autotune.Tuner.hit_count tuner)
 
 (* ---- flops/bytes accounting and the Perf_model traffic term ---- *)
@@ -412,9 +579,13 @@ let test_shutdown () = Pool.shutdown_shared ()
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_fused_kernels_bit_identical;
+    QCheck_alcotest.to_alcotest prop_hop_tail_bit_identical;
+    Alcotest.test_case "hop tail alias guard" `Quick test_hop_tail_alias_guard;
     QCheck_alcotest.to_alcotest prop_fused_solvers_bit_identical;
     Alcotest.test_case "fused trajectory invariant across geometries" `Quick
       test_fused_geometry_invariance;
+    Alcotest.test_case "CG trajectory invariant across tail modes" `Quick
+      test_cg_tail_fused_trajectory;
     Alcotest.test_case "Mixed reliable-update count invariant" `Quick
       test_mixed_reliable_updates_invariant;
     Alcotest.test_case "aliasing guards" `Quick test_alias_guards;
@@ -422,6 +593,8 @@ let suite =
       test_tuner_honesty;
     Alcotest.test_case "fusion space labels and cache keys" `Quick
       test_fusion_space_and_cache_keys;
+    Alcotest.test_case "stale tunecache winner refused" `Quick
+      test_tuner_stale_cache_refused;
     Alcotest.test_case "flops/bytes accounting" `Quick test_flops_accounting;
     Alcotest.test_case "Perf_model 5->2 sweep pricing" `Quick
       test_perf_model_fusion_pricing;

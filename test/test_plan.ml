@@ -147,23 +147,16 @@ let test_catalog_roundtrip () =
     Extract.catalog
 
 let test_catalog_verifies () =
+  (* every catalog plan is fully silent — warnings included. The fused
+     CG plans used to carry a permanent PLAN005 stencil-tail warning;
+     since the tail fusion closed the gap, any diagnostic here is a
+     regression. *)
   List.iter
     (fun (name, build) ->
       let ds = Pc.verify (build ()) in
-      check_clean ("catalog plan " ^ name) ds;
-      (* the fused CG plans carry exactly the documented stencil-tail
-         warning; everything else is silent *)
-      let expect_warning = List.mem name [ "cg-fused"; "cg-tail-fused" ] in
-      let warnings = List.filter (fun d -> not (D.is_error d)) ds in
-      if expect_warning then begin
-        Alcotest.(check (list string))
-          (name ^ " carries the PLAN005 stencil-tail warning")
-          [ "PLAN005" ]
-          (rules warnings)
-      end
-      else if warnings <> [] then
-        Alcotest.failf "%s should be silent but warned: %s" name
-          (String.concat "; " (List.map D.to_string warnings)))
+      if ds <> [] then
+        Alcotest.failf "%s should be silent but fired: %s" name
+          (String.concat "; " (List.map D.to_string ds)))
     Extract.catalog
 
 (* ---- extraction fidelity: the IR against the front-end exports ---- *)
@@ -223,23 +216,46 @@ let test_sweep_accounting () =
       (fun acc -> function Ir.Launch k -> acc + k.Ir.sweeps | _ -> acc)
       0 p.Ir.steps
   in
-  (* unfused: plan, model and host all agree on 5 sweeps *)
-  let unfused = ir_sweeps (Extract.cg_tail ~fused:false ()) in
-  Alcotest.(check int) "unfused IR sweeps = model"
-    (int_of_float (Machine.Perf_model.blas1_sweeps ~fused:false))
-    unfused;
-  Alcotest.(check int) "unfused host sweeps agree"
-    (int_of_float (Machine.Perf_model.blas1_host_sweeps ~fused:false))
-    unfused;
-  (* fused: the IR executes what the host executes (3), which is the
-     model's price (2) plus the documented stencil-tail gap *)
-  let fused = ir_sweeps (Extract.cg_tail ~fused:true ()) in
-  Alcotest.(check int) "fused IR sweeps = host sweeps"
-    (int_of_float (Machine.Perf_model.blas1_host_sweeps ~fused:true))
-    fused;
-  Alcotest.(check int) "fused gap = stencil_tail_gap_sweeps"
-    Dirac.Flops.stencil_tail_gap_sweeps
-    (fused - int_of_float (Machine.Perf_model.blas1_sweeps ~fused:true))
+  (* plan, model and host all agree, unfused (5) and fused (2): the
+     stencil-tail gap is closed, so the derived gap is zero and the
+     host executes exactly what the model prices *)
+  List.iter
+    (fun fused ->
+      let plan = Extract.cg_tail ~fused () in
+      let ir = ir_sweeps plan in
+      Alcotest.(check int)
+        (Printf.sprintf "IR sweeps = model (fused=%b)" fused)
+        (int_of_float (Machine.Perf_model.blas1_sweeps ~fused))
+        ir;
+      Alcotest.(check int)
+        (Printf.sprintf "host sweeps agree (fused=%b)" fused)
+        (int_of_float (Machine.Perf_model.blas1_host_sweeps ~fused))
+        ir;
+      Alcotest.(check (option int))
+        (Printf.sprintf "derived sweep gap is zero (fused=%b)" fused)
+        (Some 0) (Pc.sweep_gap plan))
+    [ false; true ];
+  (* unpriced plans (no fusion tag) have no gap to derive *)
+  Alcotest.(check (option int)) "separate-dot fallback is unpriced" None
+    (Pc.sweep_gap (Extract.cg_tail_separate ()));
+  (* and a plan drifting off the model is a live PLAN005 error with
+     the gap derived from the plan itself, never a whitelisted gap *)
+  let p = Extract.cg_tail ~fused:true () in
+  let padded =
+    {
+      p with
+      Ir.steps =
+        List.map
+          (function
+            | Ir.Launch k when k.Ir.kname = "xpay_dot" ->
+              Ir.Launch { k with Ir.sweeps = k.Ir.sweeps + 1 }
+            | s -> s)
+          p.Ir.steps;
+    }
+  in
+  Alcotest.(check (option int)) "padded plan gap" (Some 1)
+    (Pc.sweep_gap padded);
+  check_fires "padded plan" "PLAN005" (errors (Pc.verify padded))
 
 (* ---- seeded defects vs their clean counterparts ---- *)
 
@@ -251,11 +267,13 @@ let test_defect_fixture_pairs () =
     ("plan-partition-overlap", "PLAN001", Check.Fixtures.plan_partition_overlap,
      fun () -> Pc.verify (Extract.pooled_axpy ()));
     ("plan-aliased-output", "PLAN002", Check.Fixtures.plan_aliased_output,
-     fun () -> errors (Pc.verify (Extract.cg_tail ~fused:true ())));
+     fun () -> Pc.verify (Extract.cg_tail ~fused:true ()));
+    ("plan-tail-aliased", "PLAN002", Check.Fixtures.plan_tail_aliased,
+     fun () -> Pc.verify (Extract.wilson_hop_tail ()));
     ("plan-zero-copy-write", "PLAN003", Check.Fixtures.plan_zero_copy_write,
      fun () -> Pc.verify (Extract.dd_zero_copy ()));
     ("plan-sweep-mismatch", "PLAN005", Check.Fixtures.plan_sweep_mismatch,
-     fun () -> errors (Pc.verify (Extract.cg_tail ~fused:true ())));
+     fun () -> Pc.verify (Extract.cg_tail ~fused:true ()));
     ("plan-half-range", "PREC001", Check.Fixtures.plan_half_range,
      fun () -> Pc.verify (Extract.mixed ~fused:true ()));
     ("plan-stale-precision", "PREC003", Check.Fixtures.plan_stale_precision,
@@ -314,34 +332,37 @@ let test_quantize_block_mismatch () =
 (* ---- lint-before-cache ---- *)
 
 let test_lint_fusion () =
-  (* every real candidate geometry lints clean *)
+  (* every real candidate — all three modes crossed with the pool
+     geometries — lints clean *)
   List.iter
-    (fun fused ->
-      List.iter
-        (fun (_, (plan : Autotune.Variants.fusion_plan)) ->
-          Alcotest.(check (list string))
-            (Printf.sprintf "candidate fused=%b geometry lints clean" fused)
-            []
-            (rules
-               (Pc.lint_fusion ~n:65536 ~fused:plan.Autotune.Variants.fused
-                  ~geometry:plan.Autotune.Variants.geometry)))
-        (Autotune.Variants.fusion_space ~max_domains:4 ~n:65536 ()))
-    [ false; true ];
-  (* a degenerate geometry is rejected by the analyzer *)
-  check_fires "degenerate chunk rejected" "PLAN001"
-    (Pc.lint_fusion ~n:65536 ~fused:true ~geometry:(Some (4, 0)))
+    (fun (label, (plan : Autotune.Variants.fusion_plan)) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "candidate %s lints clean" label)
+        []
+        (rules
+           (Pc.lint_fusion ~n:65536 ~mode:plan.Autotune.Variants.mode
+              ~geometry:plan.Autotune.Variants.geometry)))
+    (Autotune.Variants.fusion_space ~max_domains:4 ~n:65536 ());
+  (* a degenerate geometry is rejected by the analyzer, in every mode *)
+  List.iter
+    (fun mode ->
+      check_fires "degenerate chunk rejected" "PLAN001"
+        (Pc.lint_fusion ~n:65536 ~mode ~geometry:(Some (4, 0))))
+    Linalg.Fused.[ Unfused; Fused; Tail_fused ]
 
 let test_tune_fusion_lints_before_cache () =
-  (* a lint that rejects every fused candidate: the tuner must settle
-     on an unfused winner and cache it under that label — a rejected
-     plan never enters the search, hence never the cache *)
+  (* a lint that rejects every fused candidate (both fused modes): the
+     tuner must settle on an unfused winner and cache it under that
+     label — a rejected plan never enters the search, hence never the
+     cache *)
   let tuner = Autotune.Tuner.create () in
-  let lint ~fused ~geometry =
+  let lint ~mode ~geometry =
     ignore geometry;
-    if fused then Some "rejected by test lint" else None
+    if mode <> Linalg.Fused.Unfused then Some "rejected by test lint"
+    else None
   in
   let winner, plan = Autotune.Variants.tune_fusion ~max_domains:2 ~lint tuner ~n:4096 in
-  if plan.Autotune.Variants.fused then
+  if plan.Autotune.Variants.mode <> Linalg.Fused.Unfused then
     Alcotest.failf "lint rejected all fused candidates yet winner %s is fused"
       winner;
   (* the cached winner replayed on a second call is still unfused *)
@@ -349,12 +370,12 @@ let test_tune_fusion_lints_before_cache () =
     Autotune.Variants.tune_fusion ~max_domains:2 ~lint tuner ~n:4096
   in
   Alcotest.(check string) "cached winner stable" winner winner';
-  if plan'.Autotune.Variants.fused then
+  if plan'.Autotune.Variants.mode <> Linalg.Fused.Unfused then
     Alcotest.failf "cached winner %s is fused" winner';
   (* a lint rejecting everything still leaves the serial-unfused
      baseline searchable (tuner honesty) *)
-  let reject_all ~fused ~geometry =
-    ignore fused;
+  let reject_all ~mode ~geometry =
+    ignore mode;
     ignore geometry;
     Some "rejected"
   in
@@ -364,7 +385,9 @@ let test_tune_fusion_lints_before_cache () =
   in
   Alcotest.(check string) "baseline survives a reject-all lint"
     "unfused_serial" winner_base;
-  if plan_base.Autotune.Variants.fused || plan_base.Autotune.Variants.geometry <> None
+  if
+    plan_base.Autotune.Variants.mode <> Linalg.Fused.Unfused
+    || plan_base.Autotune.Variants.geometry <> None
   then Alcotest.fail "reject-all winner is not the serial baseline"
 
 (* ---- bench JSON merge (rides along: the dedup contract) ---- *)
