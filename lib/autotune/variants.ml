@@ -304,6 +304,83 @@ let tune_fusion ?max_domains ?lint tuner ~n =
   in
   (winner, List.assoc winner plans)
 
+(* ---- batch-width (multi-RHS) axis ----
+   The launch dimension opened by Wilson.hop_multi: how many
+   right-hand sides ride one gauge-link stream, crossed with the pool
+   geometries. The width is part of BOTH the label (so a winner names
+   its k) and the cache signature (the batch ceiling kmax plus the
+   label-space hash) — a single-RHS winner can never be served for a
+   batched space or vice versa; Check.Mrhs_check rule MRHS003 audits
+   exactly that aliasing on extracted plans. *)
+
+type mrhs_plan = {
+  k : int;
+  geometry : (int * int) option;
+}
+
+let mrhs_label (plan : mrhs_plan) =
+  match plan.geometry with
+  | None -> Printf.sprintf "k%d_serial" plan.k
+  | Some g -> geom_label (Printf.sprintf "k%d" plan.k) g
+
+let mrhs_widths = [ 1; 2; 4; 8 ]
+
+let mrhs_space ?max_domains ?(widths = mrhs_widths) ~sites () =
+  let geoms = pool_geometries ?max_domains ~chunk_floor:16 ~n:sites () in
+  List.concat_map
+    (fun k ->
+      { k; geometry = None }
+      :: List.map (fun g -> { k; geometry = Some g }) geoms)
+    widths
+  |> List.map (fun p -> (mrhs_label p, p))
+
+(* Tune the batch width × pool geometry on a concrete batch of field
+   pairs. Fairness: every candidate processes the full [kmax]-wide
+   batch, a width-k plan as ceil(kmax/k) sub-batches — so a narrow
+   width is priced on the gauge re-streaming it actually costs, not
+   handed fewer vectors. A width-1 serial plan is always in the space
+   (the single-RHS baseline the tuner may keep). *)
+let tune_hop_multi ?max_domains tuner (w : Dirac.Wilson.t)
+    ~(srcs : Field.t array) ~(dsts : Field.t array) ~signature =
+  let kmax = Array.length srcs in
+  if kmax = 0 || Array.length dsts <> kmax then
+    invalid_arg "Variants.tune_hop_multi: batch width mismatch";
+  let n = Field.length dsts.(0) / Dirac.Wilson.floats_per_site in
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let widths = List.filter (fun k -> k <= kmax) mrhs_widths in
+  let widths = if widths = [] then [ kmax ] else widths in
+  let all = mrhs_space ~max_domains:dmax ~widths ~sites:n () in
+  let run (plan : mrhs_plan) =
+    let off = ref 0 in
+    while !off < kmax do
+      let width = min plan.k (kmax - !off) in
+      let ss = Array.sub srcs !off width and ds = Array.sub dsts !off width in
+      (match plan.geometry with
+      | None ->
+        Dirac.Wilson.hop_multi_with (Util.Pool.shared ~domains:1) w ~srcs:ss
+          ~dsts:ds
+      | Some (d, c) ->
+        Dirac.Wilson.hop_multi_with (Util.Pool.shared ~domains:d) ~chunk:c w
+          ~srcs:ss ~dsts:ds);
+      off := !off + width
+    done
+  in
+  let signature =
+    Printf.sprintf "%s:sites%d:kmax%d:dmax%d:v%x" signature n kmax dmax
+      (Hashtbl.hash (List.map fst all))
+  in
+  let winner =
+    Tuner.tune tuner ~kernel:"wilson_hop_multi" ~signature
+      (List.map
+         (fun (label, plan) -> Tuner.candidate label (fun () -> run plan))
+         all)
+  in
+  (winner, List.assoc winner all)
+
 (* Tune axpy on vectors of a given size: serial unroll variants plus
    pooled geometries in one search space. The signature carries both
    the length and the domain cap (the cache-key audit: a winner tuned

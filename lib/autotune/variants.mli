@@ -47,6 +47,53 @@ val tune_hop :
     The cache signature is extended with [":n<sites>:dmax<cap>"] so a
     winner never leaks across problem shapes or machine widths. *)
 
+(** The batch-width launch axis opened by [Dirac.Wilson.hop_multi]:
+    how many right-hand sides ride one gauge-link stream, crossed
+    with the pool geometries. [geometry = None] is a serial plan. *)
+type mrhs_plan = {
+  k : int;
+  geometry : (int * int) option;
+}
+
+val mrhs_label : mrhs_plan -> string
+(** ["k<k>_serial"] or ["k<k>_d<d>_c<c>"] — the batch width is part
+    of every label, so cached winners name their k and can never
+    alias across widths. *)
+
+val mrhs_widths : int list
+(** The candidate batch widths: [[1; 2; 4; 8]]. *)
+
+val mrhs_space :
+  ?max_domains:int ->
+  ?widths:int list ->
+  sites:int ->
+  unit ->
+  (string * mrhs_plan) list
+(** All (label, plan) candidates for a stencil of [sites] sites:
+    every width crossed with serial + the pool geometries. The
+    width-1 serial single-RHS baseline is present whenever [1] is in
+    [widths] (the default). *)
+
+val tune_hop_multi :
+  ?max_domains:int ->
+  Tuner.t ->
+  Dirac.Wilson.t ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  signature:string ->
+  string * mrhs_plan
+(** Tune batch width × pool geometry on a concrete batch of field
+    pairs (kernel ["wilson_hop_multi"]). Every candidate processes
+    the full batch — a width-k plan as ceil(kmax/k) sub-batches — so
+    narrow widths are priced on the gauge re-streaming they cost.
+    The cache signature is extended with
+    [":sites<n>:kmax<w>:dmax<cap>:v<space-hash>"]: the batch ceiling
+    and the label-space hash keep a winner tuned for one batch shape
+    from ever being served for another, and [Tuner.tune]
+    independently refuses a cached winner absent from the live
+    space — the aliasing [Check.Mrhs_check] rule MRHS003 audits on
+    extracted plans. *)
+
 val tune_axpy :
   ?max_domains:int ->
   Tuner.t ->

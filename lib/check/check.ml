@@ -16,6 +16,7 @@ module Numeric_check = Numeric_check
 module Spec_check = Spec_check
 module Pool_check = Pool_check
 module Fuse_check = Fuse_check
+module Mrhs_check = Mrhs_check
 module Plan_ir = Plan_ir
 module Plan_extract = Plan_extract
 module Plan_check = Plan_check
@@ -33,6 +34,7 @@ let workflow_spec = Spec_check.workflow_spec
 let mixed_config = Spec_check.mixed_config
 let pool_plan = Pool_check.verify_plan
 let fused_plan = Fuse_check.verify_plan
+let mrhs_plan = Mrhs_check.verify_plan
 let solver_plan = Plan_check.verify
 
 let all_rules =
@@ -43,6 +45,7 @@ let all_rules =
     ("spec", Spec_check.rules);
     ("pool", Pool_check.rules);
     ("fuse", Fuse_check.rules);
+    ("mrhs", Mrhs_check.rules);
     ("plan", Plan_check.rules);
   ]
 
@@ -220,6 +223,23 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
               ("out", Fuse_check.Update);
               ("q", Fuse_check.Read);
             ]
+          ();
+      ]
+    @
+    (* the batched multi-RHS launches the solve_multi path runs: a
+       width-4 hop with correct masking bookkeeping and a batched CG
+       tail mid-solve with one RHS already retired — both must verify
+       clean (the seeded-defect twins live in Fixtures) *)
+    Mrhs_check.verify_plans
+      [
+        Mrhs_check.plan ~kernel:"wilson_hop_multi" ~k:4 ~n ~block:blk
+          ~tuned_k:4
+          ~active:[| true; true; true; true |]
+          ~converged:[| false; false; false; false |]
+          ();
+        Mrhs_check.plan ~kernel:"multi_cg_update" ~k:4 ~n ~block:blk
+          ~active:[| true; false; true; true |]
+          ~converged:[| false; true; false; false |]
           ();
       ]
   in

@@ -11,6 +11,7 @@ module Numeric_check : module type of Numeric_check
 module Spec_check : module type of Spec_check
 module Pool_check : module type of Pool_check
 module Fuse_check : module type of Fuse_check
+module Mrhs_check : module type of Mrhs_check
 module Plan_ir : module type of Plan_ir
 module Plan_extract : module type of Plan_extract
 module Plan_check : module type of Plan_check
@@ -38,6 +39,7 @@ val workflow_spec : Core.Workflow.spec -> Diagnostic.t list
 val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
 val pool_plan : Pool_check.plan -> Diagnostic.t list
 val fused_plan : Fuse_check.plan -> Diagnostic.t list
+val mrhs_plan : Mrhs_check.plan -> Diagnostic.t list
 
 val solver_plan : Plan_ir.plan -> Diagnostic.t list
 (** The full static analyzer ({!Plan_check.verify}) over one plan. *)

@@ -1,4 +1,4 @@
-(* Seeded defect fixtures: twenty-five artifacts, each carrying
+(* Seeded defect fixtures: twenty-eight artifacts, each carrying
    exactly the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
@@ -6,13 +6,15 @@
    completion-order reduction, broken chunk partition, under-cutoff
    pooled launch; four fused-kernel defects: non-canonical reduction
    block, aliased output operand, stencil-tail output aliasing the
-   hop dst, untuned launch geometry; seven plan-level defects caught
-   statically from the IR alone: partition overlap, aliased fused
-   output, tail output aliasing the stencil dst, zero-copy window
-   write, model/IR sweep mismatch, half-codec range violation,
-   stale-precision read). The CLI's --selftest and the test suite
-   assert every one is detected, which keeps the checker honest — a
-   pass that silently stops firing fails CI. *)
+   hop dst, untuned launch geometry; three batched multi-RHS defects:
+   converged RHS left active, mask width mismatching the batch,
+   stale single-RHS tuner winner aliased onto a batched plan; seven
+   plan-level defects caught statically from the IR alone: partition
+   overlap, aliased fused output, tail output aliasing the stencil
+   dst, zero-copy window write, model/IR sweep mismatch, half-codec
+   range violation, stale-precision read). The CLI's --selftest and
+   the test suite assert every one is detected, which keeps the
+   checker honest — a pass that silently stops firing fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -261,6 +263,43 @@ let fused_untuned_geometry () =
          ]
        ())
 
+(* ---- 7'. batched multi-RHS defects ---- *)
+
+(* 7c. A batched CG update whose RHS 1 met its stopping criterion but
+   was never dropped from the active set: the batched kernels keep
+   advancing an iterate the independent solve froze — the trajectory
+   silently diverges from the k-independent-solves reference. *)
+let mrhs_masked_update () =
+  Mrhs_check.verify_plan
+    (Mrhs_check.plan ~kernel:"multi_cg_update" ~k:4 ~n:(1 lsl 16)
+       ~block:Linalg.Field.reduce_block
+       ~active:[| true; true; true; false |]
+       ~converged:[| false; true; false; true |]
+       ())
+
+(* 7d. A width-4 batched hop carrying width-3 masks: the RHS at the
+   batch boundary is silently dropped (or invented) by every masked
+   loop. *)
+let mrhs_block_mismatch () =
+  Mrhs_check.verify_plan
+    (Mrhs_check.plan ~kernel:"wilson_hop_multi" ~k:4 ~n:(1 lsl 16)
+       ~block:Linalg.Field.reduce_block
+       ~active:[| true; true; true |]
+       ~converged:[| false; false; false |]
+       ())
+
+(* 7e. A width-4 batched launch running under the tuner winner that
+   was recorded for the single-RHS space: the batched plan was never
+   priced, so bench rows and the amortized-traffic model describe a
+   different launch. *)
+let mrhs_stale_tuned () =
+  Mrhs_check.verify_plan
+    (Mrhs_check.plan ~kernel:"wilson_hop_multi" ~k:4 ~n:(1 lsl 16)
+       ~block:Linalg.Field.reduce_block ~tuned_k:1
+       ~active:[| true; true; true; true |]
+       ~converged:[| false; false; false; false |]
+       ())
+
 (* ---- 8. plan-level defects: the same bug classes caught statically,
    from the IR alone, before any kernel runs ---- *)
 
@@ -481,6 +520,24 @@ let all =
       defect = "fused launch on a geometry the tuner's winner disagrees with";
       expect = "FUSE003";
       run = fused_untuned_geometry;
+    };
+    {
+      name = "mrhs-masked-update";
+      defect = "batched CG update with a converged RHS still active";
+      expect = "MRHS001";
+      run = mrhs_masked_update;
+    };
+    {
+      name = "mrhs-block-mismatch";
+      defect = "width-4 batched hop carrying width-3 per-RHS masks";
+      expect = "MRHS002";
+      run = mrhs_block_mismatch;
+    };
+    {
+      name = "mrhs-stale-tuned";
+      defect = "width-4 batched launch under a single-RHS tuner winner";
+      expect = "MRHS003";
+      run = mrhs_stale_tuned;
     };
     {
       name = "plan-partition-overlap";

@@ -398,6 +398,80 @@ let wilson_hop_tail ?(sites = 256) ?(geometry = (4, 6144)) () =
       ]
     "wilson-hop-tail"
 
+(* The batched multi-RHS hop (Wilson.hop_multi): one launch reads the
+   gauge field once and streams k src/dst spinor pairs through it —
+   the per-RHS buffers are declared individually so the aliasing pass
+   vets every dst against every src and the other dsts. Stencil
+   traffic is priced per site by Perf_model.mrhs_bytes_per_site (the
+   link term amortized k-fold), not as BLAS-1 sweeps. *)
+let wilson_hop_multi ?(k = 4) ?(sites = 256) ?geometry () =
+  if k < 1 then invalid_arg "Plan_extract.wilson_hop_multi: k must be >= 1";
+  let n = sites * 24 in
+  let srcs = List.init k (Printf.sprintf "src%d") in
+  let dsts = List.init k (Printf.sprintf "dst%d") in
+  plan ~n
+    ~buffers:
+      (buffer ~prec:Double "u"
+      :: List.map (fun b -> buffer ~prec:Double b) (srcs @ dsts))
+    ~steps:
+      [
+        Launch
+          (kernel ?geometry ~sweeps:1
+             ~args:
+               (("u", r_)
+               :: (List.map (fun s -> (s, r_)) srcs
+                  @ List.map (fun d -> (d, w_)) dsts))
+             "wilson_hop_multi");
+      ]
+    "wilson-hop-multi"
+
+(* Effects of the batched BLAS-1 kernels from Multi_blas's own
+   operand-role table — same discipline as [fused_args]. *)
+let multi_args name ~buffers ~reduce =
+  match Linalg.Multi_blas.operand_roles name with
+  | None -> invalid_arg ("Plan_extract.multi_args: unknown kernel " ^ name)
+  | Some roles ->
+    if List.length roles <> List.length buffers then
+      invalid_arg ("Plan_extract.multi_args: arity mismatch for " ^ name)
+    else
+      List.map2
+        (fun (_, is_out) buf -> (buf, if is_out then u_ else r_))
+        roles buffers
+      @ [ (reduce, red) ]
+
+(* The per-iteration BLAS-1 tail of Cg.solve_multi, driven by
+   Cg.multi_tail_kernels: fused it is the two Multi_blas batch kernels
+   (2 sweeps per vector — matching Perf_model.blas1_sweeps ~fused:true,
+   so the PLAN005 cross-check must report a zero gap), unfused the
+   five scalar kernels per RHS. Buffers name the per-RHS quadruple;
+   the batch width multiplies volume, not sweep count. *)
+let cg_tail_multi ?(n = 1 lsl 16) ?geometry ~fused () =
+  let rows = Solver.Cg.multi_tail_kernels ~fused in
+  let argss =
+    if fused then
+      [
+        ( multi_args "multi_cg_update" ~buffers:[ "p"; "ap"; "x"; "r" ]
+            ~reduce:"r2",
+          1.0 );
+        (multi_args "multi_xpay_dot" ~buffers:[ "r"; "p"; "r" ] ~reduce:"pr", 1.0);
+      ]
+    else
+      [
+        ([ ("p", r_); ("ap", r_); ("pap", red) ], 1.0);
+        ([ ("p", r_); ("x", u_) ], 1.0);
+        ([ ("ap", r_); ("r", u_) ], 1.0);
+        ([ ("r", r_); ("r2", red) ], 1.0);
+        ([ ("r", r_); ("p", u_) ], 1.0);
+      ]
+  in
+  let steps =
+    List.map
+      (fun kr -> Launch { kr with geometry })
+      (zip_args "cg_tail_multi" rows argss)
+  in
+  plan ~fusion:fused ~n ~buffers:cg_buffers ~steps
+    (if fused then "cg-tail-multi-fused" else "cg-tail-multi")
+
 (* The Mobius 5D hop parallelizes over s-slices: n counts slices, the
    canonical launch is one chunk per slice. *)
 let mobius_hop ?(l5 = 16) () =
@@ -495,6 +569,9 @@ let catalog : (string * (unit -> plan)) list =
     ("dwf-mixed", fun () -> dwf ~mixed_precision:true ~fused:true ());
     ("wilson-hop", fun () -> wilson_hop ());
     ("wilson-hop-tail", fun () -> wilson_hop_tail ());
+    ("wilson-hop-multi", fun () -> wilson_hop_multi ());
+    ("cg-tail-multi", fun () -> cg_tail_multi ~fused:false ());
+    ("cg-tail-multi-fused", fun () -> cg_tail_multi ~fused:true ());
     ("mobius-hop", fun () -> mobius_hop ());
     ("pooled-axpy", fun () -> pooled_axpy ());
     ("dd-overlapped", fun () -> dd_overlapped ());

@@ -62,6 +62,23 @@ val wilson_hop_tail : ?sites:int -> ?geometry:int * int -> unit -> Plan_ir.plan
     [q] reduced through the canonical blocks. [out] aliasing [dst] is
     the seeded [Fixtures.plan_tail_aliased] hazard. *)
 
+val wilson_hop_multi :
+  ?k:int -> ?sites:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+(** The batched multi-RHS hop ([Dirac.Wilson.hop_multi]): one launch
+    reading the gauge field once for [k] (default 4) src/dst spinor
+    pairs, each declared as its own buffer so the aliasing pass vets
+    the whole batch. Traffic is priced per site by
+    [Machine.Perf_model.mrhs_bytes_per_site]. *)
+
+val cg_tail_multi :
+  ?n:int -> ?geometry:int * int -> fused:bool -> unit -> Plan_ir.plan
+(** The per-iteration BLAS-1 tail of [Solver.Cg.solve_multi], rows
+    from [Solver.Cg.multi_tail_kernels]: fused it is the two
+    [Linalg.Multi_blas] batch kernels (2 sweeps per vector — the
+    PLAN005 cross-check against [Machine.Perf_model.blas1_sweeps]
+    must report [sweep_gap = Some 0]), unfused the five scalar
+    kernels per RHS. *)
+
 val mobius_hop : ?l5:int -> unit -> Plan_ir.plan
 (** Pooled stencil launches; [mobius_hop] parallelizes over s-slices
     ([n] counts slices, one chunk per slice). *)

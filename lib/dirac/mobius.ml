@@ -516,6 +516,161 @@ let apply_schur_normal_tail eo ~src ~dst ~tail =
   apply_schur eo ~src ~dst:tmp;
   apply_schur_dagger_tail eo ~src:tmp ~dst ~tail
 
+(* ---- batched multi-RHS Schur chain ----
+   The 5d wrapper of [Wilson.hop_multi]: per slice, every RHS's
+   s-combination lands in its own phi buffer and one batched 4D hop
+   streams the gauge links once for all k of them. Everything that is
+   per-RHS (combine, M5d/M5d⁻¹, the closing subtractions) runs
+   per-RHS with [apply_hop]'s own loops, so each dst in the batch is
+   bit-identical to the independent single-RHS chain for any batch
+   width and pool geometry. *)
+
+let apply_hop_multi p kernel ~n4_src ~n4_dst ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) ~accumulate =
+  let kw = Array.length srcs in
+  let range lo hi =
+    let phis = Array.init kw (fun _ -> Linalg.Field.create (n4_src * fps)) in
+    let scratch =
+      Array.init kw (fun _ -> Linalg.Field.create (n4_dst * fps))
+    in
+    for s = lo to hi - 1 do
+      for v = 0 to kw - 1 do
+        combine_slice p ~n4:n4_src ~s ~src:srcs.(v) ~phi:phis.(v)
+      done;
+      Wilson.hop_multi kernel ~srcs:phis ~dsts:scratch;
+      let base = s * n4_dst * fps in
+      for v = 0 to kw - 1 do
+        let dst = dsts.(v) and sc = scratch.(v) in
+        if accumulate then
+          for k = 0 to (n4_dst * fps) - 1 do
+            Array1.unsafe_set dst (base + k)
+              (Array1.unsafe_get dst (base + k)
+              -. (0.5 *. Array1.unsafe_get sc k))
+          done
+        else
+          for k = 0 to (n4_dst * fps) - 1 do
+            Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get sc k)
+          done
+      done
+    done
+  in
+  run_slices p ~n4_dst range
+
+let apply_hop_dagger_multi p kernel ~n4_src ~n4_dst
+    ~(srcs : Linalg.Field.t array) ~(dsts : Linalg.Field.t array) ~accumulate =
+  let kw = Array.length srcs in
+  let hts =
+    Array.init kw (fun _ -> Linalg.Field.create (p.l5 * n4_dst * fps))
+  in
+  let stencil_range lo hi =
+    let slice_ins =
+      Array.init kw (fun _ -> Linalg.Field.create (n4_src * fps))
+    in
+    let slice_outs =
+      Array.init kw (fun _ -> Linalg.Field.create (n4_dst * fps))
+    in
+    for s = lo to hi - 1 do
+      let sb = s * n4_src * fps in
+      for v = 0 to kw - 1 do
+        let src = srcs.(v) and slice_in = slice_ins.(v) in
+        for k = 0 to (n4_src * fps) - 1 do
+          Array1.unsafe_set slice_in k (Array1.unsafe_get src (sb + k))
+        done;
+        Gamma.apply_gamma5 slice_in slice_in
+      done;
+      Wilson.hop_multi kernel ~srcs:slice_ins ~dsts:slice_outs;
+      let db = s * n4_dst * fps in
+      for v = 0 to kw - 1 do
+        let slice_out = slice_outs.(v) and ht = hts.(v) in
+        Gamma.apply_gamma5 slice_out slice_out;
+        for k = 0 to (n4_dst * fps) - 1 do
+          Array1.unsafe_set ht (db + k) (Array1.unsafe_get slice_out k)
+        done
+      done
+    done
+  in
+  run_slices p ~n4_dst stencil_range;
+  let combine_range lo hi =
+    let phi = Linalg.Field.create (n4_dst * fps) in
+    for s = lo to hi - 1 do
+      for v = 0 to kw - 1 do
+        combine_slice_dagger p ~n4:n4_dst ~s ~src:hts.(v) ~phi;
+        let dst = dsts.(v) in
+        let base = s * n4_dst * fps in
+        if accumulate then
+          for k = 0 to (n4_dst * fps) - 1 do
+            Array1.unsafe_set dst (base + k)
+              (Array1.unsafe_get dst (base + k)
+              -. (0.5 *. Array1.unsafe_get phi k))
+          done
+        else
+          for k = 0 to (n4_dst * fps) - 1 do
+            Array1.unsafe_set dst (base + k) (-0.5 *. Array1.unsafe_get phi k)
+          done
+      done
+    done
+  in
+  run_slices p ~n4_dst combine_range
+
+let hop_eo_multi eo ~to_parity ~srcs ~dsts =
+  let kernel = if to_parity = 0 then eo.kern_to_even else eo.kern_to_odd in
+  apply_hop_multi eo.p kernel ~n4_src:eo.half ~n4_dst:eo.half ~srcs ~dsts
+    ~accumulate:false
+
+let hop_eo_dagger_multi eo ~from_parity ~srcs ~dsts =
+  let kernel = if from_parity = 0 then eo.kern_to_odd else eo.kern_to_even in
+  apply_hop_dagger_multi eo.p kernel ~n4_src:eo.half ~n4_dst:eo.half ~srcs
+    ~dsts ~accumulate:false
+
+let apply_schur_multi eo ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  let kw = Array.length srcs in
+  if kw = 0 || Array.length dsts <> kw then
+    invalid_arg "Mobius.apply_schur_multi: batch width mismatch";
+  let t1s = Array.init kw (fun _ -> create_eo_field eo) in
+  let t2s = Array.init kw (fun _ -> create_eo_field eo) in
+  hop_eo_multi eo ~to_parity:0 ~srcs ~dsts:t1s;
+  Array.iteri
+    (fun v t1 -> apply_m5inv eo.p ~n4:eo.half ~src:t1 ~dst:t2s.(v))
+    t1s;
+  hop_eo_multi eo ~to_parity:1 ~srcs:t2s ~dsts:t1s;
+  Array.iteri (fun v src -> apply_m5 eo.p ~n4:eo.half ~src ~dst:dsts.(v)) srcs;
+  let len = eo_field_length eo in
+  Array.iteri
+    (fun v (dst : Linalg.Field.t) ->
+      let t1 = t1s.(v) in
+      for k = 0 to len - 1 do
+        Array1.unsafe_set dst k
+          (Array1.unsafe_get dst k -. Array1.unsafe_get t1 k)
+      done)
+    dsts
+
+let apply_schur_dagger_multi eo ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  let kw = Array.length srcs in
+  if kw = 0 || Array.length dsts <> kw then
+    invalid_arg "Mobius.apply_schur_dagger_multi: batch width mismatch";
+  let t1s = Array.init kw (fun _ -> create_eo_field eo) in
+  let t2s = Array.init kw (fun _ -> create_eo_field eo) in
+  hop_eo_dagger_multi eo ~from_parity:1 ~srcs ~dsts:t1s;
+  Array.iteri
+    (fun v t1 -> apply_m5inv_dagger eo.p ~n4:eo.half ~src:t1 ~dst:t2s.(v))
+    t1s;
+  hop_eo_dagger_multi eo ~from_parity:0 ~srcs:t2s ~dsts:t1s;
+  Array.iteri
+    (fun v src -> apply_m5_dagger eo.p ~n4:eo.half ~src ~dst:dsts.(v))
+    srcs;
+  Array.iteri
+    (fun v dst ->
+      ignore (schur_dagger_finish dst t1s.(v) (eo_field_length eo) : float))
+    dsts
+
+let apply_schur_normal_multi eo ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  let tmps = Array.init (Array.length srcs) (fun _ -> create_eo_field eo) in
+  apply_schur_multi eo ~srcs ~dsts:tmps;
+  apply_schur_dagger_multi eo ~srcs:tmps ~dsts
+
 (* ---- full <-> checkerboard field conversion ---- *)
 
 let split_eo geom ~l5 (full : Linalg.Field.t) =

@@ -97,6 +97,38 @@ val apply_schur_normal_tail :
     CG p·Ap, without the separate full-vector reduction sweep
     ([Solver.Cg]'s [apply_dot]). *)
 
+(** {2 Batched multi-RHS chain}
+
+    The 5d wrappers of [Wilson.hop_multi]: per s-slice one batched 4D
+    hop streams the gauge links once for all k right-hand sides, while
+    every per-RHS stage (s-combination, M5d/M5d⁻¹, closing
+    subtractions) runs the single-RHS loops — so each dst in the batch
+    is bit-identical to the independent single-RHS application, for
+    any batch width and pool geometry. Batches must be non-empty with
+    matching widths; aliasing contract as the single-RHS twins. *)
+
+val hop_eo_multi :
+  eo ->
+  to_parity:int ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  unit
+(** Batched [hop_eo]: per RHS bit-identical. *)
+
+val apply_schur_multi :
+  eo -> srcs:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Batched [apply_schur]: per RHS bit-identical. *)
+
+val apply_schur_dagger_multi :
+  eo -> srcs:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Batched [apply_schur_dagger]: per RHS bit-identical. *)
+
+val apply_schur_normal_multi :
+  eo -> srcs:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Batched S†S — the operator a batched solve hands
+    [Solver.Cg.solve_multi]. Per RHS bit-identical to
+    [apply_schur_normal]. *)
+
 val split_eo :
   Lattice.Geometry.t -> l5:int -> Linalg.Field.t -> Linalg.Field.t * Linalg.Field.t
 (** Full field → (even, odd) checkerboard fields. *)

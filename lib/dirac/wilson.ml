@@ -230,6 +230,162 @@ let hop t ~src ~dst =
   then Util.Pool.parallel_for pool ~n:t.n_sites (hop_range t ~src ~dst)
   else hop_range t ~src ~dst 0 t.n_sites
 
+(* ---- batched multi-RHS hop: k spinors per gauge-link load ----
+   The whole point of the batch is traffic amortization: the gauge
+   element (ur, ui) of each (site, mu, side, row, column) is loaded
+   once and applied to every RHS's half-spinor before the next element
+   is touched, so the link field streams once per site instead of once
+   per solve. Per RHS the float operations — operands, order,
+   association — are exactly [make_do_site]'s, only interleaved across
+   the batch, so each dst is bit-identical to the independent [hop]'s
+   (serial or pooled; site partitioning is race-free exactly as for
+   the single-RHS kernel, every range closing over fresh scratch). *)
+let make_do_site_multi t ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  let k = Array.length srcs in
+  let accs = Array.init k (fun _ -> Array.make floats_per_site 0.) in
+  let h0s = Array.init k (fun _ -> Array.make 6 0.) in
+  let h1s = Array.init k (fun _ -> Array.make 6 0.) in
+  let g0s = Array.init k (fun _ -> Array.make 6 0.) in
+  let g1s = Array.init k (fun _ -> Array.make 6 0.) in
+  let r0s = Array.make k 0. and i0s = Array.make k 0. in
+  let r1s = Array.make k 0. and i1s = Array.make k 0. in
+  let do_site x =
+    for v = 0 to k - 1 do
+      Array.fill accs.(v) 0 floats_per_site 0.
+    done;
+    let xb4 = x * 4 in
+    for mu = 0 to 3 do
+      let pa, pb = partner.(mu) in
+      let p0r, p0i, p1r, p1i = phases.(mu) in
+      for side = 0 to 1 do
+        let sign = if side = 0 then -1. else 1. in
+        let nb =
+          (if side = 0 then Array.unsafe_get t.src_fwd (xb4 + mu)
+           else Array.unsafe_get t.src_bwd (xb4 + mu))
+          * floats_per_site
+        in
+        let ub =
+          if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
+          else Array.unsafe_get t.gauge_bwd (xb4 + mu)
+        in
+        for v = 0 to k - 1 do
+          let src = Array.unsafe_get srcs v in
+          let h0 = h0s.(v) and h1 = h1s.(v) in
+          for c = 0 to 2 do
+            let o0 = nb + (c * 2) in
+            let opa = nb + (((pa * 3) + c) * 2) in
+            let s0r = Array1.unsafe_get src o0
+            and s0i = Array1.unsafe_get src (o0 + 1) in
+            let sar = Array1.unsafe_get src opa
+            and sai = Array1.unsafe_get src (opa + 1) in
+            h0.(c * 2) <- s0r +. (sign *. ((p0r *. sar) -. (p0i *. sai)));
+            h0.((c * 2) + 1) <- s0i +. (sign *. ((p0r *. sai) +. (p0i *. sar)));
+            let o1 = nb + ((3 + c) * 2) in
+            let opb = nb + (((pb * 3) + c) * 2) in
+            let s1r = Array1.unsafe_get src o1
+            and s1i = Array1.unsafe_get src (o1 + 1) in
+            let sbr = Array1.unsafe_get src opb
+            and sbi = Array1.unsafe_get src (opb + 1) in
+            h1.(c * 2) <- s1r +. (sign *. ((p1r *. sbr) -. (p1i *. sbi)));
+            h1.((c * 2) + 1) <- s1i +. (sign *. ((p1r *. sbi) +. (p1i *. sbr)))
+          done
+        done;
+        for row = 0 to 2 do
+          for v = 0 to k - 1 do
+            r0s.(v) <- 0.;
+            i0s.(v) <- 0.;
+            r1s.(v) <- 0.;
+            i1s.(v) <- 0.
+          done;
+          for col = 0 to 2 do
+            let e =
+              if side = 0 then ub + (2 * ((3 * row) + col))
+              else ub + (2 * ((3 * col) + row))
+            in
+            (* the amortized load: one gauge element, k RHS *)
+            let ur = Array1.unsafe_get t.gauge e in
+            let ui =
+              if side = 0 then Array1.unsafe_get t.gauge (e + 1)
+              else -.Array1.unsafe_get t.gauge (e + 1)
+            in
+            for v = 0 to k - 1 do
+              let h0 = h0s.(v) and h1 = h1s.(v) in
+              let h0r = h0.(col * 2) and h0i = h0.((col * 2) + 1) in
+              r0s.(v) <- r0s.(v) +. ((ur *. h0r) -. (ui *. h0i));
+              i0s.(v) <- i0s.(v) +. ((ur *. h0i) +. (ui *. h0r));
+              let h1r = h1.(col * 2) and h1i = h1.((col * 2) + 1) in
+              r1s.(v) <- r1s.(v) +. ((ur *. h1r) -. (ui *. h1i));
+              i1s.(v) <- i1s.(v) +. ((ur *. h1i) +. (ui *. h1r))
+            done
+          done;
+          for v = 0 to k - 1 do
+            g0s.(v).(row * 2) <- r0s.(v);
+            g0s.(v).((row * 2) + 1) <- i0s.(v);
+            g1s.(v).(row * 2) <- r1s.(v);
+            g1s.(v).((row * 2) + 1) <- i1s.(v)
+          done
+        done;
+        let rs = sign in
+        for v = 0 to k - 1 do
+          let acc = accs.(v) and g0 = g0s.(v) and g1 = g1s.(v) in
+          for c = 0 to 2 do
+            let gr = g0.(c * 2) and gi = g0.((c * 2) + 1) in
+            acc.(c * 2) <- acc.(c * 2) +. gr;
+            acc.((c * 2) + 1) <- acc.((c * 2) + 1) +. gi;
+            let oa = ((pa * 3) + c) * 2 in
+            acc.(oa) <- acc.(oa) +. (rs *. ((p0r *. gr) +. (p0i *. gi)));
+            acc.(oa + 1) <- acc.(oa + 1) +. (rs *. ((p0r *. gi) -. (p0i *. gr)));
+            let hr = g1.(c * 2) and hi = g1.((c * 2) + 1) in
+            let o1 = (3 + c) * 2 in
+            acc.(o1) <- acc.(o1) +. hr;
+            acc.(o1 + 1) <- acc.(o1 + 1) +. hi;
+            let ob = ((pb * 3) + c) * 2 in
+            acc.(ob) <- acc.(ob) +. (rs *. ((p1r *. hr) +. (p1i *. hi)));
+            acc.(ob + 1) <- acc.(ob + 1) +. (rs *. ((p1r *. hi) -. (p1i *. hr)))
+          done
+        done
+      done
+    done;
+    let db = x * floats_per_site in
+    for v = 0 to k - 1 do
+      let dst = Array.unsafe_get dsts v and acc = accs.(v) in
+      for c = 0 to floats_per_site - 1 do
+        Array1.unsafe_set dst (db + c) acc.(c)
+      done
+    done
+  in
+  do_site
+
+let check_multi name t (srcs : Linalg.Field.t array)
+    (dsts : Linalg.Field.t array) =
+  let k = Array.length srcs in
+  if k = 0 then invalid_arg (name ^ ": empty batch");
+  if Array.length dsts <> k then invalid_arg (name ^ ": batch width mismatch");
+  Array.iter (fun dst -> check_dst t dst) dsts;
+  k
+
+let hop_multi_range t ~srcs ~dsts lo hi =
+  let do_site = make_do_site_multi t ~srcs ~dsts in
+  for x = lo to hi - 1 do
+    do_site x
+  done
+
+let hop_multi_with pool ?chunk t ~srcs ~dsts =
+  ignore (check_multi "Wilson.hop_multi" t srcs dsts : int);
+  Util.Pool.parallel_for pool ?chunk ~n:t.n_sites
+    (hop_multi_range t ~srcs ~dsts)
+
+let hop_multi t ~srcs ~dsts =
+  let k = check_multi "Wilson.hop_multi" t srcs dsts in
+  let pool = Util.Pool.get_default () in
+  if
+    Util.Pool.size pool > 1
+    && k * t.n_sites * floats_per_site >= Linalg.Field.parallel_cutoff
+  then
+    Util.Pool.parallel_for pool ~n:t.n_sites (hop_multi_range t ~srcs ~dsts)
+  else hop_multi_range t ~srcs ~dsts 0 t.n_sites
+
 (* ---- tail-fused hop: stencil + output tail in one pass ----
    The tail (optional xpay + dot, Linalg.Fused.tail) runs per tile
    right after the stencil writes it, while the tile is hot — the QUDA
@@ -340,3 +496,32 @@ let apply_dagger t ~mass ~src ~dst =
   let out = Linalg.Field.create (Linalg.Field.length dst) in
   apply t ~mass ~src:tmp ~dst:out;
   Gamma.apply_gamma5 out dst
+
+(* Batched full operator: one hop_multi sweep, then the per-RHS
+   diagonal — the closing loop is [apply]'s, so dst v is bit-identical
+   to the independent [apply] on srcs.(v). *)
+let apply_multi t ~mass ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  hop_multi t ~srcs ~dsts;
+  let d = 4. +. mass in
+  Array.iteri
+    (fun v (dst : Linalg.Field.t) ->
+      let src = srcs.(v) in
+      for i = 0 to (t.n_sites * floats_per_site) - 1 do
+        Array1.unsafe_set dst i
+          ((d *. Array1.unsafe_get src i) -. (0.5 *. Array1.unsafe_get dst i))
+      done)
+    dsts
+
+let apply_dagger_multi t ~mass ~(srcs : Linalg.Field.t array)
+    ~(dsts : Linalg.Field.t array) =
+  let k = Array.length srcs in
+  let tmps =
+    Array.init k (fun v -> Linalg.Field.create (Linalg.Field.length srcs.(v)))
+  in
+  Array.iteri (fun v src -> Gamma.apply_gamma5 src tmps.(v)) srcs;
+  let outs =
+    Array.init k (fun v -> Linalg.Field.create (Linalg.Field.length dsts.(v)))
+  in
+  apply_multi t ~mass ~srcs:tmps ~dsts:outs;
+  Array.iteri (fun v out -> Gamma.apply_gamma5 out dsts.(v)) outs

@@ -28,6 +28,31 @@ val hop_with :
 (** [hop] on an explicit pool with an explicit chunk (in sites) — the
     autotuner's pooled hop candidates. *)
 
+val hop_multi :
+  t -> srcs:Linalg.Field.t array -> dsts:Linalg.Field.t array -> unit
+(** Batched multi-RHS hop: [dsts.(v) <- H srcs.(v)] for every v, with
+    each gauge-link element loaded once per site and applied to all k
+    half-spinors before the next — the k-fold link-traffic
+    amortization [Machine.Perf_model.mrhs_bytes_per_site] prices. Per
+    RHS the float operations are exactly [hop]'s (same operands, same
+    order), so every dst is bit-identical to the independent [hop] for
+    any batch width and pool geometry. Batch must be non-empty, srcs
+    and dsts the same width, dsts pairwise distinct and non-aliasing
+    with the srcs (unchecked, like [hop]'s no-aliasing contract).
+    Dispatches to the default pool when the *batch* float count clears
+    [Linalg.Field.parallel_cutoff]. *)
+
+val hop_multi_with :
+  Util.Pool.t ->
+  ?chunk:int ->
+  t ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  unit
+(** [hop_multi] on an explicit pool with an explicit chunk (in sites)
+    — the batch-width autotuner's pooled candidates
+    ([Autotune.Variants.tune_hop_multi]). *)
+
 val hop_tail :
   t ->
   src:Linalg.Field.t ->
@@ -70,3 +95,20 @@ val apply : t -> mass:float -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 val apply_dagger :
   t -> mass:float -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 (** M† = gamma5·M·gamma5. *)
+
+val apply_multi :
+  t ->
+  mass:float ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  unit
+(** Batched full operator over [hop_multi]: per RHS bit-identical to
+    [apply]. Same batch contract as [hop_multi]. *)
+
+val apply_dagger_multi :
+  t ->
+  mass:float ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  unit
+(** Batched M†: per RHS bit-identical to [apply_dagger]. *)

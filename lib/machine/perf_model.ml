@@ -158,6 +158,27 @@ let blas1_sweeps ~fused = if fused then 2. else 5.
    plans are not model-priced.) *)
 let blas1_host_sweeps ~fused = if fused then 2. else 5.
 
+(* ---- multi-RHS stencil traffic ----
+   One double-precision Wilson hop moves, per site: the 8 neighbour
+   gauge links (8 x 18 reals) and the spinor stream (8 projected
+   neighbour spinors re-counted as the 9-spinor read side plus the
+   result write, 9x24 + 24 reals) — together the per-hop half of
+   Dirac.Flops.actual_bytes_per_5d_site_double. Batching k right-hand
+   sides through Wilson.hop_multi loads each gauge element once for
+   the whole batch while the spinor stream stays per-vector, so the
+   per-site-per-RHS bytes drop by link/k — the amortization the
+   multi-RHS plans in Check.Plan_extract declare and the @multirhs
+   exact-formula tests pin. *)
+let link_bytes_per_site = float_of_int (8 * 18 * 8)
+let spinor_bytes_per_site = float_of_int (((9 * 24) + 24) * 8)
+
+let mrhs_bytes_per_site ~k =
+  if k < 1 then invalid_arg "Perf_model.mrhs_bytes_per_site: k must be >= 1";
+  spinor_bytes_per_site +. (link_bytes_per_site /. float_of_int k)
+
+let mrhs_traffic_ratio ~k =
+  mrhs_bytes_per_site ~k /. mrhs_bytes_per_site ~k:1
+
 type breakdown = {
   grid : int array;
   local_sites : float;  (* 5D sites per GPU *)

@@ -56,6 +56,27 @@ val blas1_host_sweeps : fused:bool -> float
     which now errors on any nonzero gap between an extracted plan and
     {!blas1_sweeps}. *)
 
+val link_bytes_per_site : float
+(** Gauge-link bytes one double-precision Wilson hop reads per site:
+    8 neighbour links × 18 reals × 8 bytes = 1152. *)
+
+val spinor_bytes_per_site : float
+(** Spinor-stream bytes of the same hop per site per right-hand side:
+    (9 × 24 + 24) reals × 8 bytes = 1920 — together with
+    {!link_bytes_per_site} the per-hop half of
+    [Dirac.Flops.actual_bytes_per_5d_site_double]. *)
+
+val mrhs_bytes_per_site : k:int -> float
+(** Modeled bytes per site per right-hand side of a batched
+    [Dirac.Wilson.hop_multi] at batch width [k]: the spinor stream
+    stays per-vector while the gauge links are loaded once for the
+    batch, so this is [spinor + link/k]. [k = 1] recovers the
+    single-RHS figure. Raises [Invalid_argument] on [k < 1]. *)
+
+val mrhs_traffic_ratio : k:int -> float
+(** [mrhs_bytes_per_site ~k / mrhs_bytes_per_site ~k:1] — the modeled
+    traffic fraction a width-[k] batch moves per RHS. *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;

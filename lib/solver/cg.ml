@@ -46,6 +46,17 @@ let tail_kernels ~fused =
   if fused then [ ("cg_update", 1); ("xpay_dot", 1) ]
   else [ ("dot_re", 1); ("axpy", 1); ("axpy", 1); ("norm2", 1); ("xpay", 1) ]
 
+(* The batched solve's per-iteration BLAS-1 tail over the active set,
+   same convention: (kernel, per-RHS full-vector sweeps) rows in
+   launch order. The batched kernels run each RHS's canonical blocked
+   reduction, so the sweep counts per RHS equal the single-RHS tail's
+   — which is exactly why the multi-RHS catalog plans price to a zero
+   PLAN005 gap. *)
+let multi_tail_kernels ~fused =
+  if fused then [ ("multi_cg_update", 1); ("multi_xpay_dot", 1) ]
+  else
+    [ ("dot_re", 1); ("axpy", 1); ("axpy", 1); ("norm2", 1); ("xpay", 1) ]
+
 let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
     ~(b : Field.t) ~tol ~max_iter ~flops_per_apply () =
   let n = Field.length b in
@@ -140,3 +151,172 @@ let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
         reliable_updates = 0;
       } )
   end
+
+(* ---- batched multi-RHS front end ----
+   k systems against one operator, advanced in lockstep with per-RHS
+   convergence masking: a converged (or bailed-out) RHS leaves the
+   active set, runs its true-residual finalization, and never touches
+   the batched kernels again, while every surviving RHS executes
+   *exactly* the scalar recurrence and vector kernels of its
+   independent [solve] — per-RHS alpha/beta from that RHS's own
+   canonical blocked reductions, batched updates through
+   [Linalg.Multi_blas] whose slot i is bit-identical to the
+   single-vector fused kernel. Consequence: for an operator whose
+   batched application is per-RHS bit-identical to its single-RHS form
+   (Wilson.hop_multi / Mobius.apply_schur_normal_multi, or any
+   per-RHS loop), the returned xs.(i) and trajectory are bit-identical
+   to [solve] on (bs.(i), x0s.(i)) — the property the @multirhs qcheck
+   suite pins down. *)
+let solve_multi ?(x0s : Field.t array option) ?(fused = false) ?trace ~apply
+    ~(bs : Field.t array) ~tol ~max_iter ~flops_per_apply () =
+  let k = Array.length bs in
+  if k = 0 then invalid_arg "Cg.solve_multi: empty batch";
+  let n = Field.length bs.(0) in
+  Array.iter
+    (fun (b : Field.t) ->
+      if Field.length b <> n then invalid_arg "Cg.solve_multi: length mismatch")
+    bs;
+  (match x0s with
+  | Some xs when Array.length xs <> k ->
+    invalid_arg "Cg.solve_multi: x0s width mismatch"
+  | _ -> ());
+  let t_start = Unix.gettimeofday () in
+  let xs =
+    Array.init k (fun i ->
+        match x0s with Some x0 -> Field.copy x0.(i) | None -> Field.create n)
+  in
+  let rs = Array.init k (fun _ -> Field.create n) in
+  let aps = Array.init k (fun _ -> Field.create n) in
+  let applies = Array.make k 0 in
+  (* r = b - A x; the guess-seeded residual uses one batched apply *)
+  (match x0s with
+  | None -> Array.iteri (fun i b -> Field.blit b rs.(i)) bs
+  | Some _ ->
+    apply xs aps;
+    Array.iteri
+      (fun i (b : Field.t) ->
+        applies.(i) <- applies.(i) + 1;
+        Field.sub b aps.(i) rs.(i))
+      bs);
+  let ps = Array.init k (fun i -> Field.copy rs.(i)) in
+  let b2s = Array.map Field.norm2 bs in
+  let targets = Array.map (fun b2 -> tol *. tol *. b2) b2s in
+  let r2s = Array.map Field.norm2 rs in
+  let iters = Array.make k 0 in
+  let out = Array.make k None in
+  let finalize i =
+    (* the independent solve's closing true-residual pass, one RHS *)
+    apply [| xs.(i) |] [| aps.(i) |];
+    applies.(i) <- applies.(i) + 1;
+    Field.sub bs.(i) aps.(i) aps.(i);
+    let true_res = sqrt (Field.norm2 aps.(i) /. b2s.(i)) in
+    let flops =
+      (float_of_int applies.(i) *. flops_per_apply)
+      +. (float_of_int iters.(i) *. blas1_flops ~fused n)
+    in
+    out.(i) <-
+      Some
+        {
+          iterations = iters.(i);
+          converged = r2s.(i) <= targets.(i);
+          relative_residual = sqrt (r2s.(i) /. b2s.(i));
+          true_relative_residual = Some true_res;
+          flops;
+          seconds = Unix.gettimeofday () -. t_start;
+          reliable_updates = 0;
+        }
+  in
+  let active = Array.make k false in
+  Array.iteri
+    (fun i b2 ->
+      if b2 = 0. then begin
+        (* the zero-source early return, per RHS *)
+        Field.fill xs.(i) 0.;
+        out.(i) <-
+          Some
+            {
+              iterations = 0;
+              converged = true;
+              relative_residual = 0.;
+              true_relative_residual = Some 0.;
+              flops = 0.;
+              seconds = Unix.gettimeofday () -. t_start;
+              reliable_updates = 0;
+            }
+      end
+      else if r2s.(i) <= targets.(i) || max_iter <= 0 then finalize i
+      else active.(i) <- true)
+    b2s;
+  let any_active () = Array.exists (fun a -> a) active in
+  let sub (vs : Field.t array) (idx : int array) =
+    Array.map (fun i -> vs.(i)) idx
+  in
+  while any_active () do
+    let act =
+      Array.of_list
+        (List.filter (fun i -> active.(i)) (List.init k (fun i -> i)))
+    in
+    (* one batched operator sweep over the active set *)
+    apply (sub ps act) (sub aps act);
+    Array.iter
+      (fun i ->
+        iters.(i) <- iters.(i) + 1;
+        applies.(i) <- applies.(i) + 1)
+      act;
+    let paps = Array.map (fun i -> Field.dot_re ps.(i) aps.(i)) act in
+    (* a non-positive p·Ap bails that RHS out exactly as [solve] does *)
+    Array.iteri
+      (fun j i ->
+        if paps.(j) <= 0. then begin
+          iters.(i) <- max_iter;
+          active.(i) <- false;
+          finalize i
+        end)
+      act;
+    let upd = Array.of_list (List.filter (fun i -> active.(i)) (Array.to_list act)) in
+    if Array.length upd > 0 then begin
+      (* per-RHS alpha from that RHS's own reduction *)
+      let pap_of =
+        let tbl = Hashtbl.create (Array.length act) in
+        Array.iteri (fun j i -> Hashtbl.replace tbl i paps.(j)) act;
+        fun i -> Hashtbl.find tbl i
+      in
+      let alphas = Array.map (fun i -> r2s.(i) /. pap_of i) upd in
+      let r2_news =
+        if fused then
+          Linalg.Multi_blas.cg_update alphas (sub ps upd) (sub aps upd)
+            (sub xs upd) (sub rs upd)
+        else
+          Array.map
+            (fun i ->
+              let alpha = r2s.(i) /. pap_of i in
+              Field.axpy alpha ps.(i) xs.(i);
+              Field.axpy (-.alpha) aps.(i) rs.(i);
+              Field.norm2 rs.(i))
+            upd
+      in
+      let betas =
+        Array.mapi (fun j i -> r2_news.(j) /. r2s.(i)) upd
+      in
+      Array.iteri (fun j i -> r2s.(i) <- r2_news.(j)) upd;
+      (* p = r + beta p (the fused path's p·r monitor rides the sweep) *)
+      if fused then
+        ignore
+          (Linalg.Multi_blas.xpay_dot (sub rs upd) betas (sub ps upd)
+             (sub rs upd)
+            : float array)
+      else Array.iteri (fun j i -> Field.xpay rs.(i) betas.(j) ps.(i)) upd;
+      (match trace with
+      | Some f -> Array.iteri (fun j i -> f i r2_news.(j)) upd
+      | None -> ());
+      (* masking: converged or exhausted RHS leave the batch *)
+      Array.iter
+        (fun i ->
+          if r2s.(i) <= targets.(i) || iters.(i) >= max_iter then begin
+            active.(i) <- false;
+            finalize i
+          end)
+        upd
+    end
+  done;
+  (xs, Array.map Option.get out)

@@ -31,6 +31,16 @@ val tail_kernels : fused:bool -> (string * int) list
     [Machine.Perf_model.blas1_sweeps] exactly and
     [Check.Plan_check]'s PLAN005 pass errors on any drift. *)
 
+val multi_tail_kernels : fused:bool -> (string * int) list
+(** The per-iteration BLAS-1 tail of the batched solver as (kernel,
+    full-vector sweeps) rows in launch order, the multi-RHS analogue
+    of [tail_kernels] — the ground truth behind
+    [Check.Plan_extract.cg_tail_multi]. Unfused the batch runs the
+    scalar kernels per RHS (5 sweeps per vector); fused it runs the
+    two [Linalg.Multi_blas] batch kernels (multi_cg_update +
+    multi_xpay_dot, 2 sweeps per vector), matching
+    [Machine.Perf_model.blas1_sweeps ~fused:true]. *)
+
 val solve :
   ?x0:Linalg.Field.t ->
   ?fused:bool ->
@@ -65,3 +75,34 @@ val solve :
     [trace] is called with |r|² once per iteration (after the residual
     update) — the hook the fused≡unfused trajectory tests compare
     on. *)
+
+val solve_multi :
+  ?x0s:Linalg.Field.t array ->
+  ?fused:bool ->
+  ?trace:(int -> float -> unit) ->
+  apply:(Linalg.Field.t array -> Linalg.Field.t array -> unit) ->
+  bs:Linalg.Field.t array ->
+  tol:float ->
+  max_iter:int ->
+  flops_per_apply:float ->
+  unit ->
+  Linalg.Field.t array * stats array
+(** Batched CG over k right-hand sides sharing one operator. [apply]
+    receives the sub-batch of still-active systems each iteration, so
+    a batched operator ([Dirac.Wilson.apply_multi],
+    [Dirac.Mobius.apply_schur_normal_multi]) streams the gauge links
+    once for the whole surviving batch. Per-RHS convergence masking:
+    a system that converges (or exhausts [max_iter], or hits a
+    non-positive p·Ap breakdown) leaves the active set and stops
+    contributing updates, while each surviving trajectory — iterate,
+    residual sequence, iteration count, flop count — stays
+    bit-identical to the independent [solve] of that RHS, because the
+    per-RHS float operations (reductions through the canonical
+    blocked association, updates in the scalar kernels' element
+    order) are exactly [solve]'s whether batch-mates remain or not.
+
+    [fused] routes the tail through [Linalg.Multi_blas] (per-RHS
+    bit-identical to the [Linalg.Fused] path, hence to the unfused
+    scalar path). [trace i r2] fires once per iteration per active
+    RHS [i]. [x0s], when given, must match [bs] in width. Batch must
+    be non-empty; all fields the same length. *)

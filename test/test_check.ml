@@ -371,7 +371,7 @@ let test_selftest_detects_all () =
   (* the expected defect-class count is wired here on purpose: a
      fixture silently dropped from the list (so --selftest would print
      n/n for a smaller n) fails the suite *)
-  Alcotest.(check int) "25 seeded defect classes" 25 (List.length rows);
+  Alcotest.(check int) "28 seeded defect classes" 28 (List.length rows);
   List.iter
     (fun (rule : string) ->
       Alcotest.(check bool) (rule ^ " has a fixture") true
@@ -381,6 +381,7 @@ let test_selftest_detects_all () =
     [
       "HALO011"; "HALO012"; "HALO013"; "DET001"; "DET002"; "DET003";
       "FUSE001"; "FUSE002"; "FUSE003";
+      "MRHS001"; "MRHS002"; "MRHS003";
       "PLAN001"; "PLAN002"; "PLAN003"; "PLAN005"; "PREC001"; "PREC003";
     ];
   List.iter

@@ -18,5 +18,6 @@ let () =
       ("pool", Test_pool.suite);
       ("fused", Test_fused.suite);
       ("plan", Test_plan.suite);
+      ("multirhs", Test_multirhs.suite);
       ("properties", Test_properties.suite);
     ]
