@@ -45,14 +45,22 @@ let key (m : Spec.t) (p : Perf_model.problem) ~n_gpus =
 (* Best policy for one cell of the transport x granularity grid:
    among the policies with that granularity, available on the machine,
    and honestly modeled by that transport, priced with the transport's
-   extra copy. Cached, [None] (no honest policy, or no process grid)
-   included. *)
-let pick_combo t (m : Spec.t) (p : Perf_model.problem) ~n_gpus ~transport
-    ~granularity =
+   extra copy. [compress] (when passed) additionally prices the halo
+   wire format explicitly (Perf_model's tri-state knob) and becomes
+   part of the cache key — the compressed-halo survey dimension.
+   Compressing Zero_copy is dishonest (no staging buffer), so that
+   cell is a cached [None]. Cached, [None] (no honest policy, or no
+   process grid) included. *)
+let pick_combo ?compress t (m : Spec.t) (p : Perf_model.problem) ~n_gpus
+    ~transport ~granularity =
   let k =
-    Printf.sprintf "%s|tr=%s|gran=%s" (key m p ~n_gpus)
+    Printf.sprintf "%s|tr=%s|gran=%s%s" (key m p ~n_gpus)
       (Transport.name transport)
       (Policy.granularity_name granularity)
+      (match compress with
+      | None -> ""
+      | Some true -> "|cmp=on"
+      | Some false -> "|cmp=off")
   in
   match Hashtbl.find_opt t.combo_cache k with
   | Some outcome ->
@@ -61,16 +69,19 @@ let pick_combo t (m : Spec.t) (p : Perf_model.problem) ~n_gpus ~transport
   | None ->
     t.combo_tune_count <- t.combo_tune_count + 1;
     let candidates =
-      List.filter
-        (fun pol ->
-          pol.Policy.granularity = granularity
-          && Policy.available pol m
-          && Policy.transport_ok pol transport)
-        Policy.all
+      if compress = Some true && transport = Transport.Zero_copy then []
+      else
+        List.filter
+          (fun pol ->
+            pol.Policy.granularity = granularity
+            && Policy.available pol m
+            && Policy.transport_ok pol transport)
+          Policy.all
     in
     let results =
       List.filter_map
-        (fun pol -> Perf_model.solver_performance ~transport m pol p ~n_gpus)
+        (fun pol ->
+          Perf_model.solver_performance ~transport ?compress m pol p ~n_gpus)
         candidates
     in
     let outcome =
@@ -166,6 +177,30 @@ let pick_granularity (m : Spec.t) (p : Perf_model.problem) ~n_gpus gran =
            if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r else b)
          first rest)
 
+(* Best configuration with the halo wire format priced explicitly —
+   the compressed-faces survey axis. Compression needs a staging
+   buffer, so the grid drops Zero_copy; cells come from [pick_combo]
+   and are cached per compress flag. *)
+let pick_compress t (m : Spec.t) (p : Perf_model.problem) ~n_gpus ~compress =
+  let results =
+    List.concat_map
+      (fun transport ->
+        List.filter_map
+          (fun granularity ->
+            pick_combo ~compress t m p ~n_gpus ~transport ~granularity)
+          Policy.all_granularities)
+      [ Transport.Staged; Transport.Double_buffered ]
+  in
+  match results with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun b (r : Perf_model.result) ->
+           if r.Perf_model.tflops_total > b.Perf_model.tflops_total then r
+           else b)
+         first rest)
+
 type survey_row = {
   n_gpus : int;
   winner : Policy.t;
@@ -176,6 +211,12 @@ type survey_row = {
   safe_tflops : float option;
       (* best write-after-post-safe configuration (no Zero_copy): what
          race-freedom costs at this point *)
+  compressed_tflops : float option;
+      (* best staged configuration with the halo codec priced
+         explicitly (compressed wire + encode/decode passes) *)
+  uncompressed_tflops : float option;
+      (* same grid shipping double-precision faces: what skipping the
+         codec costs in wire bytes *)
 }
 
 (* Survey: winning configuration for each (machine, gpu count), with
@@ -206,6 +247,14 @@ let survey t (m : Spec.t) (p : Perf_model.problem) ~gpu_counts =
                 (fun ((_ : Policy.t), (sr : Perf_model.result)) ->
                   sr.Perf_model.tflops_total)
                 (pick ~require_safe:true t m p ~n_gpus:n);
+            compressed_tflops =
+              Option.map
+                (fun (cr : Perf_model.result) -> cr.Perf_model.tflops_total)
+                (pick_compress t m p ~n_gpus:n ~compress:true);
+            uncompressed_tflops =
+              Option.map
+                (fun (cr : Perf_model.result) -> cr.Perf_model.tflops_total)
+                (pick_compress t m p ~n_gpus:n ~compress:false);
           })
         (pick t m p ~n_gpus:n))
     gpu_counts

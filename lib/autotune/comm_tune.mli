@@ -30,6 +30,7 @@ val pick :
     re-tune. *)
 
 val pick_combo :
+  ?compress:bool ->
   t ->
   Machine.Spec.t ->
   Machine.Perf_model.problem ->
@@ -38,8 +39,25 @@ val pick_combo :
   granularity:Machine.Policy.granularity ->
   Machine.Perf_model.result option
 (** Best policy for one transport x granularity cell, priced with that
-    transport's extra copy. Cached per cell, [None] (infeasible GPU
-    count, or no honest available policy) included. *)
+    transport's extra copy. [compress] (when passed) prices the halo
+    wire format explicitly ([Machine.Perf_model]'s tri-state knob) and
+    joins the cache key — compressing [Zero_copy] is dishonest (no
+    staging buffer) and yields a cached [None]. Cached per cell,
+    [None] (infeasible GPU count, or no honest available policy)
+    included. *)
+
+val pick_compress :
+  t ->
+  Machine.Spec.t ->
+  Machine.Perf_model.problem ->
+  n_gpus:int ->
+  compress:bool ->
+  Machine.Perf_model.result option
+(** Best configuration with the halo wire format priced explicitly
+    over the staging transports ([Staged]/[Double_buffered]) x
+    granularity grid: [~compress:true] ships the codec wire and pays
+    encode/decode passes, [~compress:false] ships double-precision
+    faces. The compressed-halo tuning dimension of {!survey}. *)
 
 val pick_granularity :
   Machine.Spec.t ->
@@ -62,6 +80,12 @@ type survey_row = {
   safe_tflops : float option;
       (** best write-after-post-safe configuration (no [Zero_copy]):
           what race-freedom costs at this point *)
+  compressed_tflops : float option;
+      (** best staged configuration with the halo codec priced
+          explicitly (compressed wire + encode/decode passes) *)
+  uncompressed_tflops : float option;
+      (** the same grid shipping double-precision faces — what
+          skipping the codec costs in wire bytes *)
 }
 
 val survey :

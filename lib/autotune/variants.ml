@@ -381,6 +381,97 @@ let tune_hop_multi ?max_domains tuner (w : Dirac.Wilson.t)
   in
   (winner, List.assoc winner all)
 
+(* ---- gauge-codec (reconstruct) axis ----
+   The launch dimension opened by the compressed link stores
+   (Linalg.Su3_codec / Lattice.Recon): which codec the hop streams its
+   links through, crossed with batch width and pool geometry. The
+   codec is part of BOTH the label (a winner names its codec) and the
+   cache signature (via the label-space hash) — a full18 winner can
+   never be served for a compressed space or vice versa;
+   Check.Recon_check rule RECON002 audits exactly that aliasing on
+   executed plans. *)
+
+type recon_plan = {
+  recon : Linalg.Su3_codec.codec;
+  rk : int;
+  rgeometry : (int * int) option;
+}
+
+let recon_label (plan : recon_plan) =
+  Printf.sprintf "%s_%s"
+    (Linalg.Su3_codec.name plan.recon)
+    (mrhs_label { k = plan.rk; geometry = plan.rgeometry })
+
+let recon_space ?max_domains ?(codecs = Linalg.Su3_codec.all)
+    ?(widths = mrhs_widths) ~sites () =
+  let geoms = pool_geometries ?max_domains ~chunk_floor:16 ~n:sites () in
+  List.concat_map
+    (fun recon ->
+      List.concat_map
+        (fun rk ->
+          { recon; rk; rgeometry = None }
+          :: List.map (fun g -> { recon; rk; rgeometry = Some g }) geoms)
+        widths)
+    codecs
+  |> List.map (fun p -> (recon_label p, p))
+
+(* Tune codec × batch width × pool geometry on a concrete batch. One
+   Wilson operator is built per codec from the same geometry and gauge
+   (each owns its packed store); every candidate processes the full
+   [kmax]-wide batch as sub-batches of its width — the same fairness
+   rule as [tune_hop_multi], so a narrow width pays its gauge
+   re-streaming and a compressed codec pays its reconstruction flops
+   on the full batch. The uncompressed single-RHS serial baseline
+   (full18_k1_serial) is always in the space: the tuner can refuse
+   compression wholesale. [codecs] restricts the axis (e.g. dropping
+   Recon8 for a gauge with degenerate links). *)
+let tune_hop_recon ?max_domains ?codecs tuner geom gauge
+    ~(srcs : Field.t array) ~(dsts : Field.t array) ~signature =
+  let kmax = Array.length srcs in
+  if kmax = 0 || Array.length dsts <> kmax then
+    invalid_arg "Variants.tune_hop_recon: batch width mismatch";
+  let n = Field.length dsts.(0) / Dirac.Wilson.floats_per_site in
+  let dmax =
+    match max_domains with
+    | Some d -> min d Util.Pool.max_domains
+    | None -> min (Domain.recommended_domain_count ()) Util.Pool.max_domains
+  in
+  let widths = List.filter (fun k -> k <= kmax) mrhs_widths in
+  let widths = if widths = [] then [ kmax ] else widths in
+  let all = recon_space ~max_domains:dmax ?codecs ~widths ~sites:n () in
+  let ops =
+    List.map
+      (fun recon -> (recon, Dirac.Wilson.of_geometry ~recon geom gauge))
+      (match codecs with None -> Linalg.Su3_codec.all | Some cs -> cs)
+  in
+  let run (plan : recon_plan) =
+    let w = List.assoc plan.recon ops in
+    let off = ref 0 in
+    while !off < kmax do
+      let width = min plan.rk (kmax - !off) in
+      let ss = Array.sub srcs !off width and ds = Array.sub dsts !off width in
+      (match plan.rgeometry with
+      | None ->
+        Dirac.Wilson.hop_multi_with (Util.Pool.shared ~domains:1) w ~srcs:ss
+          ~dsts:ds
+      | Some (d, c) ->
+        Dirac.Wilson.hop_multi_with (Util.Pool.shared ~domains:d) ~chunk:c w
+          ~srcs:ss ~dsts:ds);
+      off := !off + width
+    done
+  in
+  let signature =
+    Printf.sprintf "%s:sites%d:kmax%d:dmax%d:v%x" signature n kmax dmax
+      (Hashtbl.hash (List.map fst all))
+  in
+  let winner =
+    Tuner.tune tuner ~kernel:"wilson_hop_recon" ~signature
+      (List.map
+         (fun (label, plan) -> Tuner.candidate label (fun () -> run plan))
+         all)
+  in
+  (winner, List.assoc winner all)
+
 (* Tune axpy on vectors of a given size: serial unroll variants plus
    pooled geometries in one search space. The signature carries both
    the length and the domain cap (the cache-key audit: a winner tuned

@@ -94,6 +94,58 @@ val tune_hop_multi :
     space — the aliasing [Check.Mrhs_check] rule MRHS003 audits on
     extracted plans. *)
 
+(** The gauge-codec (reconstruct) launch axis opened by the compressed
+    link stores ([Linalg.Su3_codec] / [Lattice.Recon]): which codec
+    the hop streams links through, crossed with batch width and pool
+    geometry. [rgeometry = None] is a serial plan. *)
+type recon_plan = {
+  recon : Linalg.Su3_codec.codec;
+  rk : int;
+  rgeometry : (int * int) option;
+}
+
+val recon_label : recon_plan -> string
+(** ["<codec>_k<k>_serial"] or ["<codec>_k<k>_d<d>_c<c>"] (e.g.
+    ["recon12_k4_d2_c4096"]) — the codec is part of every label, so
+    cached winners name their codec and can never alias across the
+    axis ([Check.Recon_check] rule RECON002 audits executed plans
+    against the tuned winner's codec). *)
+
+val recon_space :
+  ?max_domains:int ->
+  ?codecs:Linalg.Su3_codec.codec list ->
+  ?widths:int list ->
+  sites:int ->
+  unit ->
+  (string * recon_plan) list
+(** All (label, plan) candidates: every codec (default
+    [Su3_codec.all]) × every width × serial + pool geometries. The
+    uncompressed single-RHS serial baseline ([full18_k1_serial]) is
+    present under the defaults — the tuner can refuse compression
+    wholesale. *)
+
+val tune_hop_recon :
+  ?max_domains:int ->
+  ?codecs:Linalg.Su3_codec.codec list ->
+  Tuner.t ->
+  Lattice.Geometry.t ->
+  Lattice.Gauge.t ->
+  srcs:Linalg.Field.t array ->
+  dsts:Linalg.Field.t array ->
+  signature:string ->
+  string * recon_plan
+(** Tune codec × batch width × pool geometry on a concrete batch
+    (kernel ["wilson_hop_recon"]). One Wilson operator is built per
+    codec from the same geometry and gauge (each owns its packed
+    store); every candidate processes the full batch as sub-batches of
+    its width — the [tune_hop_multi] fairness rule, so compressed
+    codecs pay their reconstruction flops on the whole batch. The
+    cache signature is extended with
+    [":sites<n>:kmax<w>:dmax<cap>:v<space-hash>"]. [codecs] restricts
+    the axis (e.g. dropping [Recon8] for a gauge with degenerate
+    links — [Recon8] packing raises [Su3_codec.Degenerate] on such
+    fields). *)
+
 val tune_axpy :
   ?max_domains:int ->
   Tuner.t ->

@@ -17,6 +17,7 @@ module Spec_check = Spec_check
 module Pool_check = Pool_check
 module Fuse_check = Fuse_check
 module Mrhs_check = Mrhs_check
+module Recon_check = Recon_check
 module Plan_ir = Plan_ir
 module Plan_extract = Plan_extract
 module Plan_check = Plan_check
@@ -35,6 +36,8 @@ let mixed_config = Spec_check.mixed_config
 let pool_plan = Pool_check.verify_plan
 let fused_plan = Fuse_check.verify_plan
 let mrhs_plan = Mrhs_check.verify_plan
+let recon_plan = Recon_check.verify_plan
+let recon_gauge = Recon_check.verify_gauge
 let solver_plan = Plan_check.verify
 
 let all_rules =
@@ -46,6 +49,7 @@ let all_rules =
     ("pool", Pool_check.rules);
     ("fuse", Fuse_check.rules);
     ("mrhs", Mrhs_check.rules);
+    ("recon", Recon_check.rules);
     ("plan", Plan_check.rules);
   ]
 
@@ -249,6 +253,27 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
      CG plans execute exactly the 2 sweeps the model prices, so any
      diagnostic here (warnings included) is a regression. *)
   let plan_ds = Plan_check.catalog_diagnostics () in
+  (* the compressed gauge-link executions the recon path runs: a
+     reunitarized hot field audited at every codec, a correctly tuned
+     recon12 launch with a freshly packed compressed halo, and an
+     untuned recon8 launch — the clean twins of the recon-* fixtures *)
+  let recon_ds =
+    let g = Lattice.Gauge.random geom rng in
+    Lattice.Gauge.reunitarize g;
+    let v = Lattice.Gauge.max_unitarity_violation g in
+    List.concat_map
+      (fun c -> Recon_check.verify_gauge ~recon:c g)
+      Linalg.Su3_codec.all
+    @ Recon_check.verify_plans
+        [
+          Recon_check.plan ~kernel:"wilson_hop_recon"
+            ~recon:Linalg.Su3_codec.Recon12
+            ~tuned_recon:Linalg.Su3_codec.Recon12 ~max_violation:v
+            ~gauge_epoch:5 ~halo_epoch:5 ~halo_compressed:true ();
+          Recon_check.plan ~kernel:"wilson_hop_recon"
+            ~recon:Linalg.Su3_codec.Recon8 ~max_violation:v ();
+        ]
+  in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);
     ("halo schedules (Vrank.Comm)", halo_ds);
@@ -257,6 +282,7 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
     ("numeric sanitizer + half codec", numeric_ds);
     ("pool launch plans", pool_ds);
     ("fused kernel plans", fuse_ds);
+    ("compressed gauge links (recon)", recon_ds);
     ("solver plans (static analyzer)", plan_ds);
   ]
 

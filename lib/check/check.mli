@@ -12,6 +12,7 @@ module Spec_check : module type of Spec_check
 module Pool_check : module type of Pool_check
 module Fuse_check : module type of Fuse_check
 module Mrhs_check : module type of Mrhs_check
+module Recon_check : module type of Recon_check
 module Plan_ir : module type of Plan_ir
 module Plan_extract : module type of Plan_extract
 module Plan_check : module type of Plan_check
@@ -40,6 +41,11 @@ val mixed_config : n:int -> Solver.Mixed.config -> Diagnostic.t list
 val pool_plan : Pool_check.plan -> Diagnostic.t list
 val fused_plan : Fuse_check.plan -> Diagnostic.t list
 val mrhs_plan : Mrhs_check.plan -> Diagnostic.t list
+val recon_plan : Recon_check.plan -> Diagnostic.t list
+
+val recon_gauge :
+  recon:Linalg.Su3_codec.codec -> Lattice.Gauge.t -> Diagnostic.t list
+(** Direct RECON001 audit ({!Recon_check.verify_gauge}). *)
 
 val solver_plan : Plan_ir.plan -> Diagnostic.t list
 (** The full static analyzer ({!Plan_check.verify}) over one plan. *)
@@ -52,10 +58,10 @@ val standard_suite : ?seed:int -> unit -> Diagnostic.report
     the simple and overlapped halo schedules, a live Comm audit, the
     default workflow specs (double and mixed), an instrumented clean
     mixed solve, the pool launch plans, the fused BLAS-1 kernel
-    plans the [~fused] solvers run, and every plan in
-    {!Plan_extract.catalog} through the static analyzer. Must report
-    zero errors (the fused CG plans carry the documented PLAN005
-    stencil-tail warning). *)
+    plans the [~fused] solvers run, the compressed gauge-link (recon)
+    audits and launches, and every plan in {!Plan_extract.catalog}
+    through the static analyzer. Must report zero errors (the fused
+    CG plans carry the documented PLAN005 stencil-tail warning). *)
 
 val selftest : unit -> (Fixtures.t * string list * bool) list
 (** Run every seeded defect fixture; each row is (fixture, error and

@@ -1,4 +1,4 @@
-(* Seeded defect fixtures: twenty-eight artifacts, each carrying
+(* Seeded defect fixtures: thirty-one artifacts, each carrying
    exactly the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
@@ -12,9 +12,12 @@
    plan-level defects caught statically from the IR alone: partition
    overlap, aliased fused output, tail output aliasing the stencil
    dst, zero-copy window write, model/IR sweep mismatch, half-codec
-   range violation, stale-precision read). The CLI's --selftest and
-   the test suite assert every one is detected, which keeps the
-   checker honest — a pass that silently stops firing fails CI. *)
+   range violation, stale-precision read; three compressed gauge-link
+   defects: non-unitary source link beyond the codec tolerance, codec
+   mismatch against the tuned winner, stale compressed halo). The
+   CLI's --selftest and the test suite assert every one is detected,
+   which keeps the checker honest — a pass that silently stops firing
+   fails CI. *)
 
 module P = Jobman.Pipeline
 module F = Linalg.Field
@@ -411,6 +414,39 @@ let plan_stale_precision () =
   in
   Plan_check.verify { p with steps }
 
+(* ---- 9. compressed gauge-link (reconstruct) defects ---- *)
+
+(* 9a. A hot gauge field with its first link scaled by 1.3: U†U =
+   1.69·1 on that link, so Recon12's rebuilt third row s·conj(r0×r1)
+   is a different matrix than was stored — the unitarity contract the
+   codecs rest on, RECON001's bug class. *)
+let recon_nonunitary_link () =
+  let geom = Lattice.Geometry.create [| 4; 4; 4; 4 |] in
+  let g = Lattice.Gauge.random geom (Util.Rng.create 11) in
+  let d = Lattice.Gauge.data g in
+  for k = 0 to 17 do
+    Bigarray.Array1.set d k (1.3 *. Bigarray.Array1.get d k)
+  done;
+  Recon_check.verify_gauge ~recon:Linalg.Su3_codec.Recon12 g
+
+(* 9b. A recon12 launch under the tuner winner recorded for full18:
+   the launch was never priced at this link-traffic point, so bench
+   rows and the model's recon term describe a different kernel. *)
+let recon_tuned_mismatch () =
+  Recon_check.verify_plan
+    (Recon_check.plan ~kernel:"wilson_hop_recon"
+       ~recon:Linalg.Su3_codec.Recon12
+       ~tuned_recon:Linalg.Su3_codec.Full18 ~max_violation:1e-15 ())
+
+(* 9c. A compressed halo packed two gauge epochs before the live
+   field: ghost links decode to mutated-away values — the gauge twin
+   of the stale-halo spinor race. *)
+let recon_stale_halo () =
+  Recon_check.verify_plan
+    (Recon_check.plan ~kernel:"wilson_hop_recon"
+       ~recon:Linalg.Su3_codec.Recon8 ~max_violation:1e-15 ~gauge_epoch:3
+       ~halo_epoch:1 ~halo_compressed:true ())
+
 let all =
   [
     {
@@ -580,6 +616,24 @@ let all =
       defect = "mixed plan reading Ap past a dropped quantize point";
       expect = "PREC003";
       run = plan_stale_precision;
+    };
+    {
+      name = "recon-nonunitary-link";
+      defect = "link scaled by 1.3 packed through the recon12 codec";
+      expect = "RECON001";
+      run = recon_nonunitary_link;
+    };
+    {
+      name = "recon-tuned-mismatch";
+      defect = "recon12 launch under a tuner winner recorded for full18";
+      expect = "RECON002";
+      run = recon_tuned_mismatch;
+    };
+    {
+      name = "recon-stale-halo";
+      defect = "compressed halo packed two gauge epochs before the field";
+      expect = "RECON003";
+      run = recon_stale_halo;
     };
   ]
 

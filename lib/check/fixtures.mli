@@ -28,6 +28,9 @@ val plan_zero_copy_write : unit -> Diagnostic.t list
 val plan_sweep_mismatch : unit -> Diagnostic.t list
 val plan_half_range : unit -> Diagnostic.t list
 val plan_stale_precision : unit -> Diagnostic.t list
+val recon_nonunitary_link : unit -> Diagnostic.t list
+val recon_tuned_mismatch : unit -> Diagnostic.t list
+val recon_stale_halo : unit -> Diagnostic.t list
 
 val all : t list
 val find : string -> t option

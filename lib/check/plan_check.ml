@@ -422,6 +422,17 @@ let check_precision p =
             (D.error ~rule:"PREC004" ~loc
                (Printf.sprintf "%s is not declared half-precision" qbuf)
                ~hint:"quantize points only apply to half-codec buffers")
+        | Some { prec = Su3 codec; _ } ->
+          add
+            (D.error ~rule:"PREC004" ~loc
+               (Printf.sprintf
+                  "%s is a compressed gauge-link store (su3:%s), not a \
+                   half-codec buffer"
+                  qbuf
+                  (Linalg.Su3_codec.name codec))
+               ~hint:
+                 "recon streams are reconstructed in registers, never \
+                  quantized — drop the quantize point or retag the buffer")
         | Some { prec = Half declared; _ } ->
           if qblock <> declared then
             add

@@ -425,6 +425,38 @@ let wilson_hop_multi ?(k = 4) ?(sites = 256) ?geometry () =
       ]
     "wilson-hop-multi"
 
+(* The compressed-gauge batched hop (Wilson.hop_multi on a
+   Lattice.Recon store): identical effect shape to wilson_hop_multi,
+   but the gauge buffer carries its codec as a precision tag — the
+   precision pass knows it is a register-reconstructed stream, never a
+   quantize target (PREC004 fires on a Quantize step against it). The
+   range seeds the magnitude interval: SU(3) entries are bounded by 1,
+   and the codec's round-trip bound is the floor of meaningful
+   magnitudes. *)
+let wilson_hop_recon ?(recon = Linalg.Su3_codec.Recon12) ?(k = 4)
+    ?(sites = 256) ?geometry () =
+  if k < 1 then invalid_arg "Plan_extract.wilson_hop_recon: k must be >= 1";
+  let n = sites * 24 in
+  let srcs = List.init k (Printf.sprintf "src%d") in
+  let dsts = List.init k (Printf.sprintf "dst%d") in
+  plan ~n
+    ~buffers:
+      (buffer ~prec:(Su3 recon)
+         ~range:(max 1e-30 (Linalg.Su3_codec.round_trip_bound recon), 1.)
+         "u"
+      :: List.map (fun b -> buffer ~prec:Double b) (srcs @ dsts))
+    ~steps:
+      [
+        Launch
+          (kernel ?geometry ~sweeps:1
+             ~args:
+               (("u", r_)
+               :: (List.map (fun s -> (s, r_)) srcs
+                  @ List.map (fun d -> (d, w_)) dsts))
+             "wilson_hop_recon");
+      ]
+    "wilson-hop-recon"
+
 (* Effects of the batched BLAS-1 kernels from Multi_blas's own
    operand-role table — same discipline as [fused_args]. *)
 let multi_args name ~buffers ~reduce =
@@ -570,6 +602,7 @@ let catalog : (string * (unit -> plan)) list =
     ("wilson-hop", fun () -> wilson_hop ());
     ("wilson-hop-tail", fun () -> wilson_hop_tail ());
     ("wilson-hop-multi", fun () -> wilson_hop_multi ());
+    ("wilson-hop-recon", fun () -> wilson_hop_recon ());
     ("cg-tail-multi", fun () -> cg_tail_multi ~fused:false ());
     ("cg-tail-multi-fused", fun () -> cg_tail_multi ~fused:true ());
     ("mobius-hop", fun () -> mobius_hop ());

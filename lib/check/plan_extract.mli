@@ -70,6 +70,21 @@ val wilson_hop_multi :
     the whole batch. Traffic is priced per site by
     [Machine.Perf_model.mrhs_bytes_per_site]. *)
 
+val wilson_hop_recon :
+  ?recon:Linalg.Su3_codec.codec ->
+  ?k:int ->
+  ?sites:int ->
+  ?geometry:int * int ->
+  unit ->
+  Plan_ir.plan
+(** The compressed-gauge batched hop ([Dirac.Wilson.hop_multi] on a
+    [Lattice.Recon] store, default codec [Recon12], default [k] 4):
+    the gauge buffer carries its codec as a [Su3] precision tag with a
+    seeded magnitude range — the precision pass treats it as a
+    register-reconstructed stream, so a [Quantize] step against it is
+    a PREC004 error. Traffic is priced per site by
+    [Machine.Perf_model.mrhs_bytes_per_site_recon]. *)
+
 val cg_tail_multi :
   ?n:int -> ?geometry:int * int -> fused:bool -> unit -> Plan_ir.plan
 (** The per-iteration BLAS-1 tail of [Solver.Cg.solve_multi], rows

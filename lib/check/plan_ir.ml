@@ -11,7 +11,13 @@
    (round-trip asserted by a qcheck property), so plans can be dumped
    by `neutron_check --plan-dump`, diffed, and re-linted offline. *)
 
-type precision = Double | Single | Half of int  (* floats per codec block *)
+type precision =
+  | Double
+  | Single
+  | Half of int  (* floats per codec block *)
+  | Su3 of Linalg.Su3_codec.codec
+      (* compressed gauge-link store (Lattice.Recon): reconstructed in
+         registers at the point of use, never quantized *)
 
 type role = Read | Write | Update | Reduce
 (* [Read]/[Write] are whole-buffer stream effects; [Update] is a
@@ -103,6 +109,7 @@ let string_of_precision = function
   | Double -> "double"
   | Single -> "single"
   | Half b -> Printf.sprintf "half:%d" b
+  | Su3 c -> Printf.sprintf "su3:%s" (Linalg.Su3_codec.name c)
 
 let string_of_role = function
   | Read -> "read"
@@ -251,6 +258,10 @@ let parse_precision s =
   | [ "double" ] -> Double
   | [ "single" ] -> Single
   | [ "half"; b ] -> Half (parse_int "half block" b)
+  | [ "su3"; c ] -> (
+    match Linalg.Su3_codec.of_name c with
+    | Some codec -> Su3 codec
+    | None -> fail "bad su3 codec %S" c)
   | _ -> fail "bad precision %S" s
 
 let parse_role = function

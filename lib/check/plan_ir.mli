@@ -14,6 +14,11 @@ type precision =
   | Double
   | Single
   | Half of int  (** half codec with the given floats-per-block *)
+  | Su3 of Linalg.Su3_codec.codec
+      (** compressed gauge-link store ([Lattice.Recon]): reconstructed
+          in registers at the point of use, never quantized —
+          [Plan_check] PREC004 flags a [Quantize] step on such a
+          buffer *)
 
 type role =
   | Read

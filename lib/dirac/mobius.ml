@@ -351,8 +351,12 @@ let apply_hop_dagger p kernel ~n4_src ~n4_dst ~(src : Linalg.Field.t)
 
 type t = { p : params; kernel : Wilson.t; n4 : int }
 
-let of_geometry p geom gauge =
-  { p; kernel = Wilson.of_geometry geom gauge; n4 = Lattice.Geometry.volume geom }
+let of_geometry ?recon p geom gauge =
+  {
+    p;
+    kernel = Wilson.of_geometry ?recon geom gauge;
+    n4 = Lattice.Geometry.volume geom;
+  }
 
 let field_length t = t.p.l5 * t.n4 * fps
 let create_field t = Linalg.Field.create (field_length t)
@@ -403,12 +407,16 @@ type eo = {
   half : int;
 }
 
-let of_geometry_eo p geom gauge =
+let of_geometry_eo ?recon p geom gauge =
+  (* one packed store per checkerboard kernel: the whole Schur chain
+     (hop_eo, apply_schur*, the batched multi-RHS twins) reconstructs
+     links through Wilson's fetch, bit-identically for a fixed codec
+     across pool geometries *)
   {
     p;
     geom;
-    kern_to_even = Wilson.of_checkerboard geom gauge ~parity:0;
-    kern_to_odd = Wilson.of_checkerboard geom gauge ~parity:1;
+    kern_to_even = Wilson.of_checkerboard ?recon geom gauge ~parity:0;
+    kern_to_odd = Wilson.of_checkerboard ?recon geom gauge ~parity:1;
     half = Lattice.Geometry.half_volume geom;
   }
 

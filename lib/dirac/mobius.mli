@@ -46,7 +46,16 @@ val apply_g5r5 :
 (** Full (unpreconditioned) operator. *)
 type t
 
-val of_geometry : params -> Lattice.Geometry.t -> Lattice.Gauge.t -> t
+val of_geometry :
+  ?recon:Linalg.Su3_codec.codec ->
+  params ->
+  Lattice.Geometry.t ->
+  Lattice.Gauge.t ->
+  t
+(** [recon] (default [Full18]) is the gauge codec of the underlying
+    [Wilson] kernel — the packed link store every stencil sweep of the
+    5D chain reconstructs from. *)
+
 val field_length : t -> int
 val create_field : t -> Linalg.Field.t
 val apply : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
@@ -59,7 +68,16 @@ val apply_normal : t -> src:Linalg.Field.t -> dst:Linalg.Field.t -> unit
 (** Red-black preconditioned operator on odd-parity fields. *)
 type eo
 
-val of_geometry_eo : params -> Lattice.Geometry.t -> Lattice.Gauge.t -> eo
+val of_geometry_eo :
+  ?recon:Linalg.Su3_codec.codec ->
+  params ->
+  Lattice.Geometry.t ->
+  Lattice.Gauge.t ->
+  eo
+(** [recon] as in {!of_geometry}: both checkerboard kernels share the
+    codec, so the whole Schur chain (and its batched multi-RHS twins)
+    runs on the packed store. *)
+
 val eo_field_length : eo -> int
 val create_eo_field : eo -> Linalg.Field.t
 

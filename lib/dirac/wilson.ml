@@ -11,23 +11,45 @@
    suffice; the other two spin components are reconstructed by a phase.
 
    dst(x) = sum_mu [ U_mu(x) (1-g_mu) src(x+mu)
-                   + U_mu(x-mu)^dag (1+g_mu) src(x-mu) ] *)
+                   + U_mu(x-mu)^dag (1+g_mu) src(x-mu) ]
+
+   Gauge storage is behind a link-fetch: the tables name links (site·4
+   + mu), and each site body materializes the link into an 18-float
+   scratch before the mat-vec — a plain float64 copy for the full
+   store (same values, so bit-identical to the pre-codec kernel), or a
+   Su3_codec reconstruction for a packed store (Lattice.Recon), which
+   is how the reconstruct-12/8 compression reaches every hop flavor
+   (hop, hop_tail, hop_multi, and the Mobius Schur chain built on
+   them) through the one kernel body. *)
 
 open Bigarray
 module Cplx = Linalg.Cplx
+module Codec = Linalg.Su3_codec
+
+type store =
+  | Full of Linalg.Field.t  (* shared Gauge.data, 18 reals per link *)
+  | Packed of Lattice.Recon.t
 
 type t = {
   n_sites : int;  (* sites the kernel writes *)
   src_fwd : int array;  (* 4*i + mu -> source index of the forward hop *)
   src_bwd : int array;
-  gauge_fwd : int array;  (* 4*i + mu -> float base of U_mu(x) *)
-  gauge_bwd : int array;  (* 4*i + mu -> float base of U_mu(x - mu) *)
-  gauge : Linalg.Field.t;
+  gauge_fwd : int array;  (* 4*i + mu -> link index of U_mu(x) *)
+  gauge_bwd : int array;  (* 4*i + mu -> link index of U_mu(x - mu) *)
+  store : store;
+  recon : Codec.codec;
 }
 
 let floats_per_site = Gamma.floats_per_site
+let recon t = t.recon
 
-let of_geometry geom gauge_field =
+let make_store recon gauge_data =
+  match recon with
+  | Codec.Full18 -> Full gauge_data
+  | Codec.Recon12 | Codec.Recon8 ->
+    Packed (Lattice.Recon.pack_field recon gauge_data)
+
+let of_geometry ?(recon = Codec.Full18) geom gauge_field =
   if not (Lattice.Gauge.geom gauge_field == geom) then
     invalid_arg "Wilson.of_geometry: gauge field on different geometry";
   let n = Lattice.Geometry.volume geom in
@@ -37,26 +59,29 @@ let of_geometry geom gauge_field =
     n_sites = n;
     src_fwd = fwd;
     src_bwd = bwd;
-    gauge_fwd = Array.init (n * 4) (fun e -> e * 18);
-    gauge_bwd = Array.init (n * 4) (fun e -> ((bwd.(e) * 4) + (e mod 4)) * 18);
-    gauge = Lattice.Gauge.data gauge_field;
+    gauge_fwd = Array.init (n * 4) (fun e -> e);
+    gauge_bwd = Array.init (n * 4) (fun e -> (bwd.(e) * 4) + (e mod 4));
+    store = make_store recon (Lattice.Gauge.data gauge_field);
+    recon;
   }
 
-let of_domain_rank (rg : Lattice.Domain.rank_geometry) gauge_ext =
+let of_domain_rank ?(recon = Codec.Full18) (rg : Lattice.Domain.rank_geometry)
+    gauge_ext =
   let n = rg.Lattice.Domain.local_volume in
   let fwd = rg.Lattice.Domain.fwd and bwd = rg.Lattice.Domain.bwd in
   {
     n_sites = n;
     src_fwd = fwd;
     src_bwd = bwd;
-    gauge_fwd = Array.init (n * 4) (fun e -> e * 18);
-    gauge_bwd = Array.init (n * 4) (fun e -> ((bwd.(e) * 4) + (e mod 4)) * 18);
-    gauge = gauge_ext;
+    gauge_fwd = Array.init (n * 4) (fun e -> e);
+    gauge_bwd = Array.init (n * 4) (fun e -> (bwd.(e) * 4) + (e mod 4));
+    store = make_store recon gauge_ext;
+    recon;
   }
 
 (* Checkerboarded hopping: writes sites of [parity], reads a source
    field indexed by the eo-index of the opposite parity. *)
-let of_checkerboard geom gauge_field ~parity =
+let of_checkerboard ?(recon = Codec.Full18) geom gauge_field ~parity =
   if not (Lattice.Gauge.geom gauge_field == geom) then
     invalid_arg "Wilson.of_checkerboard: gauge field on different geometry";
   let half = Lattice.Geometry.half_volume geom in
@@ -71,8 +96,8 @@ let of_checkerboard geom gauge_field ~parity =
       let xb = Lattice.Geometry.bwd geom x mu in
       src_fwd.((i * 4) + mu) <- Lattice.Geometry.eo_index geom xf;
       src_bwd.((i * 4) + mu) <- Lattice.Geometry.eo_index geom xb;
-      gauge_fwd.((i * 4) + mu) <- ((x * 4) + mu) * 18;
-      gauge_bwd.((i * 4) + mu) <- ((xb * 4) + mu) * 18
+      gauge_fwd.((i * 4) + mu) <- (x * 4) + mu;
+      gauge_bwd.((i * 4) + mu) <- (xb * 4) + mu
     done
   done;
   {
@@ -81,8 +106,27 @@ let of_checkerboard geom gauge_field ~parity =
     src_bwd;
     gauge_fwd;
     gauge_bwd;
-    gauge = Lattice.Gauge.data gauge_field;
+    store = make_store recon (Lattice.Gauge.data gauge_field);
+    recon;
   }
+
+(* The link-fetch a site body uses: fills the closure's 18-float
+   scratch from the store. Built inside make_do_site* so pooled ranges
+   never share the packed-codec scratch. The full-store fetch is a
+   float64 copy — identical values, so the kernel's float operations
+   (and results) are bit-for-bit those of the direct-indexing kernel
+   it replaced. *)
+let make_fetch t =
+  match t.store with
+  | Full g ->
+    fun link (uf : float array) ->
+      let base = link * 18 in
+      for j = 0 to 17 do
+        Array.unsafe_set uf j (Array1.unsafe_get g (base + j))
+      done
+  | Packed p ->
+    let packed = Array.make (Codec.reals (Lattice.Recon.codec p)) 0. in
+    fun link uf -> Lattice.Recon.decode_sub p ~link ~packed uf
 
 (* Per-direction projection data: for all four gammas, spins {0,1}
    partner with {2,3}; (1 - sign*gamma) component s in {0,1} is
@@ -106,6 +150,8 @@ let make_do_site t ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =
   let acc = Array.make floats_per_site 0. in
   let h0 = Array.make 6 0. and h1 = Array.make 6 0. in
   let g0 = Array.make 6 0. and g1 = Array.make 6 0. in
+  let uf = Array.make 18 0. in
+  let fetch = make_fetch t in
   let do_site x =
     Array.fill acc 0 floats_per_site 0.;
     let xb4 = x * 4 in
@@ -121,10 +167,10 @@ let make_do_site t ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =
            else Array.unsafe_get t.src_bwd (xb4 + mu))
           * floats_per_site
         in
-        let ub =
-          if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
-          else Array.unsafe_get t.gauge_bwd (xb4 + mu)
-        in
+        fetch
+          (if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
+           else Array.unsafe_get t.gauge_bwd (xb4 + mu))
+          uf;
         for c = 0 to 2 do
           let o0 = nb + (c * 2) in
           let opa = nb + (((pa * 3) + c) * 2) in
@@ -147,13 +193,12 @@ let make_do_site t ~(src : Linalg.Field.t) ~(dst : Linalg.Field.t) =
           let r0 = ref 0. and i0 = ref 0. and r1 = ref 0. and i1 = ref 0. in
           for k = 0 to 2 do
             let e =
-              if side = 0 then ub + (2 * ((3 * row) + k))
-              else ub + (2 * ((3 * k) + row))
+              if side = 0 then 2 * ((3 * row) + k) else 2 * ((3 * k) + row)
             in
-            let ur = Array1.unsafe_get t.gauge e in
+            let ur = Array.unsafe_get uf e in
             let ui =
-              if side = 0 then Array1.unsafe_get t.gauge (e + 1)
-              else -.Array1.unsafe_get t.gauge (e + 1)
+              if side = 0 then Array.unsafe_get uf (e + 1)
+              else -.Array.unsafe_get uf (e + 1)
             in
             let h0r = h0.(k * 2) and h0i = h0.((k * 2) + 1) in
             r0 := !r0 +. ((ur *. h0r) -. (ui *. h0i));
@@ -250,6 +295,8 @@ let make_do_site_multi t ~(srcs : Linalg.Field.t array)
   let g1s = Array.init k (fun _ -> Array.make 6 0.) in
   let r0s = Array.make k 0. and i0s = Array.make k 0. in
   let r1s = Array.make k 0. and i1s = Array.make k 0. in
+  let uf = Array.make 18 0. in
+  let fetch = make_fetch t in
   let do_site x =
     for v = 0 to k - 1 do
       Array.fill accs.(v) 0 floats_per_site 0.
@@ -265,10 +312,11 @@ let make_do_site_multi t ~(srcs : Linalg.Field.t array)
            else Array.unsafe_get t.src_bwd (xb4 + mu))
           * floats_per_site
         in
-        let ub =
-          if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
-          else Array.unsafe_get t.gauge_bwd (xb4 + mu)
-        in
+        (* one link fetch (and, packed, one reconstruction) per k RHS *)
+        fetch
+          (if side = 0 then Array.unsafe_get t.gauge_fwd (xb4 + mu)
+           else Array.unsafe_get t.gauge_bwd (xb4 + mu))
+          uf;
         for v = 0 to k - 1 do
           let src = Array.unsafe_get srcs v in
           let h0 = h0s.(v) and h1 = h1s.(v) in
@@ -300,14 +348,14 @@ let make_do_site_multi t ~(srcs : Linalg.Field.t array)
           done;
           for col = 0 to 2 do
             let e =
-              if side = 0 then ub + (2 * ((3 * row) + col))
-              else ub + (2 * ((3 * col) + row))
+              if side = 0 then 2 * ((3 * row) + col)
+              else 2 * ((3 * col) + row)
             in
             (* the amortized load: one gauge element, k RHS *)
-            let ur = Array1.unsafe_get t.gauge e in
+            let ur = Array.unsafe_get uf e in
             let ui =
-              if side = 0 then Array1.unsafe_get t.gauge (e + 1)
-              else -.Array1.unsafe_get t.gauge (e + 1)
+              if side = 0 then Array.unsafe_get uf (e + 1)
+              else -.Array.unsafe_get uf (e + 1)
             in
             for v = 0 to k - 1 do
               let h0 = h0s.(v) and h1 = h1s.(v) in

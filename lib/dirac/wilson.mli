@@ -1,19 +1,42 @@
 (** Wilson hopping stencil and operator. One table-driven kernel serves
-    the full-volume, domain-decomposed and checkerboarded cases. *)
+    the full-volume, domain-decomposed and checkerboarded cases.
+
+    Every constructor takes [?recon] (default [Full18]): the gauge
+    codec of the link store. Packed codecs ([Recon12]/[Recon8],
+    [Lattice.Recon]) store 12/8 reals per link and reconstruct the
+    full matrix into a per-closure scratch at the point of use — every
+    hop flavor (plain, tail-fused, multi-RHS, and the Mobius chain on
+    top) decodes through the one kernel body, and for a fixed codec
+    the results are bit-identical across pool geometries. [Full18]
+    fetches are exact float64 copies, bit-identical to the
+    direct-indexing kernel they replaced. *)
 
 type t
 
 val floats_per_site : int
 
-val of_geometry : Lattice.Geometry.t -> Lattice.Gauge.t -> t
+val recon : t -> Linalg.Su3_codec.codec
+(** The codec this operator's link store was built with. *)
+
+val of_geometry :
+  ?recon:Linalg.Su3_codec.codec -> Lattice.Geometry.t -> Lattice.Gauge.t -> t
 (** Full-volume operator; source and destination are volume×24 floats. *)
 
-val of_domain_rank : Lattice.Domain.rank_geometry -> Linalg.Field.t -> t
+val of_domain_rank :
+  ?recon:Linalg.Su3_codec.codec ->
+  Lattice.Domain.rank_geometry ->
+  Linalg.Field.t ->
+  t
 (** Rank-local operator; the source must cover the extended volume
     (ghost slots filled by halo exchange), gauge from
     [Lattice.Domain.gather_gauge]. *)
 
-val of_checkerboard : Lattice.Geometry.t -> Lattice.Gauge.t -> parity:int -> t
+val of_checkerboard :
+  ?recon:Linalg.Su3_codec.codec ->
+  Lattice.Geometry.t ->
+  Lattice.Gauge.t ->
+  parity:int ->
+  t
 (** Hopping from the opposite parity onto sites of [parity]; fields are
     indexed by checkerboard (eo) index, half_volume×24 floats. *)
 

@@ -373,7 +373,7 @@ module Half = struct
     block : int;
   }
 
-  let max_q = 32767.
+  let max_q = Quantize.max_q
 
   let create ~block n =
     if n mod block <> 0 then invalid_arg "Field.Half.create: block must divide n";
@@ -385,41 +385,21 @@ module Half = struct
 
   let length h = Array1.dim h.data
 
+  (* The scaling math lives in Quantize (shared with the gauge codec
+     and the compressed halo payloads); encode/decode here only add
+     the length checks and the boundary sanitize. Bit-identical to the
+     historical inline loops: Quantize runs the same store-the-norm /
+     re-read-it / quantize-against-the-stored-value sequence. *)
   let encode (v : t) (h : h) =
     if length h <> Array1.dim v then invalid_arg "Field.Half.encode: length";
     (* the codec silently launders NaN/Inf into 0 (comparisons against
        a NaN norm are all false) — trap at the boundary instead *)
     Sanitize.check_vec "Field.Half.encode" v;
-    let n_blocks = Array1.dim h.norms in
-    for b = 0 to n_blocks - 1 do
-      let base = b * h.block in
-      let norm = ref 0. in
-      for i = 0 to h.block - 1 do
-        let a = abs_float (Array1.unsafe_get v (base + i)) in
-        if a > !norm then norm := a
-      done;
-      Array1.unsafe_set h.norms b !norm;
-      (* re-read to absorb the float32 rounding of the stored norm *)
-      let stored = Array1.unsafe_get h.norms b in
-      let inv = if stored > 0. then max_q /. stored else 0. in
-      for i = 0 to h.block - 1 do
-        let q = Float.round (Array1.unsafe_get v (base + i) *. inv) in
-        let q = if q > max_q then max_q else if q < -.max_q then -.max_q else q in
-        Array1.unsafe_set h.data (base + i) (int_of_float q)
-      done
-    done
+    Quantize.encode_blocks v h.data h.norms ~block:h.block
 
   let decode (h : h) (v : t) =
     if length h <> Array1.dim v then invalid_arg "Field.Half.decode: length";
-    let n_blocks = Array1.dim h.norms in
-    for b = 0 to n_blocks - 1 do
-      let base = b * h.block in
-      let s = Array1.unsafe_get h.norms b /. max_q in
-      for i = 0 to h.block - 1 do
-        Array1.unsafe_set v (base + i)
-          (float_of_int (Array1.unsafe_get h.data (base + i)) *. s)
-      done
-    done
+    Quantize.decode_blocks h.data h.norms v ~block:h.block
 
   let round_trip (v : t) ~block =
     let h = create ~block (Array1.dim v) in

@@ -1,0 +1,86 @@
+(* Shared block range-scaling fixed-point codec: the one implementation
+   of the paper's 16-bit storage trick. A block of values shares one
+   float32 norm (the block's max magnitude); each value is stored as
+   round(v * max_q / norm) in an int16. Field.Half (the spinor codec),
+   the compressed halo face payloads (Vrank.Comm) and the fixed-point
+   gauge wire format (Su3_codec.pack_fixed) all call these helpers, so
+   the scaling math — including the deliberate re-read of the stored
+   float32 norm to absorb its rounding before computing the scale —
+   exists exactly once.
+
+   No validation here: callers check lengths and sanitize their inputs
+   (NaN comparisons against a norm are all false, silently laundering
+   non-finite values into 0 — Field.Half traps at its boundary). *)
+
+open Bigarray
+
+type i16 = (int, int16_signed_elt, c_layout) Array1.t
+type f32 = (float, float32_elt, c_layout) Array1.t
+type f64 = (float, float64_elt, c_layout) Array1.t
+
+let max_q = 32767.
+
+(* Largest magnitude of src[off, off+len). *)
+let block_norm (src : f64) ~off ~len =
+  let norm = ref 0. in
+  for i = off to off + len - 1 do
+    let a = abs_float (Array1.unsafe_get src i) in
+    if a > !norm then norm := a
+  done;
+  !norm
+
+let scale_of_norm stored = if stored > 0. then max_q /. stored else 0.
+
+let quantize inv v =
+  let q = Float.round (v *. inv) in
+  let q = if q > max_q then max_q else if q < -.max_q then -.max_q else q in
+  int_of_float q
+
+(* Encode one block: store its norm (float32), re-read it to absorb
+   the storage rounding, then quantize every element against the
+   stored value — the exact sequence Field.Half has always run, so the
+   refactor is bit-identical. *)
+let encode_block (src : f64) ~off ~len (data : i16) (norms : f32) ~block_idx =
+  Array1.unsafe_set norms block_idx (block_norm src ~off ~len);
+  let inv = scale_of_norm (Array1.unsafe_get norms block_idx) in
+  for i = 0 to len - 1 do
+    Array1.unsafe_set data (off + i) (quantize inv (Array1.unsafe_get src (off + i)))
+  done
+
+let decode_block (data : i16) (norms : f32) ~block_idx (dst : f64) ~off ~len =
+  let s = Array1.unsafe_get norms block_idx /. max_q in
+  for i = 0 to len - 1 do
+    Array1.unsafe_set dst (off + i)
+      (float_of_int (Array1.unsafe_get data (off + i)) *. s)
+  done
+
+let encode_blocks (src : f64) (data : i16) (norms : f32) ~block =
+  let n_blocks = Array1.dim norms in
+  for b = 0 to n_blocks - 1 do
+    encode_block src ~off:(b * block) ~len:block data norms ~block_idx:b
+  done
+
+let decode_blocks (data : i16) (norms : f32) (dst : f64) ~block =
+  let n_blocks = Array1.dim norms in
+  for b = 0 to n_blocks - 1 do
+    decode_block data norms ~block_idx:b dst ~off:(b * block) ~len:block
+  done
+
+(* Float-array variant for small per-object buffers (a packed gauge
+   link): one norm for the whole array, returned as the float32-rounded
+   value the decoder must use. *)
+let encode_array (src : float array) (data : int array) =
+  let norm = ref 0. in
+  Array.iter (fun v -> let a = abs_float v in if a > !norm then norm := a) src;
+  let stored = Int32.float_of_bits (Int32.bits_of_float !norm) in
+  let inv = scale_of_norm stored in
+  Array.iteri (fun i v -> data.(i) <- quantize inv v) src;
+  stored
+
+let decode_array (data : int array) ~norm (dst : float array) =
+  let s = norm /. max_q in
+  Array.iteri (fun i q -> dst.(i) <- float_of_int q *. s) data
+
+(* Wire-byte pricing of the format: int16 payload + one float32 norm
+   per block — what a compressed halo message actually moves. *)
+let wire_bytes ~n ~block = float_of_int ((n * 2) + (n / block * 4))

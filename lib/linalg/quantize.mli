@@ -1,0 +1,44 @@
+(** Shared block range-scaling fixed-point codec — the one
+    implementation of the 16-bit storage trick behind [Field.Half]
+    (spinors), the compressed halo face payloads ([Vrank.Comm]) and
+    the fixed-point gauge wire format ([Su3_codec]). A block shares
+    one float32 norm; values store as [round(v·max_q/norm)] in int16.
+    The stored norm is re-read before scaling so its float32 rounding
+    is absorbed identically by every user. No validation: callers
+    check lengths and sanitize non-finite inputs. *)
+
+type i16 = (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val max_q : float
+(** 32767 — the int16 quantization ceiling. *)
+
+val block_norm : f64 -> off:int -> len:int -> float
+(** Largest magnitude in [src[off, off+len)]. *)
+
+val scale_of_norm : float -> float
+(** [max_q / stored_norm], 0 on an all-zero (or negative) norm. *)
+
+val quantize : float -> float -> int
+(** [quantize inv v]: rounded, clamped int16 code of [v]. *)
+
+val encode_block : f64 -> off:int -> len:int -> i16 -> f32 -> block_idx:int -> unit
+val decode_block : i16 -> f32 -> block_idx:int -> f64 -> off:int -> len:int -> unit
+
+val encode_blocks : f64 -> i16 -> f32 -> block:int -> unit
+(** Whole-array encode: block [b] covers [[b·block, (b+1)·block)];
+    [dim norms] blocks. The sequence per block — store the norm as
+    float32, re-read it, quantize against the stored value — is
+    exactly [Field.Half.encode]'s, bit for bit. *)
+
+val decode_blocks : i16 -> f32 -> f64 -> block:int -> unit
+
+val encode_array : float array -> int array -> float
+(** One-norm variant for small per-object buffers (a packed gauge
+    link); returns the float32-rounded norm the decoder needs. *)
+
+val decode_array : int array -> norm:float -> float array -> unit
+
+val wire_bytes : n:int -> block:int -> float
+(** Bytes the format moves for [n] values: 2n payload + 4 per block. *)

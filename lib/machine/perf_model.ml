@@ -30,8 +30,19 @@ let peak_scaling = Dirac.Flops.paper_peak_scaling
 let arithmetic_intensity = Dirac.Flops.paper_arithmetic_intensity
 
 (* Halo payload per 5D face site: a spin-projected half spinor in half
-   precision (12 reals x 2 bytes). *)
+   precision (12 reals x 2 bytes) — the paper's compressed wire, baked
+   into the calibration. *)
 let halo_bytes_per_face_site = 24.
+
+(* The same face site shipped uncompressed: 12 double-precision reals.
+   What a halo exchange pays when the compression knob is explicitly
+   off (Vrank.Comm without [~compress]). *)
+let halo_bytes_per_face_site_double = 96.
+
+(* Codec passes the compressed wire costs at GPU memory bandwidth:
+   encode on the send side + decode on the receive side, each
+   streaming the double-precision face once. *)
+let compress_codec_passes = 2.
 
 (* Reference local volume at which the calibration bandwidths were
    measured: 48^3 x 64 x 20 on 16 GPUs (the paper's production group). *)
@@ -172,12 +183,32 @@ let blas1_host_sweeps ~fused = if fused then 2. else 5.
 let link_bytes_per_site = float_of_int (8 * 18 * 8)
 let spinor_bytes_per_site = float_of_int (((9 * 24) + 24) * 8)
 
+(* Compressed gauge links (Linalg.Su3_codec / Lattice.Recon): the hop
+   streams [reals] floats per link instead of 18 and reconstructs the
+   rest in registers — 1152 drops to 768 (Recon12) / 512 (Recon8)
+   bytes per site, at reconstruction flops the bandwidth-bound stencil
+   hides. The per-link sign byte is negligible and excluded, matching
+   Lattice.Recon's own accounting. *)
+let link_bytes_per_site_recon ~recon =
+  float_of_int (8 * Linalg.Su3_codec.reals recon * 8)
+
 let mrhs_bytes_per_site ~k =
   if k < 1 then invalid_arg "Perf_model.mrhs_bytes_per_site: k must be >= 1";
   spinor_bytes_per_site +. (link_bytes_per_site /. float_of_int k)
 
 let mrhs_traffic_ratio ~k =
   mrhs_bytes_per_site ~k /. mrhs_bytes_per_site ~k:1
+
+(* The codec axis composed with the batch-width axis: a width-k hop on
+   a recon-[r] store streams [spinor + link(r)/k] bytes per site per
+   RHS. [recon = Full18, k = 1] recovers mrhs_bytes_per_site ~k:1. *)
+let mrhs_bytes_per_site_recon ~recon ~k =
+  if k < 1 then
+    invalid_arg "Perf_model.mrhs_bytes_per_site_recon: k must be >= 1";
+  spinor_bytes_per_site +. (link_bytes_per_site_recon ~recon /. float_of_int k)
+
+let recon_traffic_ratio ~recon ~k =
+  mrhs_bytes_per_site_recon ~recon ~k /. mrhs_bytes_per_site ~k:1
 
 type breakdown = {
   grid : int array;
@@ -233,9 +264,29 @@ type result = {
    prices the CG iteration's BLAS-1 tail into t_blas1/t_total —
    [Some true] at the fused sweep count, [Some false] unfused; omitted
    (the default), the BLAS-1 fields are zero and t_total is the bare
-   stencil time as before. *)
-let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
+   stencil time as before.
+
+   [compress] prices the halo wire format the same tri-state way:
+   omitted keeps the calibrated numbers (whose achieved bandwidths
+   already absorb the paper's compressed wire); [Some true] keeps the
+   compressed bytes but charges the codec explicitly — encode + decode
+   passes over the double-precision face stream at GPU memory
+   bandwidth, pack-side serial work accounted into t_copy like the
+   rotation copy; [Some false] ships the faces uncompressed
+   (double-precision reals, 4x the wire bytes, no codec cost).
+   Zero_copy has no staging buffer to compress, so [Some true] with it
+   is rejected — the same constraint Vrank.Comm enforces. *)
+let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion ?compress
     (m : Spec.t) (policy : Policy.t) p ~n_gpus =
+  if compress = Some true && transport = Transport.Zero_copy then
+    invalid_arg
+      "Perf_model.stencil_breakdown: compress requires a staging buffer \
+       (Staged or Double_buffered)";
+  let face_site_bytes =
+    match compress with
+    | None | Some true -> halo_bytes_per_face_site
+    | Some false -> halo_bytes_per_face_site_double
+  in
   match best_grid p n_gpus with
   | None -> None
   | Some grid ->
@@ -252,7 +303,7 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
       if grid.(mu) > 1 then begin
         incr decomposed;
         let face_sites = float_of_int (2 * v4 / local.(mu) * p.l5) in
-        let bytes = face_sites *. halo_bytes_per_face_site in
+        let bytes = face_sites *. face_site_bytes in
         (* a GPU's +-mu neighbors cross the node block with
            probability 1/nsub_mu *)
         let inter_frac = 1. /. float_of_int nsub.(mu) in
@@ -282,7 +333,7 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
              if grid.(mu) <= 1 then []
              else begin
                let face_sites = float_of_int (v4 / local.(mu) * p.l5) in
-               let bytes = face_sites *. halo_bytes_per_face_site in
+               let bytes = face_sites *. face_site_bytes in
                let inter_frac = 1. /. float_of_int nsub.(mu) in
                let tf =
                  (bytes *. inter_frac /. bw_inter)
@@ -306,6 +357,20 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
       float_of_int (Transport.extra_copies transport)
       *. (!bytes_intra +. !bytes_inter)
       /. (m.Spec.gpu.Spec.mem_bw_gbs *. 1e9)
+    in
+    (* explicit codec pricing: encode + decode each stream the
+       double-precision face payload once at GPU memory bandwidth;
+       pack-side serial work, accounted like the rotation copy *)
+    let t_copy =
+      if compress = Some true then
+        let double_bytes =
+          (!bytes_intra +. !bytes_inter)
+          *. (halo_bytes_per_face_site_double /. halo_bytes_per_face_site)
+        in
+        t_copy
+        +. compress_codec_passes *. double_bytes
+           /. (m.Spec.gpu.Spec.mem_bw_gbs *. 1e9)
+      else t_copy
     in
     let t_sync =
       match pool with
@@ -369,9 +434,9 @@ let stencil_breakdown ?(transport = Transport.Staged) ?pool ?fusion
         face_times;
       }
 
-let solver_performance ?(transport = Transport.Staged) ?pool ?fusion
+let solver_performance ?(transport = Transport.Staged) ?pool ?fusion ?compress
     (m : Spec.t) (policy : Policy.t) p ~n_gpus =
-  match stencil_breakdown ~transport ?pool ?fusion m policy p ~n_gpus with
+  match stencil_breakdown ~transport ?pool ?fusion ?compress m policy p ~n_gpus with
   | None -> None
   | Some b ->
     let flops_app = b.local_sites *. flops_per_site in
@@ -392,10 +457,12 @@ let solver_performance ?(transport = Transport.Staged) ?pool ?fusion
 
 (* Best policy at a configuration — what the communication autotuner
    would pick (Autotune.Comm_tune drives this via its cache). *)
-let best_policy ?transport (m : Spec.t) p ~n_gpus =
+let best_policy ?transport ?compress (m : Spec.t) p ~n_gpus =
   let candidates = List.filter (fun pol -> Policy.available pol m) Policy.all in
   let results =
-    List.filter_map (fun pol -> solver_performance ?transport m pol p ~n_gpus) candidates
+    List.filter_map
+      (fun pol -> solver_performance ?transport ?compress m pol p ~n_gpus)
+      candidates
   in
   match results with
   | [] -> None

@@ -15,6 +15,17 @@ val bytes_per_site : float
 val peak_scaling : float
 val arithmetic_intensity : float
 val halo_bytes_per_face_site : float
+
+val halo_bytes_per_face_site_double : float
+(** The same face site shipped uncompressed (12 double-precision
+    reals, 96 bytes) — the wire an unCompressed [Vrank.Comm] pays,
+    priced by the [?compress:(Some false)] knob of
+    {!stencil_breakdown}. *)
+
+val compress_codec_passes : float
+(** Memory passes over the double-precision face stream the explicit
+    halo codec costs (encode send-side + decode recv-side). *)
+
 val reference_local_sites : float
 
 val solver_bw : Spec.t -> local_sites:float -> float
@@ -77,6 +88,25 @@ val mrhs_traffic_ratio : k:int -> float
 (** [mrhs_bytes_per_site ~k / mrhs_bytes_per_site ~k:1] — the modeled
     traffic fraction a width-[k] batch moves per RHS. *)
 
+val link_bytes_per_site_recon : recon:Linalg.Su3_codec.codec -> float
+(** Gauge-link bytes per site when the hop streams a compressed link
+    store ([Lattice.Recon]): 8 links × [Su3_codec.reals] × 8 bytes —
+    1152 ([Full18]), 768 ([Recon12]), 512 ([Recon8]). The per-link
+    sign byte is negligible metadata and excluded. *)
+
+val mrhs_bytes_per_site_recon :
+  recon:Linalg.Su3_codec.codec -> k:int -> float
+(** The codec axis composed with the batch-width axis: bytes per site
+    per RHS of a width-[k] [Dirac.Wilson.hop_multi] on a
+    recon-compressed link store — [spinor + link(recon)/k].
+    [~recon:Full18 ~k:1] recovers [mrhs_bytes_per_site ~k:1]. Raises
+    [Invalid_argument] on [k < 1]. *)
+
+val recon_traffic_ratio : recon:Linalg.Su3_codec.codec -> k:int -> float
+(** [mrhs_bytes_per_site_recon ~recon ~k / mrhs_bytes_per_site ~k:1]
+    — the modeled traffic fraction against the uncompressed
+    single-RHS hop. *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;
@@ -129,6 +159,7 @@ val stencil_breakdown :
   ?transport:Transport.t ->
   ?pool:int * int ->
   ?fusion:bool ->
+  ?compress:bool ->
   Spec.t ->
   Policy.t ->
   problem ->
@@ -139,19 +170,35 @@ val stencil_breakdown :
     host pool's fork/join into [t_sync]; [fusion] prices the CG
     iteration's BLAS-1 memory traffic into [t_blas1] at the fused
     ([Some true], 2 sweeps) or unfused ([Some false], 5 sweeps) rate.
-    The defaults leave the calibrated numbers unchanged. *)
+    [compress] prices the halo wire format: omitted keeps the
+    calibrated numbers (the paper's achieved bandwidths already absorb
+    its compressed wire); [Some true] keeps the compressed face bytes
+    but charges the codec explicitly ([compress_codec_passes] over the
+    double-precision face stream at GPU memory bandwidth, into
+    [t_copy]); [Some false] ships faces uncompressed
+    ([halo_bytes_per_face_site_double], no codec). [Some true] with
+    [Zero_copy] raises [Invalid_argument] — no staging buffer to
+    compress, the constraint [Vrank.Comm.create] enforces. The
+    defaults leave the calibrated numbers unchanged. *)
 
 val solver_performance :
   ?transport:Transport.t ->
   ?pool:int * int ->
   ?fusion:bool ->
+  ?compress:bool ->
   Spec.t ->
   Policy.t ->
   problem ->
   n_gpus:int ->
   result option
 
-val best_policy : ?transport:Transport.t -> Spec.t -> problem -> n_gpus:int -> result option
+val best_policy :
+  ?transport:Transport.t ->
+  ?compress:bool ->
+  Spec.t ->
+  problem ->
+  n_gpus:int ->
+  result option
 (** What the communication autotuner would pick. *)
 
 type mpi_stack = Spectrum | Open_mpi | Mvapich2 | Metaq_jsrun

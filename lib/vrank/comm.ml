@@ -27,7 +27,16 @@
      buffers: write-after-post is safe by construction (at most one
      buffer per face is ever in flight, and the next post rotates to
      the other), at one extra copy per message ([stats.extra_copies],
-     priced by Machine.Perf_model). *)
+     priced by Machine.Perf_model).
+
+   Orthogonally, [~compress:true] runs each staged payload through the
+   half-precision block codec ([Field.Half], one float32 norm per
+   site) at pack time and decodes at delivery — the compressed halo
+   face traffic of the paper's fine-grained comms: wire bytes drop to
+   2 per float plus 4 per site ([Linalg.Quantize.wire_bytes]) at the
+   cost of codec passes over the face, which Machine.Perf_model prices
+   and Autotune.Comm_tune surveys as a transport dimension. Zero_copy
+   has no staging buffer to compress, so the combination is rejected. *)
 
 module Domain = Lattice.Domain
 module Field = Linalg.Field
@@ -43,12 +52,14 @@ type stats = {
   mutable corruptions : int;
       (* zero-copy deliveries whose payload changed in flight *)
   mutable extra_copies : int;  (* double-buffer rotation copies paid *)
+  mutable compressed_messages : int;  (* messages carried half-precision *)
 }
 
 type t = {
   dom : Domain.t;
   dof : int;  (* floats per site *)
   transport : transport;
+  compress : bool;  (* half-precision face payloads on the wire *)
   stats : stats;
   write_epoch : int array;  (* per rank: bumped when local sites change *)
   ghost_epoch : int array array;  (* rank × face: filler's epoch at completion *)
@@ -68,7 +79,11 @@ type t = {
 
 let strict = ref false
 
-let create ?(transport = Staged) dom ~dof =
+let create ?(transport = Staged) ?(compress = false) dom ~dof =
+  if compress && transport = Zero_copy then
+    invalid_arg
+      "Comm.create: compress requires a staging buffer (Staged or \
+       Double_buffered) — Zero_copy payloads alias the sender's field";
   let n = Domain.n_ranks dom in
   let db_pool =
     match transport with
@@ -86,6 +101,7 @@ let create ?(transport = Staged) dom ~dof =
     dom;
     dof;
     transport;
+    compress;
     stats =
       {
         full_exchanges = 0;
@@ -95,6 +111,7 @@ let create ?(transport = Staged) dom ~dof =
         send_buffer_races = 0;
         corruptions = 0;
         extra_copies = 0;
+        compressed_messages = 0;
       };
     write_epoch = Array.make n 0;
     ghost_epoch = Array.init n (fun _ -> Array.make 8 (-1));
@@ -105,6 +122,8 @@ let create ?(transport = Staged) dom ~dof =
 let stats t = t.stats
 
 let transport t = t.transport
+
+let compress t = t.compress
 
 let n_ranks t = Domain.n_ranks t.dom
 
@@ -179,12 +198,19 @@ let gather t (fields : Field.t array) : Field.t =
    message is stamped with it (at completion time, not post time).
    [checksum] is only meaningful under Zero_copy: the order-sensitive
    checksum of the aliased face taken at post, compared against the
-   same sum at delivery to witness in-flight corruption. *)
+   same sum at delivery to witness in-flight corruption.
+
+   A [Packed] payload is the staged face run through the half-precision
+   block codec at pack time (one norm per site, [block = dof]); the
+   wire carries 2 bytes per float plus the 4-byte norm per site, and
+   delivery decodes straight into the ghost slots. *)
+type payload = Raw of Field.t | Packed of Field.Half.h
+
 type message = {
   msg_src : int;
   msg_dst : int;
   msg_face : int;  (* recv-side ghost face id on [msg_dst] *)
-  payload : Field.t;
+  payload : payload;
   post_epoch : int;
   checksum : float;
 }
@@ -230,6 +256,24 @@ let pack_face (src : Field.t) (face : Domain.face) ~dof (payload : Field.t) =
 
 let empty_payload = Field.create 0
 
+(* Wrap a staged face buffer for the wire: under [compress] run it
+   through the half codec (one norm per site) so the in-flight copy is
+   the 16-bit stream, exactly what a real compressed send would put on
+   the fabric. *)
+let seal t (p : Field.t) =
+  if t.compress then begin
+    let h = Field.Half.create ~block:t.dof (Field.length p) in
+    Field.Half.encode p h;
+    t.stats.compressed_messages <- t.stats.compressed_messages + 1;
+    Packed h
+  end
+  else Raw p
+
+let wire_bytes t ~n_sites =
+  if t.compress then
+    Linalg.Quantize.wire_bytes ~n:(n_sites * t.dof) ~block:t.dof
+  else float_of_int (n_sites * t.dof * 8)
+
 (* Pack (transport permitting) and "send" every listed face of every
    rank. Ghost slots are untouched until the matching [complete]. *)
 let post ?faces t (fields : Field.t array) : handle =
@@ -250,7 +294,7 @@ let post ?faces t (fields : Field.t array) : handle =
           | Staged ->
             let p = Field.create (n_sites * t.dof) in
             pack_face fields.(r) face ~dof:t.dof p;
-            (p, 0.)
+            (seal t p, 0.)
           | Double_buffered ->
             (* rotate: the buffer not (possibly) in flight from the
                previous post of this face *)
@@ -259,11 +303,11 @@ let post ?faces t (fields : Field.t array) : handle =
             let p = t.db_pool.(r).(fid).(slot) in
             pack_face fields.(r) face ~dof:t.dof p;
             t.stats.extra_copies <- t.stats.extra_copies + 1;
-            (p, 0.)
+            (seal t p, 0.)
           | Zero_copy ->
             (* no pack: the message aliases the sender's field; stamp
                the checksum of what should be delivered *)
-            (empty_payload, face_checksum fields.(r) face ~dof:t.dof)
+            (Raw empty_payload, face_checksum fields.(r) face ~dof:t.dof)
         in
         (* data leaving face (mu, dir) lands in the neighbor's ghost
            region of the opposite face (mu, 1-dir) *)
@@ -278,7 +322,7 @@ let post ?faces t (fields : Field.t array) : handle =
           }
           :: !in_flight;
         t.stats.messages <- t.stats.messages + 1;
-        t.stats.bytes <- t.stats.bytes +. float_of_int (n_sites * t.dof * 8))
+        t.stats.bytes <- t.stats.bytes +. wire_bytes t ~n_sites)
       face_ids
   done;
   { owner = t; target = fields; in_flight = List.rev !in_flight }
@@ -328,14 +372,19 @@ let complete h ~face =
       let rg = Domain.rank_geometry t.dom m.msg_dst in
       let ghost_base = rg.Domain.faces.(face).Domain.ghost_base in
       let db = ghost_base * t.dof in
-      (match t.transport with
-      | Staged | Double_buffered ->
-        let n = Field.length m.payload in
+      (match m.payload with
+      | Raw p when t.transport <> Zero_copy ->
+        let n = Field.length p in
         for i = 0 to n - 1 do
           Bigarray.Array1.unsafe_set h.target.(m.msg_dst) (db + i)
-            (Bigarray.Array1.unsafe_get m.payload i)
+            (Bigarray.Array1.unsafe_get p i)
         done
-      | Zero_copy ->
+      | Packed half ->
+        (* decode the wire stream straight into the ghost slots *)
+        let n = Field.Half.length half in
+        let ghost = Bigarray.Array1.sub h.target.(m.msg_dst) db n in
+        Field.Half.decode half ghost
+      | Raw _ (* Zero_copy *) ->
         (* read the sender's field NOW — whatever it holds is what the
            wire delivers. The post-time checksum witnesses whether that
            is still the posted data. *)

@@ -29,15 +29,32 @@ type stats = {
   mutable extra_copies : int;
       (** [Double_buffered] rotation copies paid (one per message
           posted) *)
+  mutable compressed_messages : int;
+      (** messages whose payload went on the wire half-precision
+          ([~compress:true]) *)
 }
 
 type t
 
-val create : ?transport:transport -> Lattice.Domain.t -> dof:int -> t
-(** [dof] = floats per site; [transport] defaults to [Staged]. *)
+val create :
+  ?transport:transport -> ?compress:bool -> Lattice.Domain.t -> dof:int -> t
+(** [dof] = floats per site; [transport] defaults to [Staged].
+    [compress] (default false) runs every staged face payload through
+    the half-precision block codec ([Linalg.Field.Half], one float32
+    norm per site) at pack time and decodes at delivery, so the wire
+    carries [Linalg.Quantize.wire_bytes] instead of 8 bytes per float
+    — the compressed halo traffic [Machine.Perf_model] prices (codec
+    passes traded against wire bytes) and [Autotune.Comm_tune]
+    surveys. Raises [Invalid_argument] with [Zero_copy]: there is no
+    staging buffer to compress. *)
 
 val stats : t -> stats
 val transport : t -> transport
+
+val compress : t -> bool
+(** Whether face payloads ride the wire half-precision. *)
+
+
 val n_ranks : t -> int
 
 val create_fields : t -> Linalg.Field.t array

@@ -97,6 +97,23 @@ let test_unitarity_violation_tracking () =
   Alcotest.(check bool) "warm start unitary" true
     (Gauge.max_unitarity_violation u < 1e-9)
 
+let test_reunitarize_accuracy () =
+  (* the projection the recon codecs lean on (Check.Recon_check's
+     RECON001 hint): a warm field drifted off the group by accumulated
+     rounding-scale perturbations must come back to machine unitarity *)
+  let geom = small_geom () in
+  let u = Gauge.warm geom (rng ()) ~eps:0.3 in
+  let d = Gauge.data u in
+  for e = 0 to Linalg.Field.length d - 1 do
+    Bigarray.Array1.set d e
+      (Bigarray.Array1.get d e *. (1. +. (1e-6 *. float_of_int (e mod 7))))
+  done;
+  Alcotest.(check bool) "drifted off the group" true
+    (Gauge.max_unitarity_violation u > 1e-7);
+  Gauge.reunitarize u;
+  Alcotest.(check bool) "projected back within 1e-12" true
+    (Gauge.max_unitarity_violation u < 1e-12)
+
 let test_antiperiodic_phases () =
   let geom = small_geom () in
   let u = Gauge.unit geom in
@@ -555,6 +572,7 @@ let suite =
     Alcotest.test_case "hot plaquette" `Quick test_hot_plaquette_small;
     Alcotest.test_case "plaquette gauge invariance" `Quick test_gauge_invariance_of_plaquette;
     Alcotest.test_case "unitarity tracking" `Quick test_unitarity_violation_tracking;
+    Alcotest.test_case "reunitarize accuracy" `Quick test_reunitarize_accuracy;
     Alcotest.test_case "antiperiodic phases" `Quick test_antiperiodic_phases;
     Alcotest.test_case "kennedy-pendleton distribution" `Slow test_kennedy_pendleton_distribution;
     Alcotest.test_case "heatbath stays in group" `Quick test_heatbath_preserves_group;

@@ -19,5 +19,6 @@ let () =
       ("fused", Test_fused.suite);
       ("plan", Test_plan.suite);
       ("multirhs", Test_multirhs.suite);
+      ("recon", Test_recon.suite);
       ("properties", Test_properties.suite);
     ]

@@ -41,6 +41,7 @@ let gen_plan : Ir.plan QCheck.Gen.t =
         return Ir.Double;
         return Ir.Single;
         map (fun b -> Ir.Half b) (int_range 1 64);
+        map (fun c -> Ir.Su3 c) (oneofl Linalg.Su3_codec.all);
       ]
   in
   let role =
