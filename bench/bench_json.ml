@@ -73,12 +73,16 @@ let preserved_lines ~file ~replacing =
    actually present in [rows] always replace their old rows, whether
    or not the caller listed them — otherwise a rerun whose [replacing]
    list lagged behind its measurements would duplicate rows instead of
-   overwriting them. *)
+   overwriting them. The merged lines are emitted in sorted order, so
+   the file's row order is a function of its contents alone: reruns
+   and experiment orderings diff cleanly instead of reshuffling. *)
 let write ~file ~replacing rows =
   let replacing =
     List.sort_uniq compare (replacing @ List.map (fun r -> r.kernel) rows)
   in
-  let all = preserved_lines ~file ~replacing @ List.map row_line rows in
+  let all =
+    List.sort compare (preserved_lines ~file ~replacing @ List.map row_line rows)
+  in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -23,7 +23,9 @@ val preserved_lines : file:string -> replacing:string list -> string list
 val write : file:string -> replacing:string list -> row list -> unit
 (** Merge [rows] into [file]: existing rows of the kernels in
     [replacing] — and of every kernel present in [rows], listed or
-    not — are replaced; all others are preserved. Idempotent under
+    not — are replaced; all others are preserved, and the merged lines
+    are written in sorted order so the row order is a function of the
+    file's contents alone (reruns diff cleanly). Idempotent under
     rerun: writing the same experiment twice never duplicates rows. *)
 
 val print_table : row list -> unit

@@ -501,3 +501,80 @@ let tune_axpy ?max_domains tuner ~n =
          variants)
   in
   (winner, List.assoc winner variants)
+
+(* ---- deflation-rank axis ----
+   The iteration-count axis opened by Solver.Deflate: how many low
+   modes to compute once per gauge configuration and deflate out of
+   every solve on it. Unlike the traffic axes above, the trade here is
+   setup cost vs per-solve iteration reduction, so a candidate is
+   priced on a whole campaign slice: Lanczos setup for its rank PLUS
+   [solves] deflated solves on the same right-hand-side stream — the
+   rank only wins if its setup amortizes within the campaign's solve
+   count. The rank is part of BOTH the label (a winner names its r;
+   Check.Deflate_check rule DEF003 audits executed plans against it)
+   and the cache signature (solve count + label-space hash). The
+   rank-0 undeflated baseline is always in the space — the tuner can
+   refuse deflation wholesale (e.g. heavy quark masses, where the low
+   modes are not separated and setup never pays). *)
+
+type deflation_plan = {
+  rank : int;
+  solves : int;  (* campaign solves the setup amortizes over *)
+}
+
+let deflation_ranks = [ 0; 2; 4; 8 ]
+
+let deflation_label (plan : deflation_plan) =
+  Printf.sprintf "defl_r%d_s%d" plan.rank plan.solves
+
+let deflation_space ?(ranks = deflation_ranks) ~solves () =
+  let ranks = List.sort_uniq compare (0 :: ranks) in
+  List.map (fun rank -> (deflation_label { rank; solves }, { rank; solves })) ranks
+
+let tune_deflation ?ranks ?(solves = 24) ?(tol = 1e-8) ?(lanczos_tol = 1e-6)
+    ?(seed = 11) tuner ~apply ~n ~signature =
+  if solves < 1 then invalid_arg "Variants.tune_deflation: solves >= 1";
+  let all = deflation_space ?ranks ~solves () in
+  (* the campaign's right-hand-side stream: one fixed deterministic
+     draw, identical for every candidate (fairness) *)
+  let bs =
+    let rng = Util.Rng.create seed in
+    Array.init solves (fun _ ->
+        let b = Field.create n in
+        Field.gaussian rng b;
+        b)
+  in
+  let max_iter = 200 * n in
+  let run (plan : deflation_plan) =
+    (* setup is INSIDE the timed region: that is the amortization
+       being tuned *)
+    let deflate =
+      if plan.rank = 0 then None
+      else begin
+        let rng = Util.Rng.create (seed + plan.rank) in
+        let res =
+          Solver.Lanczos.lowest ~tol:lanczos_tol ~rank:plan.rank ~apply ~n
+            ~rng ()
+        in
+        Some (Solver.Deflate.of_lanczos ~config_hash:0 res)
+      end
+    in
+    Array.iter
+      (fun b ->
+        ignore
+          (Solver.Cg.solve ?deflate ~apply ~b ~tol ~max_iter
+             ~flops_per_apply:1. ()
+            : Field.t * Solver.Cg.stats))
+      bs
+  in
+  let signature =
+    Printf.sprintf "%s:n%d:s%d:v%x" signature n solves
+      (Hashtbl.hash (List.map fst all))
+  in
+  let winner =
+    Tuner.tune tuner ~kernel:"cg_deflate" ~signature
+      (List.map
+         (fun (label, plan) -> Tuner.candidate label (fun () -> run plan))
+         all)
+  in
+  (winner, List.assoc winner all)

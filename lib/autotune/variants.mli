@@ -216,3 +216,49 @@ val tune_fusion :
     first encounter. Callers close the library-graph loop with
     [Check.Plan_check.lint_fusion]. The serial-unfused baseline is
     exempt (it must always be searchable — tuner honesty). *)
+
+(** The deflation-rank axis opened by [Solver.Deflate]: how many low
+    modes to compute once per configuration ([Solver.Lanczos]) and
+    deflate out of every solve on it. The trade is setup cost vs
+    per-solve iteration reduction, priced over a campaign slice. *)
+type deflation_plan = {
+  rank : int;
+  solves : int;  (** campaign solves the setup amortizes over *)
+}
+
+val deflation_ranks : int list
+(** The candidate ranks: [[0; 2; 4; 8]] (0 = undeflated). *)
+
+val deflation_label : deflation_plan -> string
+(** ["defl_r<rank>_s<solves>"] — the rank is part of every label, so
+    cached winners name their rank and can never alias across the
+    axis ([Check.Deflate_check] rule DEF003 audits executed plans
+    against the tuned winner's rank). *)
+
+val deflation_space :
+  ?ranks:int list -> solves:int -> unit -> (string * deflation_plan) list
+(** All (label, plan) candidates. The rank-0 undeflated baseline is
+    always present, whatever [ranks] says — the tuner can refuse
+    deflation wholesale (tuner honesty). *)
+
+val tune_deflation :
+  ?ranks:int list ->
+  ?solves:int ->
+  ?tol:float ->
+  ?lanczos_tol:float ->
+  ?seed:int ->
+  Tuner.t ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  n:int ->
+  signature:string ->
+  string * deflation_plan
+(** Tune the deflation rank for an operator (kernel ["cg_deflate"]).
+    Every candidate is priced on a whole campaign slice — Lanczos
+    setup for its rank (inside the timed region: the amortization IS
+    the trade) plus [solves] (default 24, the paper's 12 spin-color
+    columns × 2 sources) CG solves to [tol] on one fixed
+    right-hand-side stream shared by all candidates. The cache
+    signature is extended with [":n<n>:s<solves>:v<space-hash>"], so
+    a winner tuned for one campaign length or candidate space is
+    never served for another, and [Tuner.tune] independently refuses
+    a cached winner absent from the live space. *)

@@ -18,6 +18,7 @@ module Pool_check = Pool_check
 module Fuse_check = Fuse_check
 module Mrhs_check = Mrhs_check
 module Recon_check = Recon_check
+module Deflate_check = Deflate_check
 module Plan_ir = Plan_ir
 module Plan_extract = Plan_extract
 module Plan_check = Plan_check
@@ -38,6 +39,8 @@ let fused_plan = Fuse_check.verify_plan
 let mrhs_plan = Mrhs_check.verify_plan
 let recon_plan = Recon_check.verify_plan
 let recon_gauge = Recon_check.verify_gauge
+let deflate_plan = Deflate_check.verify_plan
+let deflate_space = Deflate_check.verify_space
 let solver_plan = Plan_check.verify
 
 let all_rules =
@@ -50,6 +53,7 @@ let all_rules =
     ("fuse", Fuse_check.rules);
     ("mrhs", Mrhs_check.rules);
     ("recon", Recon_check.rules);
+    ("deflate", Deflate_check.rules);
     ("plan", Plan_check.rules);
   ]
 
@@ -274,6 +278,43 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
             ~recon:Linalg.Su3_codec.Recon8 ~max_violation:v ();
         ]
   in
+  (* the deflated-solve path the ?deflate hooks run: a real Lanczos
+     space on a small-eigenvalue SPD operator, audited live against
+     the operator and the configuration hash it was built from, plus
+     a correctly tuned static plan — the clean twins of the deflate-*
+     fixtures. Must verify silent. *)
+  let deflate_ds =
+    let n = 96 in
+    let diag =
+      Array.init n (fun i ->
+          if i < 4 then 0.01 *. float_of_int (i + 1)
+          else 1. +. (float_of_int i /. float_of_int n))
+    in
+    let apply (x : F.t) (y : F.t) =
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set y i
+          (diag.(i) *. Bigarray.Array1.unsafe_get x i)
+      done
+    in
+    let lrng = Util.Rng.create (seed + 1) in
+    let res =
+      Solver.Lanczos.lowest ~tol:1e-8 ~rank:2 ~basis_size:10 ~apply ~n
+        ~rng:lrng ()
+    in
+    let hash =
+      let probe = F.create n in
+      F.gaussian lrng probe;
+      Solver.Deflate.field_hash probe
+    in
+    let space = Solver.Deflate.of_lanczos ~bound:1e-6 ~config_hash:hash res in
+    Deflate_check.verify_space ~tuned_rank:2 ~config_hash:hash ~apply space
+    @ Deflate_check.verify_plans
+        [
+          Deflate_check.plan ~kernel:"cg_deflate" ~rank:4 ~n:(1 lsl 16)
+            ~space_hash:0x5eed ~config_hash:0x5eed ~ortho_drift:1e-14
+            ~max_residual:1e-9 ~bound:1e-6 ~tuned_rank:4 ();
+        ]
+  in
   [
     ("campaign DAG (Jobman.Pipeline)", campaign_ds);
     ("halo schedules (Vrank.Comm)", halo_ds);
@@ -283,6 +324,7 @@ let standard_suite ?(seed = 20_180_920) () : Diagnostic.report =
     ("pool launch plans", pool_ds);
     ("fused kernel plans", fuse_ds);
     ("compressed gauge links (recon)", recon_ds);
+    ("deflated solves (low-mode spaces)", deflate_ds);
     ("solver plans (static analyzer)", plan_ds);
   ]
 

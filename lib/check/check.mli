@@ -13,6 +13,7 @@ module Pool_check : module type of Pool_check
 module Fuse_check : module type of Fuse_check
 module Mrhs_check : module type of Mrhs_check
 module Recon_check : module type of Recon_check
+module Deflate_check : module type of Deflate_check
 module Plan_ir : module type of Plan_ir
 module Plan_extract : module type of Plan_extract
 module Plan_check : module type of Plan_check
@@ -47,6 +48,18 @@ val recon_gauge :
   recon:Linalg.Su3_codec.codec -> Lattice.Gauge.t -> Diagnostic.t list
 (** Direct RECON001 audit ({!Recon_check.verify_gauge}). *)
 
+val deflate_plan : Deflate_check.plan -> Diagnostic.t list
+
+val deflate_space :
+  ?tuned_rank:int ->
+  ?kernel:string ->
+  config_hash:int ->
+  apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
+  Solver.Deflate.t ->
+  Diagnostic.t list
+(** Live DEF001–003 audit of a real deflation space
+    ({!Deflate_check.verify_space}). *)
+
 val solver_plan : Plan_ir.plan -> Diagnostic.t list
 (** The full static analyzer ({!Plan_check.verify}) over one plan. *)
 
@@ -59,9 +72,11 @@ val standard_suite : ?seed:int -> unit -> Diagnostic.report
     default workflow specs (double and mixed), an instrumented clean
     mixed solve, the pool launch plans, the fused BLAS-1 kernel
     plans the [~fused] solvers run, the compressed gauge-link (recon)
-    audits and launches, and every plan in {!Plan_extract.catalog}
-    through the static analyzer. Must report zero errors (the fused
-    CG plans carry the documented PLAN005 stencil-tail warning). *)
+    audits and launches, a live low-mode deflation space audited
+    against its operator and configuration hash, and every plan in
+    {!Plan_extract.catalog} through the static analyzer. Must report
+    zero errors (the fused CG plans carry the documented PLAN005
+    stencil-tail warning). *)
 
 val selftest : unit -> (Fixtures.t * string list * bool) list
 (** Run every seeded defect fixture; each row is (fixture, error and

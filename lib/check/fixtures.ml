@@ -1,4 +1,4 @@
-(* Seeded defect fixtures: thirty-one artifacts, each carrying
+(* Seeded defect fixtures: thirty-four artifacts, each carrying
    exactly the class of bug its pass exists to catch (six of them
    nonblocking-halo defects: early boundary read, send-buffer race,
    lost completion, zero-copy corruption, wasted double-buffering,
@@ -14,7 +14,10 @@
    dst, zero-copy window write, model/IR sweep mismatch, half-codec
    range violation, stale-precision read; three compressed gauge-link
    defects: non-unitary source link beyond the codec tolerance, codec
-   mismatch against the tuned winner, stale compressed halo). The
+   mismatch against the tuned winner, stale compressed halo; three
+   low-mode deflation defects: space stale against the live gauge
+   configuration, basis drifted beyond its build bound, executed rank
+   aliasing a tuner winner of another rank). The
    CLI's --selftest and the test suite assert every one is detected,
    which keeps the checker honest — a pass that silently stops firing
    fails CI. *)
@@ -447,6 +450,58 @@ let recon_stale_halo () =
        ~recon:Linalg.Su3_codec.Recon8 ~max_violation:1e-15 ~gauge_epoch:3
        ~halo_epoch:1 ~halo_compressed:true ())
 
+(* Shared scaffolding of the deflation fixtures: a small SPD diagonal
+   operator with a separated low mode, and a genuinely converged
+   Lanczos space built on it. *)
+let deflate_scaffold () =
+  let n = 64 in
+  let diag =
+    Array.init n (fun i ->
+        if i < 2 then 0.02 *. float_of_int (i + 1)
+        else 1. +. (float_of_int i /. float_of_int n))
+  in
+  let apply (x : F.t) (y : F.t) =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set y i (diag.(i) *. Bigarray.Array1.get x i)
+    done
+  in
+  let res =
+    Solver.Lanczos.lowest ~tol:1e-8 ~rank:2 ~basis_size:8 ~apply ~n
+      ~rng:(Util.Rng.create 13) ()
+  in
+  (apply, res)
+
+(* 10a. A deflation space audited against a configuration it was not
+   built from: the basis is perfectly orthonormal and converged — for
+   the WRONG operator. Nothing numerical ever trips; only the hash
+   comparison catches it (DEF001's bug class). *)
+let deflate_stale_space () =
+  let apply, res = deflate_scaffold () in
+  let space = Solver.Deflate.of_lanczos ~config_hash:0x01d ~bound:1e-6 res in
+  Deflate_check.verify_space ~config_hash:0x0dd ~apply space
+
+(* 10b. A basis one vector of which was rescaled after the build —
+   the in-place-mutation bug: v·v = 1.1² breaks orthonormality and
+   |A v − λ v| grows with it, both beyond the space's bound. *)
+let deflate_drifted_basis () =
+  let apply, (values, basis, stats) = deflate_scaffold () in
+  F.scale 1.1 basis.(0);
+  let space =
+    Solver.Deflate.of_lanczos ~config_hash:0x5eed ~bound:1e-6
+      (values, basis, stats)
+  in
+  Deflate_check.verify_space ~config_hash:0x5eed ~apply space
+
+(* 10c. A rank-8 deflated solve under the tuner winner recorded for
+   rank 4: the setup amortization was priced at another point of the
+   rank axis, so bench rows and the break-even count describe a
+   different campaign. *)
+let deflate_rank_mismatch () =
+  Deflate_check.verify_plan
+    (Deflate_check.plan ~kernel:"cg_deflate" ~rank:8 ~n:(1 lsl 16)
+       ~space_hash:0x5eed ~config_hash:0x5eed ~ortho_drift:1e-14
+       ~max_residual:1e-9 ~bound:1e-6 ~tuned_rank:4 ())
+
 let all =
   [
     {
@@ -634,6 +689,24 @@ let all =
       defect = "compressed halo packed two gauge epochs before the field";
       expect = "RECON003";
       run = recon_stale_halo;
+    };
+    {
+      name = "deflate-stale-space";
+      defect = "converged deflation space audited against another configuration";
+      expect = "DEF001";
+      run = deflate_stale_space;
+    };
+    {
+      name = "deflate-drifted-basis";
+      defect = "basis vector rescaled by 1.1 after the Lanczos build";
+      expect = "DEF002";
+      run = deflate_drifted_basis;
+    };
+    {
+      name = "deflate-rank-mismatch";
+      defect = "rank-8 deflated solve under a tuner winner recorded for rank 4";
+      expect = "DEF003";
+      run = deflate_rank_mismatch;
     };
   ]
 

@@ -31,6 +31,9 @@ val plan_stale_precision : unit -> Diagnostic.t list
 val recon_nonunitary_link : unit -> Diagnostic.t list
 val recon_tuned_mismatch : unit -> Diagnostic.t list
 val recon_stale_halo : unit -> Diagnostic.t list
+val deflate_stale_space : unit -> Diagnostic.t list
+val deflate_drifted_basis : unit -> Diagnostic.t list
+val deflate_rank_mismatch : unit -> Diagnostic.t list
 
 val all : t list
 val find : string -> t option

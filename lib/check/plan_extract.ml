@@ -504,6 +504,54 @@ let cg_tail_multi ?(n = 1 lsl 16) ?geometry ~fused () =
   plan ~fusion:fused ~n ~buffers:cg_buffers ~steps
     (if fused then "cg-tail-multi-fused" else "cg-tail-multi")
 
+(* ---- Deflated CG entry (Cg.solve ?deflate) ---- *)
+
+(* The once-per-solve deflation prologue Deflate.augment + the exact
+   residual refresh that follows it in Cg.solve: rank Galerkin
+   coefficients v_i·r through the canonical blocked reduction, one
+   Multi_blas.block_axpy launch folding all rank corrections into x in
+   index order, then the stencil apply and the b − Ax subtraction that
+   restart the residual. Not model-priced (fusion = None — the
+   prologue is amortized over the campaign, not per iteration), but
+   PLAN001/002 still vet the basis reads against the x update and the
+   dst of the apply. *)
+let cg_deflate ?(n = 1 lsl 16) ?(rank = 4) ?geometry () =
+  if rank < 1 then invalid_arg "Plan_extract.cg_deflate: rank must be >= 1";
+  let basis = List.init rank (Printf.sprintf "basis%d") in
+  let dots =
+    List.map
+      (fun v ->
+        Launch
+          (kernel ~sweeps:1 ~block:Linalg.Field.reduce_block ?geometry
+             ~args:[ (v, r_); ("r", r_); ("g_" ^ v, red) ]
+             "dot_re"))
+      basis
+  in
+  let axpy =
+    Launch
+      (kernel ~sweeps:1 ?geometry
+         ~args:(List.map (fun v -> (v, r_)) basis @ [ ("x", u_) ])
+         "block_axpy")
+  in
+  let refresh =
+    [
+      Launch (kernel ~sweeps:0 ~args:[ ("x", r_); ("ap", w_) ] "schur_normal");
+      Launch
+        (kernel ~sweeps:1 ~args:[ ("b", r_); ("ap", r_); ("r", w_) ] "sub");
+    ]
+  in
+  plan ~n
+    ~buffers:
+      (List.map (fun v -> buffer ~prec:Double v) basis
+      @ [
+          buffer ~prec:Double "b";
+          buffer ~prec:Double "x";
+          buffer ~prec:Double "r";
+          buffer ~prec:Double "ap";
+        ])
+    ~steps:(dots @ (axpy :: refresh))
+    "deflate"
+
 (* The Mobius 5D hop parallelizes over s-slices: n counts slices, the
    canonical launch is one chunk per slice. *)
 let mobius_hop ?(l5 = 16) () =
@@ -604,6 +652,7 @@ let catalog : (string * (unit -> plan)) list =
     ("wilson-hop-multi", fun () -> wilson_hop_multi ());
     ("wilson-hop-recon", fun () -> wilson_hop_recon ());
     ("cg-tail-multi", fun () -> cg_tail_multi ~fused:false ());
+    ("deflate", fun () -> cg_deflate ());
     ("cg-tail-multi-fused", fun () -> cg_tail_multi ~fused:true ());
     ("mobius-hop", fun () -> mobius_hop ());
     ("pooled-axpy", fun () -> pooled_axpy ());

@@ -94,6 +94,16 @@ val cg_tail_multi :
     must report [sweep_gap = Some 0]), unfused the five scalar
     kernels per RHS. *)
 
+val cg_deflate : ?n:int -> ?rank:int -> ?geometry:int * int -> unit -> Plan_ir.plan
+(** The once-per-solve deflation prologue of [Solver.Cg.solve ?deflate]
+    ([Solver.Deflate.augment] plus the exact residual refresh): [rank]
+    (default 4) Galerkin coefficient dots through the canonical blocked
+    reduction, one [Linalg.Multi_blas.block_axpy] launch folding the
+    corrections into [x], then the stencil apply and [b − Ax]
+    subtraction. Not model-priced ([fusion = None] — the prologue
+    amortizes over the campaign, not per iteration); PLAN001/002 still
+    vet the basis reads and the apply's dst. *)
+
 val mobius_hop : ?l5:int -> unit -> Plan_ir.plan
 (** Pooled stencil launches; [mobius_hop] parallelizes over s-slices
     ([n] counts slices, one chunk per slice). *)

@@ -210,6 +210,91 @@ let mrhs_bytes_per_site_recon ~recon ~k =
 let recon_traffic_ratio ~recon ~k =
   mrhs_bytes_per_site_recon ~recon ~k /. mrhs_bytes_per_site ~k:1
 
+(* ---- low-mode deflation pricing (Solver.Lanczos / Solver.Deflate) ----
+   The deflation axis trades a one-off eigenspace setup per gauge
+   configuration against a per-solve iteration reduction on every one
+   of the campaign's correlated solves (24 = 12 spin-color columns × 2
+   sources in the paper's workflow). The functions price the three
+   legs separately — setup cost, amortization, predicted reduction —
+   so `bench deflate` and the tuner can report the break-even solve
+   count honestly. *)
+
+(* Operator applications of a thick-restart Lanczos build: the first
+   cycle fills the whole working basis of [basis] vectors; each of the
+   [restarts] later cycles keeps the [rank] Ritz vectors (and their
+   stored operator images — the thick restart) and refills only the
+   remaining basis − rank slots. *)
+let deflation_setup_applies ~rank ~basis ~restarts =
+  if rank < 1 then invalid_arg "Perf_model.deflation_setup_applies: rank >= 1";
+  if basis <= rank then
+    invalid_arg "Perf_model.deflation_setup_applies: basis must exceed rank";
+  if restarts < 0 then
+    invalid_arg "Perf_model.deflation_setup_applies: restarts >= 0";
+  basis + (restarts * (basis - rank))
+
+(* Setup flops over vectors of [n] floats: the stencil applications
+   (priced by the caller's flops_per_apply), full reorthogonalization
+   (two classical Gram-Schmidt passes of dot + axpy, 2n flops each,
+   against up to [basis] vectors per filled slot), and the basis²
+   projection dots (2n each) of the Rayleigh–Ritz step per cycle. *)
+let deflation_setup_flops ~rank ~basis ~restarts ~n ~flops_per_apply =
+  let applies =
+    float_of_int (deflation_setup_applies ~rank ~basis ~restarts)
+  in
+  let nf = float_of_int n in
+  (applies *. flops_per_apply)
+  +. (applies *. 8. *. nf *. float_of_int basis)
+  +. (float_of_int (restarts + 1) *. float_of_int (basis * basis) *. 2. *. nf)
+
+(* Setup bytes of the BLAS-1 side, double precision: each dot or axpy
+   streams two vectors (16 bytes per float pair element); the CGS2
+   passes run 4 such sweeps per (slot, basis vector) and the
+   projection 1 per (basis, basis) pair per cycle. The stencil traffic
+   of the applies is the operator's own business (link/spinor bytes
+   above), exactly as the blas1/stencil split everywhere else. *)
+let deflation_setup_bytes ~rank ~basis ~restarts ~n =
+  let applies =
+    float_of_int (deflation_setup_applies ~rank ~basis ~restarts)
+  in
+  let sweep = 16. *. float_of_int n in
+  (applies *. 4. *. float_of_int basis *. sweep)
+  +. (float_of_int (restarts + 1) *. float_of_int (basis * basis) *. sweep)
+
+(* Per-application cost of the deflated guess itself: rank dots (2n
+   each) plus the single rank-wide Multi_blas.block_axpy combination
+   (2n per basis vector, one sweep over memory). *)
+let deflation_guess_flops ~rank ~n =
+  if rank < 1 then invalid_arg "Perf_model.deflation_guess_flops: rank >= 1";
+  4. *. float_of_int rank *. float_of_int n
+
+let deflation_amortized_flops ~setup_flops ~solves =
+  if solves < 1 then
+    invalid_arg "Perf_model.deflation_amortized_flops: solves >= 1";
+  setup_flops /. float_of_int solves
+
+(* Condition number after deflating every mode below [lambda_cut]
+   (the (rank+1)-th eigenvalue): the Ritz-compressed spectrum CG
+   actually sees. *)
+let deflated_condition ~lambda_max ~lambda_cut =
+  if not (lambda_max > 0. && lambda_cut > 0.) then
+    invalid_arg "Perf_model.deflated_condition: eigenvalues must be positive";
+  lambda_max /. lambda_cut
+
+(* Predicted iteration fraction from the classical CG bound
+   ~ sqrt(κ)·ln(2/tol)/2 (Solver.Eigen.cg_iteration_bound): the tol
+   factor cancels in the ratio, leaving sqrt(κ_deflated/κ). *)
+let deflation_iteration_ratio ~kappa ~kappa_deflated =
+  if not (kappa > 0. && kappa_deflated > 0.) then
+    invalid_arg "Perf_model.deflation_iteration_ratio: kappa must be positive";
+  sqrt (kappa_deflated /. kappa)
+
+(* Solves needed before the setup pays for itself: setup time over the
+   per-solve saving; infinite when deflation does not reduce the
+   per-solve cost (the tuner's rank-0 fallback). *)
+let deflation_break_even_solves ~setup_s ~t_undeflated_s ~t_deflated_s =
+  if t_undeflated_s <= t_deflated_s then infinity
+  else setup_s /. (t_undeflated_s -. t_deflated_s)
+
 type breakdown = {
   grid : int array;
   local_sites : float;  (* 5D sites per GPU *)

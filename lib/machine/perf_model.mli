@@ -107,6 +107,56 @@ val recon_traffic_ratio : recon:Linalg.Su3_codec.codec -> k:int -> float
     — the modeled traffic fraction against the uncompressed
     single-RHS hop. *)
 
+val deflation_setup_applies : rank:int -> basis:int -> restarts:int -> int
+(** Operator applications of a thick-restart Lanczos build
+    ([Solver.Lanczos.lowest]): [basis + restarts·(basis − rank)] —
+    the first cycle fills the working basis, each later cycle keeps
+    the [rank] Ritz pairs and refills the rest. Raises
+    [Invalid_argument] unless [1 ≤ rank < basis] and [restarts ≥ 0]. *)
+
+val deflation_setup_flops :
+  rank:int ->
+  basis:int ->
+  restarts:int ->
+  n:int ->
+  flops_per_apply:float ->
+  float
+(** Setup flops over vectors of [n] floats: applies·[flops_per_apply]
+    + applies·8n·basis (two CGS reorthogonalization passes of
+    dot + axpy per filled slot) + (restarts+1)·basis²·2n (the
+    Rayleigh–Ritz projection dots per cycle). *)
+
+val deflation_setup_bytes :
+  rank:int -> basis:int -> restarts:int -> n:int -> float
+(** Double-precision BLAS-1 bytes of the same build (two 8-byte
+    vectors streamed per dot/axpy sweep); the applies' stencil
+    traffic is priced by the link/spinor figures above, exactly the
+    blas1/stencil split used everywhere else. *)
+
+val deflation_guess_flops : rank:int -> n:int -> float
+(** Per-solve cost of the deflated guess: rank dots + one rank-wide
+    [Multi_blas.block_axpy] combination = 4·rank·n flops. *)
+
+val deflation_amortized_flops : setup_flops:float -> solves:int -> float
+(** Setup flops charged to each of the campaign's [solves] solves.
+    Raises [Invalid_argument] on [solves < 1]. *)
+
+val deflated_condition : lambda_max:float -> lambda_cut:float -> float
+(** Condition number after deflating every mode below [lambda_cut]
+    (the (rank+1)-th eigenvalue): [lambda_max / lambda_cut] — the
+    Ritz-compressed spectrum CG actually sees. *)
+
+val deflation_iteration_ratio : kappa:float -> kappa_deflated:float -> float
+(** Predicted iteration fraction [sqrt(kappa_deflated / kappa)] from
+    the classical CG bound ([Solver.Eigen.cg_iteration_bound]; the
+    tolerance factor cancels in the ratio). *)
+
+val deflation_break_even_solves :
+  setup_s:float -> t_undeflated_s:float -> t_deflated_s:float -> float
+(** Solves before the setup pays for itself:
+    [setup_s / (t_undeflated_s − t_deflated_s)], or [infinity] when
+    deflation does not reduce the per-solve cost. *)
+
 type breakdown = {
   grid : int array;
   local_sites : float;

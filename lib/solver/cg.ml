@@ -57,18 +57,30 @@ let multi_tail_kernels ~fused =
   else
     [ ("dot_re", 1); ("axpy", 1); ("axpy", 1); ("norm2", 1); ("xpay", 1) ]
 
-let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
-    ~(b : Field.t) ~tol ~max_iter ~flops_per_apply () =
+let solve ?(x0 : Field.t option) ?deflate ?(fused = false) ?apply_dot ?trace
+    ~apply ~(b : Field.t) ~tol ~max_iter ~flops_per_apply () =
   let n = Field.length b in
   let t_start = Unix.gettimeofday () in
   let x = match x0 with Some x -> Field.copy x | None -> Field.create n in
   let r = Field.create n in
   let ap = Field.create n in
+  let pre_applies = ref 0 in
   (* r = b - A x *)
   (match x0 with
   | None -> Field.blit b r
   | Some _ ->
     apply x ap;
+    incr pre_applies;
+    Field.sub b ap r);
+  (* the low-mode guess rides the entry: fold the deflated correction
+     of the current residual into x, then recompute r exactly. The
+     [deflate = None] path above is untouched (bit-identical). *)
+  (match deflate with
+  | None -> ()
+  | Some d ->
+    Deflate.augment d ~r x;
+    apply x ap;
+    incr pre_applies;
     Field.sub b ap r);
   let p = Field.copy r in
   let b2 = Field.norm2 b in
@@ -89,7 +101,7 @@ let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
     let target = tol *. tol *. b2 in
     let r2 = ref (Field.norm2 r) in
     let iters = ref 0 in
-    let applies = ref (match x0 with None -> 0 | Some _ -> 1) in
+    let applies = ref !pre_applies in
     while !r2 > target && !iters < max_iter do
       incr iters;
       (* ap = A p and pap = p·Ap. With a tail-capable operator the
@@ -167,8 +179,8 @@ let solve ?(x0 : Field.t option) ?(fused = false) ?apply_dot ?trace ~apply
    per-RHS loop), the returned xs.(i) and trajectory are bit-identical
    to [solve] on (bs.(i), x0s.(i)) — the property the @multirhs qcheck
    suite pins down. *)
-let solve_multi ?(x0s : Field.t array option) ?(fused = false) ?trace ~apply
-    ~(bs : Field.t array) ~tol ~max_iter ~flops_per_apply () =
+let solve_multi ?(x0s : Field.t array option) ?deflate ?(fused = false) ?trace
+    ~apply ~(bs : Field.t array) ~tol ~max_iter ~flops_per_apply () =
   let k = Array.length bs in
   if k = 0 then invalid_arg "Cg.solve_multi: empty batch";
   let n = Field.length bs.(0) in
@@ -192,6 +204,20 @@ let solve_multi ?(x0s : Field.t array option) ?(fused = false) ?trace ~apply
   (match x0s with
   | None -> Array.iteri (fun i b -> Field.blit b rs.(i)) bs
   | Some _ ->
+    apply xs aps;
+    Array.iteri
+      (fun i (b : Field.t) ->
+        applies.(i) <- applies.(i) + 1;
+        Field.sub b aps.(i) rs.(i))
+      bs);
+  (* the batched low-mode guess: one k×r coefficient tile and one
+     block_axpy launch fold the deflated correction into every guess,
+     then one batched apply recomputes the residuals exactly. Row i is
+     bit-identical to the single-RHS [solve ?deflate] entry. *)
+  (match deflate with
+  | None -> ()
+  | Some d ->
+    Deflate.augment_multi d ~rs xs;
     apply xs aps;
     Array.iteri
       (fun i (b : Field.t) ->

@@ -43,6 +43,7 @@ val multi_tail_kernels : fused:bool -> (string * int) list
 
 val solve :
   ?x0:Linalg.Field.t ->
+  ?deflate:Deflate.t ->
   ?fused:bool ->
   ?apply_dot:(Linalg.Field.t -> Linalg.Field.t -> float) ->
   ?trace:(float -> unit) ->
@@ -74,10 +75,17 @@ val solve :
 
     [trace] is called with |r|² once per iteration (after the residual
     update) — the hook the fused≡unfused trajectory tests compare
-    on. *)
+    on.
+
+    [deflate] folds the low-mode correction Σᵢ vᵢ(vᵢ·r₀)/λᵢ of the
+    entry residual into the initial guess (one extra apply recomputes
+    r exactly), cutting the iteration count on small-eigenvalue
+    configurations; the CG recurrence itself is unchanged, and the
+    [deflate]-absent path is bit-identical to before. *)
 
 val solve_multi :
   ?x0s:Linalg.Field.t array ->
+  ?deflate:Deflate.t ->
   ?fused:bool ->
   ?trace:(int -> float -> unit) ->
   apply:(Linalg.Field.t array -> Linalg.Field.t array -> unit) ->
@@ -105,4 +113,10 @@ val solve_multi :
     bit-identical to the [Linalg.Fused] path, hence to the unfused
     scalar path). [trace i r2] fires once per iteration per active
     RHS [i]. [x0s], when given, must match [bs] in width. Batch must
-    be non-empty; all fields the same length. *)
+    be non-empty; all fields the same length.
+
+    [deflate] seeds every guess with the batched low-mode correction
+    (one k×r coefficient tile, one [Multi_blas.block_axpy] launch,
+    one batched apply for the exact residuals); per RHS the entry is
+    bit-identical to [solve ?deflate] on that RHS, preserving the
+    trajectory-equality property. *)

@@ -40,10 +40,18 @@ let power_max ?(tol = 1e-6) ?(max_iter = 500) ~apply ~n ~rng () =
   (!lambda, !iters)
 
 (* Smallest eigenvalue by inverse power iteration; each step solves
-   A w = v with CG. *)
-let power_min ?(tol = 1e-6) ?(max_iter = 50) ?(cg_tol = 1e-8) ~apply ~n ~rng () =
+   A w = v with CG. [x0] warm-starts the iteration vector (e.g. the
+   previous gauge configuration's lowest mode, for deflation setup
+   reuse); absent, the start is the same gaussian draw as always —
+   the default path is bit-identical to before. *)
+let power_min ?(tol = 1e-6) ?(max_iter = 50) ?(cg_tol = 1e-8) ?x0 ~apply ~n
+    ~rng () =
   let v = Field.create n in
-  Field.gaussian rng v;
+  (match x0 with
+  | Some (w : Field.t) ->
+    if Field.length w <> n then invalid_arg "Eigen.power_min: x0 length";
+    Field.blit w v
+  | None -> Field.gaussian rng v);
   Field.scale (1. /. Field.norm v) v;
   let lambda = ref infinity in
   let iters = ref 0 in

@@ -24,12 +24,17 @@ val power_min :
   ?tol:float ->
   ?max_iter:int ->
   ?cg_tol:float ->
+  ?x0:Linalg.Field.t ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
   n:int ->
   rng:Util.Rng.t ->
   unit ->
   float * int
-(** Smallest eigenvalue by CG-based inverse iteration. *)
+(** Smallest eigenvalue by CG-based inverse iteration. [x0]
+    warm-starts the iteration vector (normalized copy) — e.g. the
+    previous configuration's lowest mode when rebuilding a deflation
+    space across a stream of configs; absent, the gaussian start is
+    bit-identical to before. *)
 
 val condition_number :
   ?rng:Util.Rng.t ->

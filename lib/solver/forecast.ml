@@ -10,20 +10,41 @@ module Field = Linalg.Field
 type t = {
   depth : int;
   mutable history : Field.t list;  (* most recent first *)
+  mutable rejected : int;  (* non-finite solutions refused entry *)
 }
 
 let create ?(depth = 4) () =
   if depth < 1 then invalid_arg "Forecast.create: depth >= 1";
-  { depth; history = [] }
+  { depth; history = []; rejected = 0 }
+
+(* Same scan as Field.Sanitize.check_vec, but always on and
+   non-raising: the forecast must refuse a poisoned vector whether or
+   not the global sanitizer is armed. *)
+let all_finite (x : Field.t) =
+  let n = Field.length x in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Float.is_finite x.{!i}) then ok := false;
+    incr i
+  done;
+  !ok
 
 let record t (x : Field.t) =
-  let keep = Field.copy x in
-  t.history <-
-    keep :: (if List.length t.history >= t.depth then
-               List.filteri (fun i _ -> i < t.depth - 1) t.history
-             else t.history)
+  (* A diverged solve (NaN/Inf iterate) would poison every later
+     Gram system — guess would return None or garbage forever. Drop
+     it at the door instead. *)
+  if not (all_finite x) then t.rejected <- t.rejected + 1
+  else begin
+    let keep = Field.copy x in
+    t.history <-
+      keep :: (if List.length t.history >= t.depth then
+                 List.filteri (fun i _ -> i < t.depth - 1) t.history
+               else t.history)
+  end
 
 let size t = List.length t.history
+let rejected t = t.rejected
 
 (* Guess minimizing |b - A x|^2 over x in span(history): solve the
    small Gram system (A v_i, A v_j) c_j = (A v_i, b). [apply] is A. *)

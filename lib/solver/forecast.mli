@@ -9,9 +9,14 @@ val create : ?depth:int -> unit -> t
 (** Keep the last [depth] (default 4) solutions. *)
 
 val record : t -> Linalg.Field.t -> unit
-(** Push a converged solution (copied) into the history. *)
+(** Push a converged solution (copied) into the history. A non-finite
+    vector (a diverged solve) is refused — it would poison every later
+    Gram system — and counted in [rejected] instead. *)
 
 val size : t -> int
+
+val rejected : t -> int
+(** How many non-finite solutions [record] has refused. *)
 
 val guess :
   t ->

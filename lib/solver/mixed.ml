@@ -56,7 +56,7 @@ let reliable_update_kernels ~fused =
   if fused then [ ("axpy", 1); ("blit", 1); ("axpy_norm2", 1) ]
   else [ ("axpy", 1); ("sub", 1); ("norm2", 1) ]
 
-let solve ?(config = default_config) ?(fused = false) ?trace ~apply
+let solve ?(config = default_config) ?deflate ?(fused = false) ?trace ~apply
     ~(b : Field.t) ~flops_per_apply () =
   let n = Field.length b in
   (match validate_config ~n config with
@@ -75,6 +75,17 @@ let solve ?(config = default_config) ?(fused = false) ?trace ~apply
   let iters = ref 0 in
   let reliable = ref 0 in
   if b2 > 0. then begin
+    (* Deflation lives entirely in the outer double-precision world:
+       the low-mode guess is folded into x at entry (and refreshed at
+       each reliable update below); the half-precision inner loop is
+       untouched. *)
+    (match deflate with
+    | None -> ()
+    | Some d ->
+      Deflate.augment d ~r x;
+      apply x ap;
+      incr applies;
+      Field.sub b ap r);
     let r2 = ref (Field.norm2 r) in
     let continue_outer = ref true in
     while !continue_outer && !r2 > target && !iters < config.max_iter do
@@ -135,6 +146,21 @@ let solve ?(config = default_config) ?(fused = false) ?trace ~apply
           Field.norm2 r
         end
       in
+      (* Re-deflate the exact residual: the half codec reintroduces
+         low-mode error the inner loop contracts slowly, so each
+         reliable update cleans the deflated span out of x again —
+         one extra (double-precision) apply per update. *)
+      let r2_new =
+        match deflate with
+        | None -> r2_new
+        | Some d ->
+          let g = Deflate.deflated_guess d ~b:r in
+          Field.axpy 1. g x;
+          apply g ap;
+          incr applies;
+          Field.axpy (-1.) ap r;
+          Field.norm2 r
+      in
       (* If quantization noise floors out before the target, stop:
          the caller can fall back to a pure double solve. *)
       if !stalled || r2_new >= !r2 *. 0.9999 then continue_outer := false;
@@ -174,7 +200,7 @@ let solve ?(config = default_config) ?(fused = false) ?trace ~apply
    solves against a width-1 view of the batched operator — trivially
    bit-identical per RHS, and the seam where a future half-precision
    multi-RHS inner loop slots in. *)
-let solve_multi ?config ?fused ?trace ~apply ~(bs : Field.t array)
+let solve_multi ?config ?deflate ?fused ?trace ~apply ~(bs : Field.t array)
     ~flops_per_apply () =
   let k = Array.length bs in
   if k = 0 then invalid_arg "Mixed.solve_multi: empty batch";
@@ -183,8 +209,8 @@ let solve_multi ?config ?fused ?trace ~apply ~(bs : Field.t array)
       (fun i b ->
         let apply1 src dst = apply [| src |] [| dst |] in
         let trace1 = Option.map (fun f -> f i) trace in
-        solve ?config ?fused ?trace:trace1 ~apply:apply1 ~b ~flops_per_apply
-          ())
+        solve ?config ?deflate ?fused ?trace:trace1 ~apply:apply1 ~b
+          ~flops_per_apply ())
       bs
   in
   (Array.map fst results, Array.map snd results)

@@ -36,6 +36,7 @@ val reliable_update_kernels : fused:bool -> (string * int) list
 
 val solve :
   ?config:config ->
+  ?deflate:Deflate.t ->
   ?fused:bool ->
   ?trace:(float -> unit) ->
   apply:(Linalg.Field.t -> Linalg.Field.t -> unit) ->
@@ -53,10 +54,18 @@ val solve :
     [Linalg.Fused] kernels — bit-identical trajectory, iteration count
     and reliable-update count vs the unfused path for any pool
     geometry. [trace] receives the inner |r|² once per inner iteration
-    (post-quantization, the value the recurrence uses). *)
+    (post-quantization, the value the recurrence uses).
+
+    [deflate] lives entirely in the outer double-precision world: the
+    low-mode guess is folded into x at entry and the deflated span is
+    cleaned out of the exact residual at every reliable update (one
+    extra double-precision apply each), while the half-precision inner
+    loop runs unmodified. Absent, the solve is bit-identical to
+    before. *)
 
 val solve_multi :
   ?config:config ->
+  ?deflate:Deflate.t ->
   ?fused:bool ->
   ?trace:(int -> float -> unit) ->
   apply:(Linalg.Field.t array -> Linalg.Field.t array -> unit) ->

@@ -371,7 +371,7 @@ let test_selftest_detects_all () =
   (* the expected defect-class count is wired here on purpose: a
      fixture silently dropped from the list (so --selftest would print
      n/n for a smaller n) fails the suite *)
-  Alcotest.(check int) "31 seeded defect classes" 31 (List.length rows);
+  Alcotest.(check int) "34 seeded defect classes" 34 (List.length rows);
   List.iter
     (fun (rule : string) ->
       Alcotest.(check bool) (rule ^ " has a fixture") true
@@ -384,6 +384,7 @@ let test_selftest_detects_all () =
       "MRHS001"; "MRHS002"; "MRHS003";
       "PLAN001"; "PLAN002"; "PLAN003"; "PLAN005"; "PREC001"; "PREC003";
       "RECON001"; "RECON002"; "RECON003";
+      "DEF001"; "DEF002"; "DEF003";
     ];
   List.iter
     (fun ((f : Check.Fixtures.t), rules, detected) ->
@@ -396,7 +397,7 @@ let test_selftest_detects_all () =
 
 let test_standard_suite_clean () =
   let report = Check.standard_suite () in
-  Alcotest.(check int) "nine passes" 9 (List.length report);
+  Alcotest.(check int) "ten passes" 10 (List.length report);
   Alcotest.(check int) "zero errors on shipped artifacts" 0
     (D.report_errors report);
   Alcotest.(check int) "exit code 0" 0 (D.exit_code report)

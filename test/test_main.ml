@@ -20,5 +20,6 @@ let () =
       ("plan", Test_plan.suite);
       ("multirhs", Test_multirhs.suite);
       ("recon", Test_recon.suite);
+      ("deflate", Test_deflate.suite);
       ("properties", Test_properties.suite);
     ]

@@ -297,6 +297,63 @@ let test_forecast_depth_bounded () =
   Solver.Forecast.record f v;
   Alcotest.(check int) "bounded history" 2 (Solver.Forecast.size f)
 
+let test_forecast_rejects_nonfinite () =
+  (* a diverged solve's solution must not poison the history: record
+     refuses NaN/inf vectors, counts them, and later guesses still
+     come from the finite history alone *)
+  let n = 32 in
+  let apply = make_spd n 81 in
+  let b = Field.create n in
+  Field.gaussian (rng ()) b;
+  let x, _ = Cg.solve ~apply ~b ~tol:1e-12 ~max_iter:500 ~flops_per_apply:1. () in
+  let f = Solver.Forecast.create () in
+  Solver.Forecast.record f x;
+  let bad_nan = Field.copy x and bad_inf = Field.copy x in
+  Bigarray.Array1.set bad_nan 3 Float.nan;
+  Bigarray.Array1.set bad_inf 7 Float.infinity;
+  Solver.Forecast.record f bad_nan;
+  Solver.Forecast.record f bad_inf;
+  Alcotest.(check int) "refused vectors are not kept" 1 (Solver.Forecast.size f);
+  Alcotest.(check int) "and are counted" 2 (Solver.Forecast.rejected f);
+  match Solver.Forecast.guess f ~apply ~b with
+  | None -> Alcotest.fail "finite history must still forecast"
+  | Some g ->
+    let ag = Field.create n in
+    apply g ag;
+    let d = Field.create n in
+    Field.sub b ag d;
+    Alcotest.(check bool) "guess from the surviving exact history" true
+      (sqrt (Field.norm2 d /. Field.norm2 b) < 1e-9)
+
+let test_forecast_colinear_history () =
+  (* two colinear solutions make the Gram system singular up to
+     rounding; the guess must either be refused or stay finite — never
+     a NaN propagated out of the near-singular solve *)
+  let n = 32 in
+  let apply = make_spd n 82 in
+  let b = Field.create n in
+  Field.gaussian (rng ()) b;
+  let x, _ = Cg.solve ~apply ~b ~tol:1e-12 ~max_iter:500 ~flops_per_apply:1. () in
+  let x2 = Field.copy x in
+  Field.scale 2.0 x2;
+  let f = Solver.Forecast.create () in
+  Solver.Forecast.record f x;
+  Solver.Forecast.record f x2;
+  match Solver.Forecast.guess f ~apply ~b with
+  | None -> ()  (* refusing the singular Gram system is correct *)
+  | Some g ->
+    let finite = ref true in
+    for i = 0 to n - 1 do
+      if not (Float.is_finite (Bigarray.Array1.get g i)) then finite := false
+    done;
+    Alcotest.(check bool) "colinear-history guess is finite" true !finite;
+    let ag = Field.create n in
+    apply g ag;
+    let d = Field.create n in
+    Field.sub b ag d;
+    Alcotest.(check bool) "and no worse than the cold start" true
+      (Field.norm2 d <= Field.norm2 b *. (1. +. 1e-9))
+
 (* ---- spectral estimates ---- *)
 
 let test_eigen_known_matrix () =
@@ -341,6 +398,61 @@ let test_eigen_power_iterations () =
     true
     (abs_float (lmin -. diag.(0)) < 0.05);
   Alcotest.(check bool) "iterations recorded" true (it_max > 0 && it_min > 0)
+
+let test_eigen_power_min_warm_start () =
+  let n = 12 in
+  let diag = Array.init n (fun i -> 0.5 +. 0.25 *. float_of_int i) in
+  let apply (src : Field.t) (dst : Field.t) =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set dst i (diag.(i) *. Bigarray.Array1.get src i)
+    done
+  in
+  let _, it_cold = Solver.Eigen.power_min ~apply ~n ~rng:(rng ()) () in
+  (* warm-start from the exact lowest mode (scaled: power_min
+     normalizes its copy): one step confirms the eigenvalue *)
+  let x0 = Field.create n in
+  Field.fill x0 0.;
+  Bigarray.Array1.set x0 0 5.0;
+  let lmin, it_warm = Solver.Eigen.power_min ~x0 ~apply ~n ~rng:(rng ()) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm lambda_min %g ~ %g" lmin diag.(0))
+    true
+    (abs_float (lmin -. diag.(0)) < 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d <= cold %d inverse iterations" it_warm it_cold)
+    true (it_warm <= it_cold);
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Eigen.power_min: x0 length") (fun () ->
+      ignore (Solver.Eigen.power_min ~x0:(Field.create 3) ~apply ~n ~rng:(rng ()) ()))
+
+let prop_eigen_condition_random_spd =
+  (* the power/inverse estimate must land within a modest factor of
+     the true condition number of random SPD diagonal operators across
+     a spread of condition regimes *)
+  QCheck.Test.make ~name:"eigen: condition estimate brackets random SPD"
+    ~count:25
+    QCheck.(pair (int_range 0 1_000_000) (int_range 8 48))
+    (fun (seed, n) ->
+      let r = Util.Rng.create seed in
+      let diag =
+        Array.init n (fun _ -> 10. ** (2. *. (Util.Rng.float r -. 0.5)))
+      in
+      let apply (src : Field.t) (dst : Field.t) =
+        for i = 0 to n - 1 do
+          Bigarray.Array1.set dst i (diag.(i) *. Bigarray.Array1.get src i)
+        done
+      in
+      let lo = Array.fold_left min diag.(0) diag in
+      let hi = Array.fold_left max diag.(0) diag in
+      let true_kappa = hi /. lo in
+      let est =
+        Solver.Eigen.condition_number ~rng:(Util.Rng.create (seed + 1)) ~apply
+          ~n ()
+      in
+      let k = est.Solver.Eigen.condition_number in
+      Float.is_finite k && k > 0.
+      && k >= true_kappa /. 3.
+      && k <= true_kappa *. 3.)
 
 let test_eigen_condition_predicts_cg () =
   (* CG iterations stay below the classical bound from the condition
@@ -481,8 +593,15 @@ let suite =
     Alcotest.test_case "forecast warm start" `Quick test_forecast_reduces_iterations;
     Alcotest.test_case "forecast initial residual" `Quick test_forecast_initial_residual;
     Alcotest.test_case "forecast depth" `Quick test_forecast_depth_bounded;
+    Alcotest.test_case "forecast rejects non-finite" `Quick
+      test_forecast_rejects_nonfinite;
+    Alcotest.test_case "forecast colinear history" `Quick
+      test_forecast_colinear_history;
     Alcotest.test_case "eigen known spectrum" `Quick test_eigen_known_matrix;
     Alcotest.test_case "eigen power iterations" `Quick test_eigen_power_iterations;
+    Alcotest.test_case "eigen power_min warm start" `Quick
+      test_eigen_power_min_warm_start;
+    QCheck_alcotest.to_alcotest prop_eigen_condition_random_spd;
     Alcotest.test_case "eigen CG bound" `Quick test_eigen_condition_predicts_cg;
     Alcotest.test_case "critical slowing down" `Slow test_eigen_mass_dependence;
     Alcotest.test_case "dwf eo solve" `Quick test_dwf_eo_solve_residual;
